@@ -1,0 +1,91 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * predictor sensitivity of the SP machine (profile vs BTFN vs bimodal
+//!   vs gshare vs always-taken) — the paper claims dynamic prediction
+//!   performs like its profile scheme;
+//! * inlining on/off — how much the stack-pointer chain costs;
+//! * running one machine vs all seven over the same trace.
+//!
+//! These are *measurement* benches: the interesting output is printed once
+//! per run (the parallelism numbers), while criterion times the passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clfp_limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice};
+use clfp_vm::{Vm, VmOptions};
+use clfp_workloads::by_name;
+
+fn predictor_sensitivity(c: &mut Criterion) {
+    let workload = by_name("logic").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(150_000).expect("trace");
+
+    let predictors = [
+        PredictorChoice::Profile,
+        PredictorChoice::Btfn,
+        PredictorChoice::AlwaysTaken,
+        PredictorChoice::Bimodal { entries: 4096 },
+        PredictorChoice::Gshare {
+            entries: 4096,
+            history_bits: 8,
+        },
+    ];
+    let mut group = c.benchmark_group("predictor_sensitivity_sp");
+    group.sample_size(10);
+    for predictor in predictors {
+        let config = AnalysisConfig {
+            max_instrs: 150_000,
+            machines: vec![MachineKind::Sp],
+            predictor,
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config).expect("analyzer");
+        let report = analyzer.run_on_trace(&trace);
+        println!(
+            "logic/SP with {:12}: accuracy {:5.2}%, parallelism {:6.2}",
+            predictor.name(),
+            report.branches.prediction_rate(),
+            report.parallelism(MachineKind::Sp)
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(predictor.name()),
+            &predictor,
+            |b, _| b.iter(|| black_box(analyzer.run_on_trace(&trace))),
+        );
+    }
+    group.finish();
+}
+
+fn inlining_ablation(c: &mut Criterion) {
+    let workload = by_name("parse").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(150_000).expect("trace");
+
+    let mut group = c.benchmark_group("inlining_ablation");
+    group.sample_size(10);
+    for (label, inlining) in [("perfect_inlining", true), ("no_inlining", false)] {
+        let config = AnalysisConfig {
+            max_instrs: 150_000,
+            inlining,
+            machines: vec![MachineKind::Oracle],
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config).expect("analyzer");
+        let report = analyzer.run_on_trace(&trace);
+        println!(
+            "parse/ORACLE {label}: parallelism {:8.2} ({} instrs on the clock)",
+            report.parallelism(MachineKind::Oracle),
+            report.seq_instrs
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(analyzer.run_on_trace(&trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predictor_sensitivity, inlining_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Analyzer throughput: events/second for each machine-model pass over a
+//! real workload trace. The per-machine spread shows what each
+//! constraint's bookkeeping costs (ORACLE touches only the last-write
+//! tables; the CD machines resolve reverse-dominance-frontier instances;
+//! the SP machines add prediction ceilings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clfp_limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp_vm::{Vm, VmOptions};
+use clfp_workloads::by_name;
+
+fn machine_passes(c: &mut Criterion) {
+    let workload = by_name("qsort").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+    let config = AnalysisConfig {
+        max_instrs: 200_000,
+        ..AnalysisConfig::default()
+    };
+    let analyzer = Analyzer::new(&program, config.clone()).expect("analyzer");
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(config.max_instrs).expect("trace");
+
+    let mut group = c.benchmark_group("machine_pass");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    for kind in MachineKind::ALL {
+        let single = AnalysisConfig {
+            machines: vec![kind],
+            ..config.clone()
+        };
+        let analyzer_one = Analyzer::new(&program, single).expect("analyzer");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(analyzer_one.run_on_trace(&trace)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("all_machines");
+    group.throughput(Throughput::Elements(trace.len() as u64 * 7));
+    group.sample_size(10);
+    group.bench_function("qsort_200k_x7", |b| {
+        b.iter(|| black_box(analyzer.run_on_trace(&trace)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, machine_passes);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Guarded-instructions ablation (the paper's Section 6): if-converting
+//! guarded assignments to conditional moves removes hard-to-predict
+//! branches, lengthening the distance between mispredictions and lifting
+//! the SP machines — at the cost of extra data dependences (a cmov reads
+//! its destination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clfp_lang::CodegenOptions;
+use clfp_limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp_workloads::by_name;
+
+fn guarded_instructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guarded_instructions");
+    group.sample_size(10);
+    for name in ["scan", "logic"] {
+        let workload = by_name(name).expect("workload exists");
+        for (label, if_conversion) in [("branches", false), ("guarded", true)] {
+            let program = workload
+                .compile_with(CodegenOptions { if_conversion, ..CodegenOptions::default() })
+                .expect("compiles");
+            let config = AnalysisConfig {
+                max_instrs: 300_000,
+                machines: vec![MachineKind::Sp, MachineKind::SpCd, MachineKind::SpCdMf],
+                ..AnalysisConfig::default()
+            };
+            let analyzer = Analyzer::new(&program, config).expect("analyzer");
+            let report = analyzer.run().expect("runs");
+            let within100 = report
+                .mispred_stats
+                .as_ref()
+                .map(|s| s.fraction_within(100))
+                .unwrap_or(1.0);
+            println!(
+                "{name}/{label}: {} branches, {:.2}% predicted, {:.0}% mispredictions within \
+                 100 instrs, SP {:.2} SP-CD {:.2} SP-CD-MF {:.2}",
+                report.branches.cond_branches,
+                report.branches.prediction_rate(),
+                within100 * 100.0,
+                report.parallelism(MachineKind::Sp),
+                report.parallelism(MachineKind::SpCd),
+                report.parallelism(MachineKind::SpCdMf),
+            );
+            group.bench_function(format!("{name}_{label}"), |b| {
+                b.iter(|| black_box(analyzer.run().unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, guarded_instructions);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The paper's "large hash table ... to record writes to memory"
+//! (Section 4.4): our open-addressing [`LastWriteTable`] against
+//! `std::collections::HashMap`, on an address stream shaped like a real
+//! trace (hot stack reuse + scattered heap).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use clfp_limits::LastWriteTable;
+
+/// A deterministic trace-shaped (addr, is_store) stream.
+fn address_stream(n: usize) -> Vec<(u32, bool)> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0x2545F491_4F6CDD1Du64;
+    for i in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // 70% hot stack slots, 30% scattered heap words.
+        let addr = if state % 10 < 7 {
+            0x3FF000 + (state >> 8) as u32 % 64
+        } else {
+            (state >> 16) as u32 % 1_000_000
+        };
+        out.push((addr, i % 3 == 0));
+    }
+    out
+}
+
+fn last_write_tables(c: &mut Criterion) {
+    let stream = address_stream(200_000);
+
+    let mut group = c.benchmark_group("last_write_table");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(20);
+    group.bench_function("clfp_open_addressing", |b| {
+        b.iter(|| {
+            let mut table = LastWriteTable::with_capacity(1 << 16);
+            let mut acc = 0u64;
+            for (i, &(addr, is_store)) in stream.iter().enumerate() {
+                if is_store {
+                    table.set(addr, i as u64);
+                } else {
+                    acc = acc.wrapping_add(table.get(addr));
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut table: HashMap<u32, u64> = HashMap::with_capacity(1 << 16);
+            let mut acc = 0u64;
+            for (i, &(addr, is_store)) in stream.iter().enumerate() {
+                if is_store {
+                    table.insert(addr, i as u64);
+                } else {
+                    acc = acc.wrapping_add(table.get(&addr).copied().unwrap_or(0));
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, last_write_tables);
+criterion_main!(benches);

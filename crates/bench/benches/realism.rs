@@ -1,0 +1,70 @@
+//! The realism staircase: start from the paper's idealized SP-CD-MF limit
+//! and add back, one at a time, the constraints the study deliberately
+//! removed — finite fetch, no register renaming, imperfect memory
+//! disambiguation, real latencies. Each step shows what that idealization
+//! was worth, connecting the limit study's numbers to the performance of
+//! buildable machines (the paper's own framing of "limits vs lower
+//! bounds", Section 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clfp_limits::{AnalysisConfig, Analyzer, Latencies, MachineKind};
+use clfp_vm::{Vm, VmOptions};
+use clfp_workloads::by_name;
+
+fn realism_staircase(c: &mut Criterion) {
+    let workload = by_name("qsort").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(200_000).expect("trace");
+
+    let base = AnalysisConfig {
+        max_instrs: 200_000,
+        machines: vec![MachineKind::SpCdMf],
+        ..AnalysisConfig::default()
+    };
+    let steps: Vec<(&str, AnalysisConfig)> = vec![
+        ("ideal (paper)", base.clone()),
+        ("+latencies", base.clone().with_latency(Latencies::realistic())),
+        (
+            "+cacheline disambiguation",
+            base.clone()
+                .with_latency(Latencies::realistic())
+                .with_disambiguation_bytes(64),
+        ),
+        (
+            "+no renaming",
+            base.clone()
+                .with_latency(Latencies::realistic())
+                .with_disambiguation_bytes(64)
+                .with_rename(false),
+        ),
+        (
+            "+fetch width 8",
+            base.clone()
+                .with_latency(Latencies::realistic())
+                .with_disambiguation_bytes(64)
+                .with_rename(false)
+                .with_fetch_bandwidth(8),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("realism_staircase");
+    group.sample_size(10);
+    for (label, config) in steps {
+        let analyzer = Analyzer::new(&program, config).expect("analyzer");
+        let report = analyzer.run_on_trace(&trace);
+        println!(
+            "qsort/SP-CD-MF {label:28}: parallelism {:8.2}",
+            report.parallelism(MachineKind::SpCdMf)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| black_box(analyzer.run_on_trace(&trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, realism_staircase);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate throughput: the tracing VM (pixie equivalent), the MiniC
+//! compiler, the assembler, and the static analyses — the pieces the
+//! study needs before any limit can be measured.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use clfp_cfg::StaticInfo;
+use clfp_vm::{Vm, VmOptions};
+use clfp_workloads::by_name;
+
+fn vm_execution(c: &mut Criterion) {
+    let workload = by_name("matmul").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+    let limit = 200_000u64;
+
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(limit));
+    group.sample_size(10);
+    group.bench_function("execute_200k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, VmOptions::default());
+            black_box(vm.run(limit).unwrap());
+        });
+    });
+    group.bench_function("trace_200k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, VmOptions::default());
+            black_box(vm.trace(limit).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn toolchain(c: &mut Criterion) {
+    let workload = by_name("eventsim").expect("workload exists");
+    let source = workload.source();
+    let program = workload.compile().expect("compiles");
+
+    let mut group = c.benchmark_group("toolchain");
+    group.bench_function("compile_eventsim", |b| {
+        b.iter(|| black_box(clfp_lang::compile(black_box(source)).unwrap()));
+    });
+    group.bench_function("static_analysis_eventsim", |b| {
+        b.iter(|| black_box(StaticInfo::analyze(black_box(&program))));
+    });
+    let asm = clfp_lang::compile_with_listing(source).unwrap().1;
+    group.bench_function("assemble_eventsim", |b| {
+        b.iter(|| black_box(clfp_isa::assemble(black_box(&asm)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, vm_execution, toolchain);
+criterion_main!(benches);

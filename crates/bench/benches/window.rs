@@ -1,0 +1,43 @@
+//! Fetch-bandwidth sweep: the paper's limits assume an *unlimited*
+//! instruction window ("we do not include any limitations on fetching
+//! instructions", Section 5). This ablation shows what that idealization
+//! is worth by capping the front end at W instructions per cycle and
+//! watching the SP-CD-MF limit converge to the unlimited value as W grows
+//! — and collapse toward W when the front end is narrow, which is where
+//! real superscalars of the era lived.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clfp_limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp_workloads::by_name;
+
+fn fetch_window_sweep(c: &mut Criterion) {
+    let workload = by_name("qsort").expect("workload exists");
+    let program = workload.compile().expect("compiles");
+
+    let mut group = c.benchmark_group("fetch_window");
+    group.sample_size(10);
+    for width in [Some(2u64), Some(4), Some(8), Some(32), Some(128), None] {
+        let mut config = AnalysisConfig {
+            max_instrs: 200_000,
+            machines: vec![MachineKind::SpCdMf],
+            ..AnalysisConfig::default()
+        };
+        config.fetch_bandwidth = width;
+        let analyzer = Analyzer::new(&program, config).expect("analyzer");
+        let report = analyzer.run().expect("runs");
+        let label = width.map_or("unlimited".to_string(), |w| w.to_string());
+        println!(
+            "qsort/SP-CD-MF with fetch width {label:>9}: parallelism {:8.2}",
+            report.parallelism(MachineKind::SpCdMf)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &width, |b, _| {
+            b.iter(|| black_box(analyzer.run().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fetch_window_sweep);
+criterion_main!(benches);

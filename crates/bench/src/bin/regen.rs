@@ -1,0 +1,163 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! regen                      # all tables and figures, default trace cap
+//! regen --table 3            # only Table 3
+//! regen --figure 6           # only Figure 6
+//! regen --max-instr 500000   # cap traces at 500k instructions
+//! regen --out results/       # also write each section as markdown
+//! ```
+
+use std::process::ExitCode;
+
+use clfp_bench::{
+    figure4, figure5, figure6, figure7, run_suite, static_inventory, table1, table2, table3,
+    table4,
+};
+use clfp_limits::AnalysisConfig;
+
+struct Args {
+    table: Option<u32>,
+    figure: Option<u32>,
+    max_instrs: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        table: None,
+        figure: None,
+        max_instrs: 2_000_000,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--table" => {
+                let value = iter.next().ok_or("--table needs a number")?;
+                args.table = Some(value.parse().map_err(|_| format!("bad table `{value}`"))?);
+            }
+            "--figure" => {
+                let value = iter.next().ok_or("--figure needs a number")?;
+                args.figure = Some(value.parse().map_err(|_| format!("bad figure `{value}`"))?);
+            }
+            "--max-instr" | "--max-instrs" => {
+                let value = iter.next().ok_or("--max-instr needs a number")?;
+                args.max_instrs = value
+                    .parse()
+                    .map_err(|_| format!("bad instruction cap `{value}`"))?;
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a directory")?;
+                args.out = Some(value.into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR]\n\
+                     Regenerates the paper's tables (1-4) and figures (4-7); with\n\
+                     --out, also writes each as a markdown file under DIR."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Prints a section and, when `--out` is set, writes it to a file too.
+fn emit(out: &Option<std::path::PathBuf>, name: &str, content: &str) {
+    println!("{content}");
+    if let Some(dir) = out {
+        if let Err(err) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("{name}.md")), content))
+        {
+            eprintln!("regen: cannot write {name}.md: {err}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("regen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wants = |kind: &str, n: u32| -> bool {
+        match (kind, args.table, args.figure) {
+            (_, None, None) => true,
+            ("table", Some(t), _) => t == n,
+            ("figure", _, Some(f)) => f == n,
+            _ => false,
+        }
+    };
+
+    if wants("table", 1) {
+        emit(&args.out, "table1", &table1());
+        emit(&args.out, "inventory", &static_inventory());
+    }
+
+    let needs_runs = wants("table", 2)
+        || wants("table", 3)
+        || wants("table", 4)
+        || wants("figure", 4)
+        || wants("figure", 5)
+        || wants("figure", 6)
+        || wants("figure", 7);
+    if !needs_runs {
+        return ExitCode::SUCCESS;
+    }
+
+    let config = AnalysisConfig {
+        max_instrs: args.max_instrs,
+        ..AnalysisConfig::default()
+    };
+    eprintln!(
+        "running 10 workloads x 7 machines x 2 unroll settings (trace cap {})...",
+        args.max_instrs
+    );
+    let start = std::time::Instant::now();
+    let reports = match run_suite(&config) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("regen: suite failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("suite analyzed in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!();
+
+    for r in &reports {
+        eprintln!(
+            "  {:10} raw trace {:>9} instrs, {:>9} after inlining/unrolling",
+            r.workload.name, r.unrolled.raw_instrs, r.unrolled.seq_instrs
+        );
+    }
+    eprintln!();
+
+    if wants("table", 2) {
+        emit(&args.out, "table2", &table2(&reports));
+    }
+    if wants("table", 3) {
+        emit(&args.out, "table3", &table3(&reports));
+    }
+    if wants("table", 4) {
+        emit(&args.out, "table4", &table4(&reports));
+    }
+    if wants("figure", 4) {
+        emit(&args.out, "figure4", &figure4(&reports));
+    }
+    if wants("figure", 5) {
+        emit(&args.out, "figure5", &figure5(&reports));
+    }
+    if wants("figure", 6) {
+        emit(&args.out, "figure6", &figure6(&reports));
+    }
+    if wants("figure", 7) {
+        emit(&args.out, "figure7", &figure7(&reports));
+    }
+    ExitCode::SUCCESS
+}

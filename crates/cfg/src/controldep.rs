@@ -1,0 +1,242 @@
+use clfp_isa::Instr;
+
+use crate::dom::{Digraph, DomTree};
+use crate::{BlockId, Cfg};
+
+/// Control-dependence information for every basic block, computed per
+/// procedure as the *reverse dominance frontier* (Section 4.4.1 of the
+/// paper; algorithm of Cytron et al., their citation \[3\]).
+///
+/// For each block, [`ControlDeps::rdf_branches`] lists the instruction
+/// indices of the conditional branches the block is immediately control
+/// dependent on. A block with an empty list depends only on its procedure's
+/// invocation (interprocedural control dependence, handled dynamically by
+/// the trace analyzer).
+#[derive(Clone, Debug)]
+pub struct ControlDeps {
+    /// Per block: terminator pcs of the RDF blocks.
+    rdf_branches: Vec<Vec<u32>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for every procedure of `cfg`.
+    ///
+    /// A virtual exit node is appended to each procedure; return, computed
+    /// jump, and halt blocks get edges to it. Blocks that cannot reach the
+    /// exit (infinite loops) are connected to it directly so postdominators
+    /// are defined everywhere — a conservative completion that cannot
+    /// remove real control dependences.
+    pub fn compute(cfg: &Cfg) -> ControlDeps {
+        let mut rdf_branches: Vec<Vec<u32>> = vec![Vec::new(); cfg.blocks().len()];
+
+        for proc in cfg.procs() {
+            // Local index space: procedure blocks then the virtual exit.
+            let local_count = proc.blocks.len() + 1;
+            let exit = local_count - 1;
+            let mut local_of_block = std::collections::HashMap::new();
+            for (local, &block) in proc.blocks.iter().enumerate() {
+                local_of_block.insert(block, local);
+            }
+            let mut graph = Digraph::new(local_count);
+            for (local, &block) in proc.blocks.iter().enumerate() {
+                let succs = &cfg.block(block).succs;
+                let mut any = false;
+                for succ in succs {
+                    // Successors leaving the procedure (possible only from
+                    // unreachable orphan blocks) count as exits.
+                    if let Some(&succ_local) = local_of_block.get(succ) {
+                        graph.add_edge(local, succ_local);
+                        any = true;
+                    }
+                }
+                if !any {
+                    graph.add_edge(local, exit);
+                }
+            }
+            // Connect exit-unreachable blocks (infinite loops) to the exit.
+            let mut reaches_exit = vec![false; local_count];
+            reaches_exit[exit] = true;
+            let mut stack = vec![exit];
+            while let Some(node) = stack.pop() {
+                for &pred in graph.preds(node).iter() {
+                    if !reaches_exit[pred] {
+                        reaches_exit[pred] = true;
+                        stack.push(pred);
+                    }
+                }
+            }
+            for (local, reaches) in reaches_exit.iter_mut().enumerate().take(local_count - 1) {
+                if !*reaches {
+                    graph.add_edge(local, exit);
+                    *reaches = true;
+                }
+            }
+
+            // Postdominators: dominators of the reversed graph rooted at the
+            // exit.
+            let reversed = graph.reversed();
+            let pdom = DomTree::compute(&reversed, exit);
+            let rdf = pdom.dominance_frontier(&reversed);
+
+            for (local, &block) in proc.blocks.iter().enumerate() {
+                for &dep_local in &rdf[local] {
+                    if dep_local == exit {
+                        continue;
+                    }
+                    let dep_block = proc.blocks[dep_local];
+                    // Only genuine two-way branches are control-dependence
+                    // sources; blocks that gained an artificial exit edge
+                    // (infinite loops) are not. Dropping them preserves the
+                    // upper-bound property, exactly like the paper's
+                    // recursion cutoff.
+                    if cfg.block(dep_block).succs.len() == 2 {
+                        rdf_branches[block.index()].push(cfg.block(dep_block).terminator());
+                    }
+                }
+                rdf_branches[block.index()].sort_unstable();
+                rdf_branches[block.index()].dedup();
+            }
+        }
+
+        ControlDeps { rdf_branches }
+    }
+
+    /// Instruction indices of the conditional branches block `id` is
+    /// immediately control dependent on.
+    pub fn rdf_branches(&self, id: BlockId) -> &[u32] {
+        &self.rdf_branches[id.index()]
+    }
+
+    /// Checks the structural invariant that every reported dependence is a
+    /// block-terminating conditional branch. Used by tests and debug
+    /// assertions.
+    pub fn check(&self, cfg: &Cfg, text: &[Instr]) -> bool {
+        self.rdf_branches.iter().flatten().all(|&pc| {
+            let block = cfg.block_of_instr(pc);
+            cfg.block(block).terminator() == pc && text[pc as usize].is_cond_branch()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    fn deps(source: &str) -> (clfp_isa::Program, Cfg, ControlDeps) {
+        let program = assemble(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let deps = ControlDeps::compute(&cfg);
+        assert!(deps.check(&cfg, &program.text));
+        (program, cfg, deps)
+    }
+
+    #[test]
+    fn if_then_else() {
+        let (_, cfg, deps) = deps(
+            r#"
+            .text
+            main:
+                beq r8, r0, else   # pc 0
+                li r9, 1           # pc 1 (then)
+                j join             # pc 2
+            else:
+                li r9, 2           # pc 3
+            join:
+                halt               # pc 4
+            "#,
+        );
+        let then_block = cfg.block_of_instr(1);
+        let else_block = cfg.block_of_instr(3);
+        let join_block = cfg.block_of_instr(4);
+        assert_eq!(deps.rdf_branches(then_block), &[0]);
+        assert_eq!(deps.rdf_branches(else_block), &[0]);
+        // The join is control independent: it executes either way.
+        assert!(deps.rdf_branches(join_block).is_empty());
+        // The entry block depends on nothing.
+        assert!(deps.rdf_branches(cfg.block_of_instr(0)).is_empty());
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_branch() {
+        let (_, cfg, deps) = deps(
+            r#"
+            .text
+            main:
+                li r8, 10          # pc 0
+            loop:
+                addi r8, r8, -1    # pc 1
+                bgt r8, r0, loop   # pc 2
+                halt               # pc 3
+            "#,
+        );
+        let body = cfg.block_of_instr(1);
+        // The loop body is control dependent on its own branch (it runs
+        // again only if the branch is taken).
+        assert_eq!(deps.rdf_branches(body), &[2]);
+        // Code after the loop is control independent of the loop.
+        assert!(deps.rdf_branches(cfg.block_of_instr(3)).is_empty());
+        // The entry is control independent.
+        assert!(deps.rdf_branches(cfg.block_of_instr(0)).is_empty());
+    }
+
+    #[test]
+    fn nested_if_inside_loop() {
+        // for (...) { if (c) x; }  — paper's Section 2.2 example shape.
+        let (_, cfg, deps) = deps(
+            r#"
+            .text
+            main:
+                li r8, 10          # pc 0
+            loop:
+                beq r9, r0, skip   # pc 1
+                li r10, 1          # pc 2  (the `foo()` call site)
+            skip:
+                addi r8, r8, -1    # pc 3
+                bgt r8, r0, loop   # pc 4
+                halt               # pc 5  (the `bar()` call site)
+            "#,
+        );
+        let foo = cfg.block_of_instr(2);
+        // foo depends only on the inner condition.
+        assert_eq!(deps.rdf_branches(foo), &[1]);
+        // The inner condition block depends on the loop branch.
+        let cond = cfg.block_of_instr(1);
+        assert_eq!(deps.rdf_branches(cond), &[4]);
+        // bar (after the loop) is independent of everything in the loop.
+        assert!(deps.rdf_branches(cfg.block_of_instr(5)).is_empty());
+    }
+
+    #[test]
+    fn infinite_loop_is_handled() {
+        let (_, cfg, deps) = deps(".text\nmain: j main");
+        // No panic; the single block exists and has some defined RDF.
+        let block = cfg.block_of_instr(0);
+        assert!(deps.rdf_branches(block).is_empty());
+    }
+
+    #[test]
+    fn separate_procedures_are_independent() {
+        let (_, cfg, deps) = deps(
+            r#"
+            .text
+            main:
+                beq r8, r0, end    # pc 0
+                call f             # pc 1
+            end:
+                halt               # pc 2
+            f:
+                beq a0, r0, fend   # pc 3
+                li r9, 1           # pc 4
+            fend:
+                ret                # pc 5
+            "#,
+        );
+        // Inside f, block at pc 4 depends on f's own branch only —
+        // interprocedural dependence on pc 0 is handled dynamically.
+        let inner = cfg.block_of_instr(4);
+        assert_eq!(deps.rdf_branches(inner), &[3]);
+        let call_block = cfg.block_of_instr(1);
+        assert_eq!(deps.rdf_branches(call_block), &[0]);
+    }
+}

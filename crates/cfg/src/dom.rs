@@ -1,0 +1,335 @@
+//! Dominator trees and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative dominance algorithm over
+//! an abstract directed graph. The same code computes *postdominators* when
+//! run on the reversed graph — which is how [`crate::ControlDeps`] obtains
+//! reverse dominance frontiers (control dependences).
+
+/// A small adjacency-list digraph over `usize` node ids.
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Digraph {
+    /// Creates a graph with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Digraph {
+        Digraph {
+            succs: vec![Vec::new(); nodes],
+            preds: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds an edge `from -> to` (duplicates are allowed and harmless).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+    }
+
+    /// Successors of a node.
+    pub fn succs(&self, node: usize) -> &[usize] {
+        &self.succs[node]
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, node: usize) -> &[usize] {
+        &self.preds[node]
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> Digraph {
+        Digraph {
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+        }
+    }
+}
+
+/// A dominator tree over a [`Digraph`].
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<usize>>,
+    rpo_index: Vec<usize>,
+    root: usize,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `graph` rooted at `root`.
+    ///
+    /// Nodes unreachable from the root have no immediate dominator and are
+    /// reported as not dominated by anything ([`DomTree::idom`] returns
+    /// `None`; the root also returns `None`).
+    pub fn compute(graph: &Digraph, root: usize) -> DomTree {
+        let n = graph.len();
+        // Reverse postorder.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+        let mut stack = vec![(root, 0usize)];
+        state[root] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < graph.succs(node).len() {
+                let succ = graph.succs(node)[*next];
+                *next += 1;
+                if state[succ] == 0 {
+                    state[succ] = 1;
+                    stack.push((succ, 0));
+                }
+            } else {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now reverse postorder, root first
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            rpo_index[node] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[root] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &pred in graph.preds(node) {
+                    if idom[pred].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(current) => intersect(&idom, &rpo_index, pred, current),
+                    });
+                }
+                if new_idom.is_some() && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Normalize: the root's idom is conventionally itself internally,
+        // but we report None for it.
+        DomTree {
+            idom,
+            rpo_index,
+            root,
+        }
+    }
+
+    /// The immediate dominator of `node`, or `None` for the root and
+    /// unreachable nodes.
+    pub fn idom(&self, node: usize) -> Option<usize> {
+        match self.idom[node] {
+            Some(d) if d == node => None,
+            other => other,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut node = b;
+        loop {
+            if node == a {
+                return true;
+            }
+            match self.idom(node) {
+                Some(parent) => node = parent,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `node` is reachable from the root.
+    pub fn is_reachable(&self, node: usize) -> bool {
+        self.idom[node].is_some()
+    }
+
+    /// Computes the dominance frontier of every node.
+    ///
+    /// `frontier[b]` is the set of nodes `f` such that `b` dominates a
+    /// predecessor of `f` but does not strictly dominate `f` — when run on
+    /// the reversed CFG, this is exactly the set of control dependences.
+    pub fn dominance_frontier(&self, graph: &Digraph) -> Vec<Vec<usize>> {
+        let n = graph.len();
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for node in 0..n {
+            if !self.is_reachable(node) {
+                continue;
+            }
+            // Walk each predecessor's dominator chain up to (excluding)
+            // the node's immediate dominator. Unlike the textbook CHK
+            // presentation there is no `preds >= 2` shortcut: a
+            // single-pred walk stops immediately (the pred *is* the idom),
+            // while a self-loop on the root correctly yields a
+            // self-frontier.
+            let stop = self.idom(node);
+            for &pred in graph.preds(node) {
+                if !self.is_reachable(pred) {
+                    continue;
+                }
+                let mut runner = pred;
+                loop {
+                    if Some(runner) == stop {
+                        break;
+                    }
+                    if !frontier[runner].contains(&node) {
+                        frontier[runner].push(node);
+                    }
+                    match self.idom(runner) {
+                        Some(parent) => runner = parent,
+                        None => break,
+                    }
+                }
+            }
+        }
+        frontier
+    }
+
+    /// Reverse-postorder index of a node (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, node: usize) -> usize {
+        self.rpo_index[node]
+    }
+
+    /// The root the tree was computed from.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+}
+
+fn intersect(
+    idom: &[Option<usize>],
+    rpo_index: &[usize],
+    mut a: usize,
+    mut b: usize,
+) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed node has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed node has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the classic diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+    fn diamond() -> Digraph {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let g = diamond();
+        let dom = DomTree::compute(&g, 0);
+        assert_eq!(dom.idom(0), None);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0));
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(dom.dominates(3, 3));
+    }
+
+    #[test]
+    fn diamond_frontier() {
+        let g = diamond();
+        let dom = DomTree::compute(&g, 0);
+        let df = dom.dominance_frontier(&g);
+        assert_eq!(df[1], vec![3]);
+        assert_eq!(df[2], vec![3]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        let dom = DomTree::compute(&g, 0);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert_eq!(dom.idom(3), Some(2));
+        let df = dom.dominance_frontier(&g);
+        // The loop body (2) and header (1) both have the header in their
+        // frontier because of the back edge.
+        assert!(df[2].contains(&1));
+        assert!(df[1].contains(&1));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        // node 2 is unreachable
+        let dom = DomTree::compute(&g, 0);
+        assert!(dom.is_reachable(1));
+        assert!(!dom.is_reachable(2));
+        assert_eq!(dom.idom(2), None);
+        assert!(!dom.dominates(0, 2));
+    }
+
+    #[test]
+    fn postdominators_via_reversal() {
+        // if-then-else: 0 -> {1,2} -> 3 (exit)
+        let g = diamond();
+        let rev = g.reversed();
+        let pdom = DomTree::compute(&rev, 3);
+        assert_eq!(pdom.idom(0), Some(3));
+        assert_eq!(pdom.idom(1), Some(3));
+        assert_eq!(pdom.idom(2), Some(3));
+        // Control dependence: nodes 1 and 2 are control dependent on 0.
+        let rdf = pdom.dominance_frontier(&rev);
+        assert_eq!(rdf[1], vec![0]);
+        assert_eq!(rdf[2], vec![0]);
+        assert!(rdf[3].is_empty());
+        assert!(rdf[0].is_empty());
+    }
+
+    #[test]
+    fn irreducible_graph_terminates() {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1 (irreducible-ish)
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let dom = DomTree::compute(&g, 0);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Digraph::new(1);
+        let dom = DomTree::compute(&g, 0);
+        assert_eq!(dom.idom(0), None);
+        assert!(dom.dominates(0, 0));
+    }
+}

@@ -1,0 +1,506 @@
+use std::collections::BTreeSet;
+
+use clfp_isa::{Instr, Program};
+
+/// Identifier of a basic block within a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a procedure within a [`Cfg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The procedure's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: a maximal straight-line instruction sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: u32,
+    /// One past the index of the last instruction.
+    pub end: u32,
+    /// Intra-procedural successor blocks (call edges excluded; the
+    /// fall-through after a call is a successor).
+    pub succs: Vec<BlockId>,
+    /// Intra-procedural predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// Index of the block's terminator instruction (its last instruction).
+    pub fn terminator(&self) -> u32 {
+        self.end - 1
+    }
+
+    /// Iterates over the instruction indices in this block.
+    pub fn instrs(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end
+    }
+}
+
+/// A procedure: an entry block and the set of blocks reachable from it via
+/// intra-procedural edges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Proc {
+    /// Entry block.
+    pub entry: BlockId,
+    /// All blocks belonging to this procedure, in discovery order.
+    pub blocks: Vec<BlockId>,
+    /// Name, if the entry carries a code symbol.
+    pub name: Option<String>,
+}
+
+/// The control-flow graph of a whole program: basic blocks, edges, and a
+/// procedure partition — the structures the study recovered from MIPS object
+/// code with `pixie` plus its own decoder (Section 4.4.1).
+///
+/// Computed jumps (`jr`) are treated as procedure exits: their targets are
+/// statically unknown, which matches the paper's conservative treatment
+/// (they are also never predicted).
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    block_of_instr: Vec<BlockId>,
+    procs: Vec<Proc>,
+    proc_of_block: Vec<Option<ProcId>>,
+}
+
+impl Cfg {
+    /// Recovers the CFG from a program's text segment.
+    ///
+    /// Procedure entry points are the program entry, every direct call
+    /// target, and every code address materialized by `li` (function
+    /// pointers for indirect calls).
+    pub fn build(program: &Program) -> Cfg {
+        let text = &program.text;
+        let len = text.len();
+        assert!(len > 0, "cannot build a CFG for an empty program");
+
+        // --- Pass 1: block leaders ---------------------------------------
+        let mut leaders = BTreeSet::new();
+        leaders.insert(0);
+        leaders.insert(program.entry);
+        let mut proc_entries = BTreeSet::new();
+        proc_entries.insert(program.entry);
+        for (index, instr) in text.iter().enumerate() {
+            match *instr {
+                Instr::Branch { target, .. } => {
+                    leaders.insert(target);
+                    if index + 1 < len {
+                        leaders.insert(index as u32 + 1);
+                    }
+                }
+                Instr::Jump { target } => {
+                    leaders.insert(target);
+                    if index + 1 < len {
+                        leaders.insert(index as u32 + 1);
+                    }
+                }
+                Instr::Call { target } => {
+                    leaders.insert(target);
+                    proc_entries.insert(target);
+                    if index + 1 < len {
+                        leaders.insert(index as u32 + 1);
+                    }
+                }
+                Instr::CallR { .. } | Instr::Ret | Instr::JumpR { .. } | Instr::Halt
+                    if index + 1 < len => {
+                        leaders.insert(index as u32 + 1);
+                    }
+                Instr::Li { imm, .. }
+                    // Code addresses taken as constants are potential
+                    // indirect-call targets.
+                    if imm >= 0 && (imm as usize) < len && is_code_symbol(program, imm as u32) => {
+                        leaders.insert(imm as u32);
+                        proc_entries.insert(imm as u32);
+                    }
+                _ => {}
+            }
+        }
+
+        // --- Pass 2: blocks ----------------------------------------------
+        let leader_list: Vec<u32> = leaders.into_iter().filter(|&l| (l as usize) < len).collect();
+        let mut blocks = Vec::new();
+        let mut block_of_instr = vec![BlockId(0); len];
+        for (bi, &start) in leader_list.iter().enumerate() {
+            // A block ends at the next leader or the first terminator.
+            let hard_end = leader_list.get(bi + 1).copied().unwrap_or(len as u32);
+            let mut end = start;
+            while end < hard_end {
+                end += 1;
+                if text[(end - 1) as usize].ends_block() {
+                    break;
+                }
+            }
+            // `end` may be less than hard_end when a terminator appears
+            // before the next leader; the instructions in between are
+            // unreachable padding and become their own block(s) below.
+            let id = BlockId(blocks.len() as u32);
+            for pc in start..end {
+                block_of_instr[pc as usize] = id;
+            }
+            blocks.push(Block {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+            // Unreachable tail between `end` and `hard_end` (e.g. code after
+            // an unconditional jump with no label): give it a block so every
+            // instruction is covered.
+            let mut tail_start = end;
+            while tail_start < hard_end {
+                let mut tail_end = tail_start;
+                while tail_end < hard_end {
+                    tail_end += 1;
+                    if text[(tail_end - 1) as usize].ends_block() {
+                        break;
+                    }
+                }
+                let tail_id = BlockId(blocks.len() as u32);
+                for pc in tail_start..tail_end {
+                    block_of_instr[pc as usize] = tail_id;
+                }
+                blocks.push(Block {
+                    start: tail_start,
+                    end: tail_end,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                tail_start = tail_end;
+            }
+        }
+
+        // --- Pass 3: edges -------------------------------------------------
+        let block_count = blocks.len();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, block) in blocks.iter().enumerate() {
+            let last = text[block.terminator() as usize];
+            match last {
+                Instr::Branch { target, .. } => {
+                    edges.push((bi, block_of_instr[target as usize].index()));
+                    if (block.end as usize) < len {
+                        edges.push((bi, block_of_instr[block.end as usize].index()));
+                    }
+                }
+                Instr::Jump { target } => {
+                    edges.push((bi, block_of_instr[target as usize].index()));
+                }
+                // Calls: intra-procedural fall-through edge only.
+                Instr::Call { .. } | Instr::CallR { .. } => {
+                    if (block.end as usize) < len {
+                        edges.push((bi, block_of_instr[block.end as usize].index()));
+                    }
+                }
+                // Returns, computed jumps, halts: procedure exits.
+                Instr::Ret | Instr::JumpR { .. } | Instr::Halt => {}
+                // Straight-line block split by a leader.
+                _ => {
+                    if (block.end as usize) < len {
+                        edges.push((bi, block_of_instr[block.end as usize].index()));
+                    }
+                }
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for (from, to) in edges {
+            if seen.insert((from, to)) {
+                blocks[from].succs.push(BlockId(to as u32));
+                blocks[to].preds.push(BlockId(from as u32));
+            }
+        }
+        let _ = block_count;
+
+        // --- Pass 4: procedure partition -----------------------------------
+        let mut proc_of_block = vec![None; blocks.len()];
+        let mut procs = Vec::new();
+        for &entry_pc in &proc_entries {
+            if entry_pc as usize >= len {
+                continue;
+            }
+            let entry = block_of_instr[entry_pc as usize];
+            if proc_of_block[entry.index()].is_some() {
+                continue;
+            }
+            let proc_id = ProcId(procs.len() as u32);
+            let mut worklist = vec![entry];
+            let mut members = Vec::new();
+            while let Some(block) = worklist.pop() {
+                if proc_of_block[block.index()].is_some() {
+                    continue;
+                }
+                proc_of_block[block.index()] = Some(proc_id);
+                members.push(block);
+                for &succ in &blocks[block.index()].succs {
+                    if proc_of_block[succ.index()].is_none() {
+                        worklist.push(succ);
+                    }
+                }
+            }
+            let name = program
+                .symbols
+                .code_symbols()
+                .find(|&(_, at)| at == entry_pc)
+                .map(|(name, _)| name.to_string());
+            procs.push(Proc {
+                entry,
+                blocks: members,
+                name,
+            });
+        }
+        // Orphan blocks (unreachable padding): give each its own procedure
+        // so every block has an owner.
+        for (bi, owner) in proc_of_block.iter_mut().enumerate() {
+            if owner.is_none() {
+                let proc_id = ProcId(procs.len() as u32);
+                *owner = Some(proc_id);
+                procs.push(Proc {
+                    entry: BlockId(bi as u32),
+                    blocks: vec![BlockId(bi as u32)],
+                    name: None,
+                });
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of_instr,
+            procs,
+            proc_of_block,
+        }
+    }
+
+    /// All basic blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of_instr(&self, pc: u32) -> BlockId {
+        self.block_of_instr[pc as usize]
+    }
+
+    /// Accesses a block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// All procedures.
+    pub fn procs(&self) -> &[Proc] {
+        &self.procs
+    }
+
+    /// Accesses a procedure by id.
+    pub fn proc(&self, id: ProcId) -> &Proc {
+        &self.procs[id.index()]
+    }
+
+    /// The procedure owning a block.
+    pub fn proc_of_block(&self, id: BlockId) -> ProcId {
+        self.proc_of_block[id.index()].expect("every block is assigned a procedure")
+    }
+
+    /// The procedure owning instruction `pc`.
+    pub fn proc_of_instr(&self, pc: u32) -> ProcId {
+        self.proc_of_block(self.block_of_instr(pc))
+    }
+
+    /// Renders the CFG in Graphviz DOT format: one cluster per procedure,
+    /// one node per basic block labeled with its instruction range.
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
+        for (pi, proc) in self.procs.iter().enumerate() {
+            let name = proc.name.as_deref().unwrap_or("anon");
+            let _ = writeln!(out, "  subgraph cluster_{pi} {{");
+            let _ = writeln!(out, "    label=\"{name}\";");
+            for &block_id in &proc.blocks {
+                let block = self.block(block_id);
+                let mut label = String::new();
+                for pc in block.instrs() {
+                    let _ = write!(label, "{pc}: {}\\l", program.text[pc as usize]);
+                }
+                let _ = writeln!(out, "    b{} [label=\"{label}\"];", block_id.0);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for succ in &block.succs {
+                let _ = writeln!(out, "  b{bi} -> b{};", succ.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn is_code_symbol(program: &Program, index: u32) -> bool {
+    program.symbols.code_symbols().any(|(_, at)| at == index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    fn build(source: &str) -> (Program, Cfg) {
+        let program = assemble(source).unwrap();
+        let cfg = Cfg::build(&program);
+        (program, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = build(".text\nmain: li r8, 1\n li r9, 2\n halt");
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let (_, cfg) = build(
+            r#"
+            .text
+            main:
+                beq r8, r0, else
+                li r9, 1
+                j join
+            else:
+                li r9, 2
+            join:
+                halt
+            "#,
+        );
+        assert_eq!(cfg.blocks().len(), 4);
+        let entry = cfg.block_of_instr(0);
+        assert_eq!(cfg.block(entry).succs.len(), 2);
+        let join = cfg.block_of_instr(4);
+        assert_eq!(cfg.block(join).preds.len(), 2);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let (_, cfg) = build(
+            ".text\nmain: li r8, 3\nloop: addi r8, r8, -1\n bgt r8, r0, loop\n halt",
+        );
+        assert_eq!(cfg.blocks().len(), 3);
+        let body = cfg.block_of_instr(1);
+        // Body block contains the branch and has two successors: itself and
+        // the exit.
+        assert_eq!(cfg.block(body).succs.len(), 2);
+        assert!(cfg.block(body).succs.contains(&body));
+    }
+
+    #[test]
+    fn calls_split_blocks_but_fall_through() {
+        let (_, cfg) = build(
+            r#"
+            .text
+            main:
+                li a0, 1
+                call helper
+                halt
+            helper:
+                add v0, a0, a0
+                ret
+            "#,
+        );
+        // Blocks: [li,call], [halt], [helper body].
+        assert_eq!(cfg.blocks().len(), 3);
+        let entry = cfg.block_of_instr(0);
+        let after_call = cfg.block_of_instr(2);
+        assert_eq!(cfg.block(entry).succs, vec![after_call]);
+        // Two procedures.
+        assert_eq!(cfg.procs().len(), 2);
+        assert_eq!(cfg.proc_of_instr(0), cfg.proc_of_instr(2));
+        assert_ne!(cfg.proc_of_instr(0), cfg.proc_of_instr(3));
+        assert_eq!(
+            cfg.proc(cfg.proc_of_instr(3)).name.as_deref(),
+            Some("helper")
+        );
+    }
+
+    #[test]
+    fn function_pointer_creates_procedure() {
+        let (_, cfg) = build(
+            r#"
+            .text
+            main:
+                li r8, handler
+                callr r8
+                halt
+            handler:
+                ret
+            "#,
+        );
+        assert_eq!(cfg.procs().len(), 2);
+        assert_eq!(
+            cfg.proc(cfg.proc_of_instr(3)).name.as_deref(),
+            Some("handler")
+        );
+    }
+
+    #[test]
+    fn unreachable_tail_gets_block() {
+        let (_, cfg) = build(".text\nmain: j end\n li r8, 1\nend: halt");
+        // Blocks: [j], [li r8,1] (unreachable), [halt].
+        assert_eq!(cfg.blocks().len(), 3);
+        let dead = cfg.block_of_instr(1);
+        assert!(cfg.block(dead).preds.is_empty());
+    }
+
+    #[test]
+    fn every_instr_has_a_block_and_proc() {
+        let (program, cfg) = build(
+            r#"
+            .text
+            main:
+                beq r8, r0, a
+                call f
+            a:  halt
+            f:  bgt a0, r0, b
+                ret
+            b:  jr ra
+            "#,
+        );
+        for pc in 0..program.text.len() as u32 {
+            let block = cfg.block_of_instr(pc);
+            assert!(cfg.block(block).instrs().any(|i| i == pc));
+            let _ = cfg.proc_of_instr(pc);
+        }
+    }
+
+    #[test]
+    fn dot_export_contains_blocks_and_edges() {
+        let (program, cfg) = build(
+            ".text\nmain: li r8, 3\nloop: addi r8, r8, -1\n bgt r8, r0, loop\n halt",
+        );
+        let dot = cfg.to_dot(&program);
+        assert!(dot.starts_with("digraph cfg {"));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("label=\"main\""));
+        assert!(dot.contains("b1 -> b1;"), "missing back edge in:\n{dot}");
+        assert!(dot.contains("bgt"));
+    }
+
+    #[test]
+    fn computed_jump_has_no_successors() {
+        let (_, cfg) = build(".text\nmain: jr ra\n halt");
+        let first = cfg.block_of_instr(0);
+        assert!(cfg.block(first).succs.is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! Induction-variable analysis for *perfect loop unrolling*.
+//!
+//! Section 4.2 of the paper: "we use iterative data flow analysis to
+//! identify registers that are incremented by a constant exactly once per
+//! loop iteration. [...] the analysis marks all instructions that increment
+//! loop index and induction variables, comparisons of loop indices with
+//! loop invariant values, and branches based on the results of such
+//! comparisons. These instructions are ignored when they occur in the
+//! trace."
+//!
+//! A register `r` is an induction variable of loop `L` when:
+//!
+//! 1. `L` contains exactly one definition of `r`,
+//! 2. that definition is `addi r, r, c` (equivalently `subi`) with a
+//!    nonzero constant, and
+//! 3. its block dominates every latch of `L` (so it executes exactly once
+//!    per complete iteration).
+//!
+//! Calls conservatively define the caller-visible registers (`v0`, `v1`,
+//! `a0`–`a3`, `ra`); allocatable registers are callee-saved by the MiniC
+//! compiler, so they survive calls.
+
+use std::collections::HashMap;
+
+use clfp_isa::{AluOp, Instr, Program, Reg};
+
+use crate::dom::{Digraph, DomTree};
+use crate::{BlockId, Cfg, LoopForest, ProcId};
+
+/// Registers a call may redefine from the caller's perspective.
+const CALL_DEFS: [Reg; 7] = [
+    Reg::V0,
+    Reg::V1,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::RA,
+];
+
+const COMPARE_OPS: [AluOp; 5] = [AluOp::Slt, AluOp::Sltu, AluOp::Sle, AluOp::Seq, AluOp::Sne];
+
+/// Result of induction-variable analysis.
+#[derive(Clone, Debug)]
+pub struct InductionInfo {
+    unroll_ignored: Vec<bool>,
+    induction_regs: Vec<Vec<Reg>>,
+}
+
+impl InductionInfo {
+    /// Runs the analysis over every loop found by `forest`.
+    pub fn analyze(program: &Program, cfg: &Cfg, forest: &LoopForest) -> InductionInfo {
+        let text = &program.text;
+        let mut unroll_ignored = vec![false; text.len()];
+        let mut induction_regs = Vec::with_capacity(forest.loops().len());
+
+        // Per-procedure dominator trees, computed lazily.
+        let mut dom_cache: HashMap<ProcId, (DomTree, HashMap<BlockId, usize>)> = HashMap::new();
+
+        for l in forest.loops() {
+            let proc_id = cfg.proc_of_block(l.header);
+            let (dom, local_of_block) = dom_cache.entry(proc_id).or_insert_with(|| {
+                let proc = cfg.proc(proc_id);
+                let mut local_of_block = HashMap::new();
+                for (local, &block) in proc.blocks.iter().enumerate() {
+                    local_of_block.insert(block, local);
+                }
+                let mut graph = Digraph::new(proc.blocks.len());
+                for (local, &block) in proc.blocks.iter().enumerate() {
+                    for succ in &cfg.block(block).succs {
+                        if let Some(&succ_local) = local_of_block.get(succ) {
+                            graph.add_edge(local, succ_local);
+                        }
+                    }
+                }
+                (DomTree::compute(&graph, local_of_block[&proc.entry]), local_of_block)
+            });
+
+            // Definitions of each register within the loop.
+            let mut defs: HashMap<Reg, Vec<u32>> = HashMap::new();
+            for &block in &l.blocks {
+                for pc in cfg.block(block).instrs() {
+                    match text[pc as usize] {
+                        Instr::Call { .. } | Instr::CallR { .. } => {
+                            for reg in CALL_DEFS {
+                                defs.entry(reg).or_default().push(pc);
+                            }
+                        }
+                        instr => {
+                            if let Some(reg) = instr.def() {
+                                defs.entry(reg).or_default().push(pc);
+                            }
+                        }
+                    }
+                }
+            }
+            let invariant = |reg: Reg| reg.is_zero() || !defs.contains_key(&reg);
+
+            // Find the induction registers of this loop.
+            let mut regs = Vec::new();
+            let mut increments = Vec::new();
+            for (&reg, reg_defs) in &defs {
+                let [pc] = reg_defs[..] else { continue };
+                let Instr::AluI { op, rd, rs, imm } = text[pc as usize] else {
+                    continue;
+                };
+                let is_inc = match op {
+                    AluOp::Add => imm != 0,
+                    AluOp::Sub => imm != 0,
+                    _ => false,
+                };
+                if !(is_inc && rd == reg && rs == reg) {
+                    continue;
+                }
+                // The increment must execute exactly once per iteration:
+                // its block dominates every latch.
+                let def_block = cfg.block_of_instr(pc);
+                let def_local = local_of_block[&def_block];
+                let once_per_iter = l
+                    .latches
+                    .iter()
+                    .all(|latch| dom.dominates(def_local, local_of_block[latch]));
+                if once_per_iter {
+                    regs.push(reg);
+                    increments.push(pc);
+                }
+            }
+            regs.sort_unstable();
+
+            for pc in increments {
+                unroll_ignored[pc as usize] = true;
+            }
+
+            // Mark loop-index comparisons against invariants, remembering
+            // the compare destinations so branches on them can be marked.
+            let mut compare_results: Vec<Reg> = Vec::new();
+            for &block in &l.blocks {
+                for pc in cfg.block(block).instrs() {
+                    match text[pc as usize] {
+                        Instr::Alu { op, rd, rs, rt } if COMPARE_OPS.contains(&op) => {
+                            let ind_vs_inv = (regs.contains(&rs) && invariant(rt))
+                                || (regs.contains(&rt) && invariant(rs));
+                            if ind_vs_inv {
+                                unroll_ignored[pc as usize] = true;
+                                if defs.get(&rd).map(Vec::len) == Some(1) {
+                                    compare_results.push(rd);
+                                }
+                            }
+                        }
+                        Instr::AluI { op, rd, rs, .. } if COMPARE_OPS.contains(&op)
+                            && regs.contains(&rs) => {
+                                unroll_ignored[pc as usize] = true;
+                                if defs.get(&rd).map(Vec::len) == Some(1) {
+                                    compare_results.push(rd);
+                                }
+                            }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Mark branches on loop indices or on marked compare results.
+            for &block in &l.blocks {
+                for pc in cfg.block(block).instrs() {
+                    let Instr::Branch { rs, rt, .. } = text[pc as usize] else {
+                        continue;
+                    };
+                    let operand_ok = |a: Reg, b: Reg| {
+                        (regs.contains(&a) && invariant(b))
+                            || (compare_results.contains(&a) && invariant(b))
+                    };
+                    if operand_ok(rs, rt) || operand_ok(rt, rs) {
+                        unroll_ignored[pc as usize] = true;
+                    }
+                }
+            }
+
+            induction_regs.push(regs);
+        }
+
+        InductionInfo {
+            unroll_ignored,
+            induction_regs,
+        }
+    }
+
+    /// Whether instruction `pc` is deleted from traces by perfect
+    /// unrolling.
+    pub fn is_unroll_ignored(&self, pc: u32) -> bool {
+        self.unroll_ignored[pc as usize]
+    }
+
+    /// The per-instruction ignore mask (indexed by pc).
+    pub fn mask(&self) -> &[bool] {
+        &self.unroll_ignored
+    }
+
+    /// Induction registers of each loop, parallel to
+    /// [`LoopForest::loops`](crate::LoopForest::loops).
+    pub fn induction_regs(&self) -> &[Vec<Reg>] {
+        &self.induction_regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    fn analyze(source: &str) -> (Program, Cfg, LoopForest, InductionInfo) {
+        let program = assemble(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let forest = LoopForest::find(&cfg);
+        let info = InductionInfo::analyze(&program, &cfg, &forest);
+        (program, cfg, forest, info)
+    }
+
+    #[test]
+    fn simple_counted_loop() {
+        let (_, _, forest, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0           # pc 0: i = 0
+                li r9, 100         # pc 1: n = 100
+            loop:
+                lw r10, 0x1000(r0) # pc 2: body work
+                addi r8, r8, 1     # pc 3: i++
+                blt r8, r9, loop   # pc 4: i < n
+                halt               # pc 5
+            "#,
+        );
+        assert_eq!(forest.loops().len(), 1);
+        assert_eq!(info.induction_regs()[0], vec![Reg::new(8)]);
+        assert!(info.is_unroll_ignored(3)); // increment
+        assert!(info.is_unroll_ignored(4)); // loop branch
+        assert!(!info.is_unroll_ignored(2)); // body survives
+        assert!(!info.is_unroll_ignored(0));
+    }
+
+    #[test]
+    fn compare_result_branch() {
+        let (_, _, _, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0           # pc 0
+                li r9, 10          # pc 1
+            loop:
+                addi r8, r8, 1     # pc 2
+                slt r10, r8, r9    # pc 3: t = i < n
+                bne r10, r0, loop  # pc 4: branch on t
+                halt               # pc 5
+            "#,
+        );
+        assert!(info.is_unroll_ignored(2));
+        assert!(info.is_unroll_ignored(3));
+        assert!(info.is_unroll_ignored(4));
+    }
+
+    #[test]
+    fn data_dependent_branch_not_marked() {
+        let (_, _, _, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0
+            loop:
+                lw r10, 0x1000(r0) # pc 1: data load
+                addi r8, r8, 1     # pc 2
+                bgt r10, r0, loop  # pc 3: branch on DATA, not index
+                halt
+            "#,
+        );
+        assert!(info.is_unroll_ignored(2)); // increment still removed
+        assert!(!info.is_unroll_ignored(3)); // data-dependent branch kept
+    }
+
+    #[test]
+    fn multiple_defs_disqualify() {
+        let (_, _, _, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0
+            loop:
+                addi r8, r8, 1     # pc 1
+                addi r8, r8, 1     # pc 2: second def of r8
+                blt r8, r9, loop   # pc 3
+                halt
+            "#,
+        );
+        assert!(!info.is_unroll_ignored(1));
+        assert!(!info.is_unroll_ignored(2));
+        assert!(!info.is_unroll_ignored(3));
+    }
+
+    #[test]
+    fn conditional_increment_disqualifies() {
+        // The increment is guarded by a data branch, so it does not execute
+        // every iteration: not an induction variable.
+        let (_, _, _, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0
+            loop:
+                lw r10, 0x1000(r0) # pc 1
+                beq r10, r0, skip  # pc 2
+                addi r8, r8, 1     # pc 3: conditional increment
+            skip:
+                bgt r10, r0, loop  # pc 4 (latch)
+                halt
+            "#,
+        );
+        assert!(!info.is_unroll_ignored(3));
+    }
+
+    #[test]
+    fn nested_loops_have_independent_induction_vars() {
+        let (_, _, forest, info) = analyze(
+            r#"
+            .text
+            main:
+                li r8, 0           # pc 0: i
+            outer:
+                li r9, 0           # pc 1: j = 0 (redefined per outer iter)
+            inner:
+                addi r9, r9, 1     # pc 2: j++
+                blt r9, r12, inner # pc 3
+                addi r8, r8, 1     # pc 4: i++
+                blt r8, r11, outer # pc 5
+                halt
+            "#,
+        );
+        assert_eq!(forest.loops().len(), 2);
+        // Both increments and both branches are removed.
+        for pc in [2, 3, 4, 5] {
+            assert!(info.is_unroll_ignored(pc), "pc {pc} should be ignored");
+        }
+        // j is NOT an induction var of the outer loop (two defs there:
+        // `li` and the increment), but it is of the inner loop.
+        let inner_idx = forest
+            .loops()
+            .iter()
+            .position(|l| l.blocks.len() == 1)
+            .unwrap();
+        assert_eq!(info.induction_regs()[inner_idx], vec![Reg::new(9)]);
+    }
+
+    #[test]
+    fn call_in_loop_clobbers_caller_visible_regs() {
+        let (_, _, _, info) = analyze(
+            r#"
+            .text
+            main:
+                li v0, 0
+            loop:
+                call f             # pc 1
+                addi v0, v0, 1     # pc 2: v0 also defined by the call
+                blt v0, r9, loop   # pc 3
+                halt
+            f:
+                ret
+            "#,
+        );
+        // v0 has two defs in the loop (call + addi): not induction.
+        assert!(!info.is_unroll_ignored(2));
+        assert!(!info.is_unroll_ignored(3));
+    }
+}

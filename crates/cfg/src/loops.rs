@@ -1,0 +1,244 @@
+//! Natural-loop discovery from dominator back edges.
+//!
+//! The study analyzed the object code to "discover the loops in the
+//! program" (Section 4.2) before running its induction-variable data-flow
+//! analysis. This module finds natural loops per procedure: a back edge is
+//! an edge `latch -> header` where `header` dominates `latch`; the loop
+//! body is everything that reaches the latch without passing through the
+//! header.
+
+use std::collections::HashMap;
+
+use crate::dom::{Digraph, DomTree};
+use crate::{BlockId, Cfg};
+
+/// One natural loop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Loop {
+    /// The loop header block.
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether the loop contains a block.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// All natural loops of a program, with containment queries.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// For each block, indices into `loops` of every loop containing it,
+    /// innermost (smallest) first.
+    containing: Vec<Vec<usize>>,
+}
+
+impl LoopForest {
+    /// Finds all natural loops in every procedure of `cfg`.
+    ///
+    /// Loops sharing a header are merged (as natural-loop theory
+    /// prescribes). Irreducible cycles (which our compiler never emits) are
+    /// simply not reported as loops — a conservative choice: their
+    /// induction variables are not removed by perfect unrolling.
+    pub fn find(cfg: &Cfg) -> LoopForest {
+        let mut loops: Vec<Loop> = Vec::new();
+
+        for proc in cfg.procs() {
+            let mut local_of_block = HashMap::new();
+            for (local, &block) in proc.blocks.iter().enumerate() {
+                local_of_block.insert(block, local);
+            }
+            let mut graph = Digraph::new(proc.blocks.len());
+            for (local, &block) in proc.blocks.iter().enumerate() {
+                for succ in &cfg.block(block).succs {
+                    // Cross-procedure successors (orphan blocks) are not
+                    // loop edges.
+                    if let Some(&succ_local) = local_of_block.get(succ) {
+                        graph.add_edge(local, succ_local);
+                    }
+                }
+            }
+            let entry = local_of_block[&proc.entry];
+            let dom = DomTree::compute(&graph, entry);
+
+            // Collect back edges grouped by header.
+            let mut by_header: HashMap<usize, Vec<usize>> = HashMap::new();
+            for latch in 0..graph.len() {
+                if !dom.is_reachable(latch) {
+                    continue;
+                }
+                for &succ in graph.succs(latch) {
+                    if dom.dominates(succ, latch) {
+                        by_header.entry(succ).or_default().push(latch);
+                    }
+                }
+            }
+
+            let mut headers: Vec<usize> = by_header.keys().copied().collect();
+            headers.sort_unstable();
+            for header in headers {
+                let latches = &by_header[&header];
+                // Natural loop: header + all nodes reaching a latch without
+                // passing through the header.
+                let mut in_loop = vec![false; graph.len()];
+                in_loop[header] = true;
+                let mut stack: Vec<usize> = Vec::new();
+                for &latch in latches {
+                    if !in_loop[latch] {
+                        in_loop[latch] = true;
+                        stack.push(latch);
+                    }
+                }
+                while let Some(node) = stack.pop() {
+                    for &pred in graph.preds(node) {
+                        if !in_loop[pred] && dom.is_reachable(pred) {
+                            in_loop[pred] = true;
+                            stack.push(pred);
+                        }
+                    }
+                }
+                let blocks: Vec<BlockId> = (0..graph.len())
+                    .filter(|&local| in_loop[local])
+                    .map(|local| proc.blocks[local])
+                    .collect();
+                loops.push(Loop {
+                    header: proc.blocks[header],
+                    latches: latches.iter().map(|&l| proc.blocks[l]).collect(),
+                    blocks,
+                });
+            }
+        }
+
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); cfg.blocks().len()];
+        for (li, l) in loops.iter().enumerate() {
+            for block in &l.blocks {
+                containing[block.index()].push(li);
+            }
+        }
+        // Innermost (fewest blocks) first.
+        for list in &mut containing {
+            list.sort_by_key(|&li| loops[li].blocks.len());
+        }
+
+        LoopForest { loops, containing }
+    }
+
+    /// All loops.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Indices of loops containing `block`, innermost first.
+    pub fn loops_containing(&self, block: BlockId) -> &[usize] {
+        &self.containing[block.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    fn forest(source: &str) -> (Cfg, LoopForest) {
+        let program = assemble(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let forest = LoopForest::find(&cfg);
+        (cfg, forest)
+    }
+
+    #[test]
+    fn single_loop() {
+        let (cfg, forest) = forest(
+            ".text\nmain: li r8, 3\nloop: addi r8, r8, -1\n bgt r8, r0, loop\n halt",
+        );
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, cfg.block_of_instr(1));
+        assert_eq!(l.blocks.len(), 1);
+        assert_eq!(l.latches, vec![cfg.block_of_instr(1)]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let (cfg, forest) = forest(
+            r#"
+            .text
+            main:
+                li r8, 3           # pc 0
+            outer:
+                li r9, 3           # pc 1
+            inner:
+                addi r9, r9, -1    # pc 2
+                bgt r9, r0, inner  # pc 3
+                addi r8, r8, -1    # pc 4
+                bgt r8, r0, outer  # pc 5
+                halt               # pc 6
+            "#,
+        );
+        assert_eq!(forest.loops().len(), 2);
+        let inner_block = cfg.block_of_instr(2);
+        let containing = forest.loops_containing(inner_block);
+        assert_eq!(containing.len(), 2);
+        // Innermost first.
+        let innermost = &forest.loops()[containing[0]];
+        assert_eq!(innermost.header, cfg.block_of_instr(2));
+        let outermost = &forest.loops()[containing[1]];
+        assert_eq!(outermost.header, cfg.block_of_instr(1));
+        assert!(outermost.blocks.len() > innermost.blocks.len());
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let (_, forest) = forest(".text\nmain: li r8, 1\n halt");
+        assert!(forest.loops().is_empty());
+    }
+
+    #[test]
+    fn while_loop_with_header_test() {
+        // Header contains the test; body is separate; classic while shape.
+        let (cfg, forest) = forest(
+            r#"
+            .text
+            main:
+                li r8, 5           # pc 0
+            head:
+                ble r8, r0, done   # pc 1
+                addi r8, r8, -1    # pc 2
+                j head             # pc 3
+            done:
+                halt               # pc 4
+            "#,
+        );
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, cfg.block_of_instr(1));
+        assert_eq!(l.blocks.len(), 2);
+        assert!(l.contains(cfg.block_of_instr(2)));
+        assert!(!l.contains(cfg.block_of_instr(4)));
+    }
+
+    #[test]
+    fn loops_in_separate_procedures() {
+        let (_, forest) = forest(
+            r#"
+            .text
+            main:
+                call f
+            m1: addi r8, r8, -1
+                bgt r8, r0, m1
+                halt
+            f:
+            f1: addi r9, r9, -1
+                bgt r9, r0, f1
+                ret
+            "#,
+        );
+        assert_eq!(forest.loops().len(), 2);
+    }
+}

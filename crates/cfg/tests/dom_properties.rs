@@ -1,0 +1,234 @@
+//! Property tests for the dominance machinery: the Cooper–Harvey–Kennedy
+//! implementation is checked against naive definitional algorithms on
+//! random digraphs, and control dependence is checked against its textbook
+//! definition on random structured programs.
+
+use clfp_cfg::dom::{Digraph, DomTree};
+use clfp_cfg::{Cfg, ControlDeps};
+use clfp_isa::assemble;
+use proptest::prelude::*;
+
+/// Naive dominators: `a` dominates `b` iff removing `a` makes `b`
+/// unreachable from the root (or a == b).
+fn naive_dominates(graph: &Digraph, root: usize, a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    // BFS from root avoiding `a`.
+    let mut visited = vec![false; graph.len()];
+    let mut queue = vec![root];
+    if root != a {
+        visited[root] = true;
+    } else {
+        return reachable(graph, root, b); // removing the root: b unreachable unless b == root
+    }
+    while let Some(node) = queue.pop() {
+        for &succ in graph.succs(node) {
+            if succ != a && !visited[succ] {
+                visited[succ] = true;
+                queue.push(succ);
+            }
+        }
+    }
+    // a dominates b iff b was reachable at all but is not without a.
+    reachable(graph, root, b) && !visited[b]
+}
+
+fn reachable(graph: &Digraph, from: usize, to: usize) -> bool {
+    let mut visited = vec![false; graph.len()];
+    let mut queue = vec![from];
+    visited[from] = true;
+    while let Some(node) = queue.pop() {
+        if node == to {
+            return true;
+        }
+        for &succ in graph.succs(node) {
+            if !visited[succ] {
+                visited[succ] = true;
+                queue.push(succ);
+            }
+        }
+    }
+    false
+}
+
+fn arb_digraph() -> impl Strategy<Value = Digraph> {
+    (2usize..12).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
+            let mut graph = Digraph::new(n);
+            // Ensure some connectivity from the root.
+            for i in 1..n {
+                graph.add_edge(i - 1, i);
+            }
+            for (from, to) in edges {
+                graph.add_edge(from, to);
+            }
+            graph
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chk_dominators_match_naive(graph in arb_digraph()) {
+        let dom = DomTree::compute(&graph, 0);
+        for a in 0..graph.len() {
+            for b in 0..graph.len() {
+                if !reachable(&graph, 0, b) {
+                    continue;
+                }
+                let fast = dom.dominates(a, b);
+                let naive = naive_dominates(&graph, 0, a, b);
+                prop_assert_eq!(
+                    fast, naive,
+                    "dominates({}, {}) mismatch (fast {} vs naive {})",
+                    a, b, fast, naive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_the_closest_strict_dominator(graph in arb_digraph()) {
+        let dom = DomTree::compute(&graph, 0);
+        for node in 1..graph.len() {
+            if !reachable(&graph, 0, node) {
+                prop_assert_eq!(dom.idom(node), None);
+                continue;
+            }
+            let Some(idom) = dom.idom(node) else {
+                // Only the root lacks an idom among reachable nodes.
+                prop_assert_eq!(node, 0);
+                continue;
+            };
+            // The idom strictly dominates the node...
+            prop_assert!(naive_dominates(&graph, 0, idom, node));
+            // ...and every other strict dominator dominates the idom.
+            for other in 0..graph.len() {
+                if other != node && other != idom && naive_dominates(&graph, 0, other, node) {
+                    prop_assert!(
+                        naive_dominates(&graph, 0, other, idom),
+                        "strict dominator {} of {} must dominate idom {}",
+                        other, node, idom
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_frontier_matches_definition(graph in arb_digraph()) {
+        let dom = DomTree::compute(&graph, 0);
+        let frontier = dom.dominance_frontier(&graph);
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..graph.len() {
+            if !dom.is_reachable(node) {
+                continue;
+            }
+            // DF(node) = { f : node dominates a pred of f, node does not
+            // strictly dominate f }.
+            for f in 0..graph.len() {
+                if !dom.is_reachable(f) {
+                    continue;
+                }
+                let dominates_a_pred = graph
+                    .preds(f)
+                    .iter()
+                    .any(|&p| dom.is_reachable(p) && dom.dominates(node, p));
+                let strictly_dominates = node != f && dom.dominates(node, f);
+                let expected = dominates_a_pred && !strictly_dominates;
+                let actual = frontier[node].contains(&f);
+                prop_assert_eq!(
+                    actual, expected,
+                    "DF({}) membership of {} mismatch", node, f
+                );
+            }
+        }
+    }
+}
+
+/// Control dependence on a random structured program must match the
+/// textbook definition: block B is control dependent on branch block A iff
+/// A has a successor S such that B postdominates S (reflexively) but B
+/// does not strictly postdominate A.
+#[test]
+fn control_dependence_matches_definition_on_programs() {
+    let sources = [
+        // Diamond in a loop, with break.
+        r#"
+        .text
+        main:
+            li r8, 4
+        loop:
+            beq r9, r0, odd
+            addi r10, r10, 1
+            j join
+        odd:
+            addi r11, r11, 1
+        join:
+            addi r8, r8, -1
+            bgt r8, r0, loop
+            halt
+        "#,
+        // Nested conditionals with early return shape.
+        r#"
+        .text
+        main:
+            bgt r8, r0, a
+            halt
+        a:
+            bgt r9, r0, b
+            j c
+        b:
+            addi r10, r10, 1
+        c:
+            bgt r10, r0, d
+            nop
+        d:
+            halt
+        "#,
+    ];
+    for source in sources {
+        let program = assemble(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let deps = ControlDeps::compute(&cfg);
+        assert!(deps.check(&cfg, &program.text));
+
+        // Build the forward graph over blocks plus virtual exit.
+        let n = cfg.blocks().len();
+        let exit = n;
+        let mut graph = Digraph::new(n + 1);
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            if block.succs.is_empty() {
+                graph.add_edge(bi, exit);
+            } else {
+                for succ in &block.succs {
+                    graph.add_edge(bi, succ.index());
+                }
+            }
+        }
+        let reversed = graph.reversed();
+        let pdom = DomTree::compute(&reversed, exit);
+
+        for b in 0..n {
+            for a in 0..n {
+                if cfg.blocks()[a].succs.len() != 2 {
+                    continue; // only two-way branches are CD sources
+                }
+                let expected = cfg.blocks()[a].succs.iter().any(|s| {
+                    pdom.dominates(b, s.index())
+                }) && !(b != a && pdom.dominates(b, a));
+                let branch_pc = cfg.blocks()[a].terminator();
+                let actual = deps
+                    .rdf_branches(clfp_cfg::BlockId(b as u32))
+                    .contains(&branch_pc);
+                assert_eq!(
+                    actual, expected,
+                    "block {b} control-dependence on branch block {a} mismatch in:\n{source}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+use clfp_cfg::StaticInfo;
+use clfp_isa::Program;
+use clfp_predict::BranchProfile;
+use clfp_vm::{Trace, Vm, VmOptions};
+
+use crate::pass::{run_pass, Prepared};
+use crate::stats::{BranchReport, MispredictionStats};
+use crate::{AnalysisConfig, AnalyzeError, MachineKind};
+
+/// Parallelism result for one machine.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct MachineResult {
+    /// The machine model.
+    pub kind: MachineKind,
+    /// Critical-path length in cycles.
+    pub cycles: u64,
+    /// Parallelism: sequential instructions / cycles.
+    pub parallelism: f64,
+}
+
+/// Full analysis report for one program and configuration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Sequential dynamic instruction count (after inlining/unrolling
+    /// removal) — the numerator of every parallelism figure.
+    pub seq_instrs: u64,
+    /// Raw dynamic instruction count (whole trace).
+    pub raw_instrs: u64,
+    /// Per-machine results, in the order requested.
+    pub results: Vec<MachineResult>,
+    /// Branch and prediction statistics (Table 2).
+    pub branches: BranchReport,
+    /// Misprediction-distance statistics from the SP machine
+    /// (Figures 6, 7); present when `SP` was among the analyzed machines.
+    pub mispred_stats: Option<MispredictionStats>,
+}
+
+impl Report {
+    /// The parallelism measured for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not among the configured machines.
+    pub fn parallelism(&self, kind: MachineKind) -> f64 {
+        self.result(kind)
+            .unwrap_or_else(|| panic!("machine {kind} was not analyzed"))
+            .parallelism
+    }
+
+    /// The result for `kind`, if analyzed.
+    pub fn result(&self, kind: MachineKind) -> Option<MachineResult> {
+        self.results.iter().copied().find(|r| r.kind == kind)
+    }
+}
+
+/// The trace-driven limit analyzer.
+///
+/// Construction runs the static analyses (CFG, control dependence, loops,
+/// induction variables) and a profiling execution for the branch
+/// predictor; [`Analyzer::run`] then captures the measured trace and
+/// simulates every configured machine model over it.
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    program: &'a Program,
+    info: StaticInfo,
+    profile: BranchProfile,
+    config: AnalysisConfig,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Prepares an analyzer: static analysis plus the profiling run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] if the program is empty or the profiling
+    /// execution faults.
+    pub fn new(program: &'a Program, config: AnalysisConfig) -> Result<Analyzer<'a>, AnalyzeError> {
+        if program.text.is_empty() {
+            return Err(AnalyzeError::BadProgram("empty text segment".into()));
+        }
+        if program.validate().is_err() {
+            return Err(AnalyzeError::BadProgram(
+                "branch or call target out of range".into(),
+            ));
+        }
+        let info = StaticInfo::analyze(program);
+        let profile = BranchProfile::collect_with(
+            program,
+            config.max_instrs,
+            VmOptions {
+                mem_words: config.mem_words,
+            },
+        )?;
+        Ok(Analyzer {
+            program,
+            info,
+            profile,
+            config,
+        })
+    }
+
+    /// The static analysis results (shared with callers that want to
+    /// inspect control dependences or loops).
+    pub fn static_info(&self) -> &StaticInfo {
+        &self.info
+    }
+
+    /// The branch profile collected for prediction.
+    pub fn profile(&self) -> &BranchProfile {
+        &self.profile
+    }
+
+    /// Captures the trace and runs every configured machine model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] if the measured execution faults.
+    pub fn run(&self) -> Result<Report, AnalyzeError> {
+        let mut vm = Vm::new(
+            self.program,
+            VmOptions {
+                mem_words: self.config.mem_words,
+            },
+        );
+        let trace: Trace = vm.trace(self.config.max_instrs)?;
+        Ok(self.run_on_trace(&trace))
+    }
+
+    /// Computes the per-instruction schedule for one machine over a trace:
+    /// the cycle at which each dynamic instruction executes (0 for
+    /// instructions removed by perfect inlining/unrolling). This is the
+    /// paper's Figure 3 view of a machine model.
+    pub fn schedule(&self, trace: &Trace, kind: MachineKind) -> Vec<u64> {
+        let (mispred, ignored, _) = self.classify(trace);
+        let prepared = Prepared {
+            program: self.program,
+            info: &self.info,
+            events: trace.events(),
+            mispred: &mispred,
+            ignored: &ignored,
+            pass_config: crate::pass::PassConfig::from_analysis(&self.config),
+        };
+        let mut schedule = Vec::with_capacity(trace.len());
+        crate::pass::run_pass_with_schedule(&prepared, kind, Some(&mut schedule));
+        schedule
+    }
+
+    /// Classifies every trace event: misprediction flag, ignored flag, and
+    /// the aggregate branch report.
+    fn classify(&self, trace: &Trace) -> (Vec<bool>, Vec<bool>, BranchReport) {
+        let text = &self.program.text;
+        let mut predictor = self.config.predictor.build(self.program, &self.profile);
+        let mut branches = BranchReport {
+            raw_instrs: trace.len() as u64,
+            ..BranchReport::default()
+        };
+        let mut mispred = Vec::with_capacity(trace.len());
+        let mut ignored = Vec::with_capacity(trace.len());
+        for event in trace.iter() {
+            let instr = text[event.pc as usize];
+            let miss = if instr.is_cond_branch() {
+                branches.cond_branches += 1;
+                if event.taken {
+                    branches.taken += 1;
+                }
+                let prediction = predictor.predict_and_update(event.pc, event.taken);
+                let correct = prediction == event.taken;
+                if correct {
+                    branches.predicted_correctly += 1;
+                }
+                !correct
+            } else if instr.is_computed_jump() {
+                branches.computed_jumps += 1;
+                true
+            } else {
+                false
+            };
+            mispred.push(miss);
+            let skip = (self.config.inlining && self.info.masks.inline_ignored(event.pc))
+                || (self.config.unrolling && self.info.masks.unroll_ignored(event.pc));
+            ignored.push(skip);
+        }
+        (mispred, ignored, branches)
+    }
+
+    /// Runs every configured machine model over an existing trace.
+    pub fn run_on_trace(&self, trace: &Trace) -> Report {
+        let (mispred, ignored, branches) = self.classify(trace);
+        let prepared = Prepared {
+            program: self.program,
+            info: &self.info,
+            events: trace.events(),
+            mispred: &mispred,
+            ignored: &ignored,
+            pass_config: crate::pass::PassConfig::from_analysis(&self.config),
+        };
+
+        let mut results = Vec::with_capacity(self.config.machines.len());
+        let mut mispred_stats = None;
+        let mut seq_instrs = ignored.iter().filter(|&&skip| !skip).count() as u64;
+        for &kind in &self.config.machines {
+            let pass = run_pass(&prepared, kind);
+            seq_instrs = pass.count;
+            let parallelism = if pass.cycles == 0 {
+                1.0
+            } else {
+                pass.count as f64 / pass.cycles as f64
+            };
+            results.push(MachineResult {
+                kind,
+                cycles: pass.cycles,
+                parallelism,
+            });
+            if let Some(stats) = pass.mispred_stats {
+                mispred_stats = Some(stats);
+            }
+        }
+
+        Report {
+            seq_instrs,
+            raw_instrs: trace.len() as u64,
+            results,
+            branches,
+            mispred_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictorChoice;
+    use clfp_lang::compile;
+
+    fn analyze(source: &str, config: AnalysisConfig) -> Report {
+        let program = compile(source).unwrap();
+        Analyzer::new(&program, config).unwrap().run().unwrap()
+    }
+
+    const LOOPY: &str = r#"
+        var data: int[64];
+        fn main() -> int {
+            var seed: int = 12345;
+            for (var i: int = 0; i < 64; i = i + 1) {
+                seed = seed * 1103515245 + 12345;
+                data[i] = seed % 100;
+            }
+            var s: int = 0;
+            for (var i: int = 0; i < 64; i = i + 1) {
+                if (data[i] > 50) { s = s + data[i]; }
+            }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn machine_hierarchy_on_compiled_code() {
+        let report = analyze(LOOPY, AnalysisConfig::quick());
+        for kind in MachineKind::ALL {
+            for &weaker in kind.dominates() {
+                assert!(
+                    report.parallelism(weaker) <= report.parallelism(kind) + 1e-9,
+                    "{weaker} > {kind}: {} vs {}",
+                    report.parallelism(weaker),
+                    report.parallelism(kind)
+                );
+            }
+        }
+        // Base should be modest, oracle substantially higher.
+        assert!(report.parallelism(MachineKind::Base) >= 1.0);
+        assert!(report.parallelism(MachineKind::Oracle) > report.parallelism(MachineKind::Base));
+    }
+
+    #[test]
+    fn branch_report_is_populated() {
+        let report = analyze(LOOPY, AnalysisConfig::quick());
+        assert!(report.branches.cond_branches > 60);
+        assert!(report.branches.prediction_rate() > 50.0);
+        assert!(report.branches.instrs_between_branches() > 1.0);
+        assert!(report.raw_instrs > report.seq_instrs);
+    }
+
+    #[test]
+    fn mispred_stats_present_when_sp_runs() {
+        let report = analyze(LOOPY, AnalysisConfig::quick());
+        assert!(report.mispred_stats.is_some());
+        let only_oracle =
+            AnalysisConfig::quick().with_machines(&[MachineKind::Oracle]);
+        let report = analyze(LOOPY, only_oracle);
+        assert!(report.mispred_stats.is_none());
+    }
+
+    #[test]
+    fn unrolling_changes_results() {
+        let on = analyze(LOOPY, AnalysisConfig::quick().with_unrolling(true));
+        let off = analyze(LOOPY, AnalysisConfig::quick().with_unrolling(false));
+        assert!(on.seq_instrs < off.seq_instrs);
+    }
+
+    #[test]
+    fn predictor_choice_affects_sp() {
+        let profile = analyze(LOOPY, AnalysisConfig::quick());
+        let always = analyze(
+            LOOPY,
+            AnalysisConfig::quick().with_predictor(PredictorChoice::AlwaysTaken),
+        );
+        // The profile predictor is at least as accurate as always-taken.
+        assert!(
+            profile.branches.prediction_rate() >= always.branches.prediction_rate() - 1e-9
+        );
+    }
+
+    #[test]
+    fn oracle_equals_sp_family_upper_bound() {
+        let report = analyze(LOOPY, AnalysisConfig::quick());
+        let oracle = report.parallelism(MachineKind::Oracle);
+        for kind in MachineKind::ALL {
+            assert!(report.parallelism(kind) <= oracle + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fetch_bandwidth_one_serializes_completely() {
+        let program = compile(LOOPY).unwrap();
+        let config = AnalysisConfig::quick()
+            .with_machines(&[MachineKind::Oracle])
+            .with_fetch_bandwidth(1);
+        let report = Analyzer::new(&program, config).unwrap().run().unwrap();
+        // One instruction per cycle: even ORACLE degenerates to sequential
+        // execution (parallelism ~1).
+        let result = report.result(MachineKind::Oracle).unwrap();
+        assert_eq!(result.cycles, report.seq_instrs);
+    }
+
+    #[test]
+    fn fetch_bandwidth_is_monotone() {
+        let program = compile(LOOPY).unwrap();
+        let run = |width: Option<u64>| {
+            let mut config = AnalysisConfig::quick().with_machines(&[MachineKind::Oracle]);
+            config.fetch_bandwidth = width;
+            Analyzer::new(&program, config)
+                .unwrap()
+                .run()
+                .unwrap()
+                .parallelism(MachineKind::Oracle)
+        };
+        let narrow = run(Some(4));
+        let wide = run(Some(64));
+        let unlimited = run(None);
+        assert!(narrow <= wide + 1e-9, "{narrow} vs {wide}");
+        assert!(wide <= unlimited + 1e-9, "{wide} vs {unlimited}");
+        assert!(narrow <= 4.0 + 1e-9, "width-4 front end caps IPC at 4");
+    }
+
+    #[test]
+    fn coarser_disambiguation_never_helps() {
+        let program = compile(LOOPY).unwrap();
+        let run = |bytes: u32| {
+            let config = AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Oracle, MachineKind::SpCdMf])
+                .with_disambiguation_bytes(bytes);
+            Analyzer::new(&program, config).unwrap().run().unwrap()
+        };
+        let word = run(4);
+        let line = run(64);
+        for kind in [MachineKind::Oracle, MachineKind::SpCdMf] {
+            assert!(
+                line.result(kind).unwrap().cycles >= word.result(kind).unwrap().cycles,
+                "{kind}: coarser granularity shortened the critical path"
+            );
+        }
+        // On this array-heavy program, 64-byte blocks must actually create
+        // false dependences.
+        assert!(
+            line.result(MachineKind::Oracle).unwrap().cycles
+                > word.result(MachineKind::Oracle).unwrap().cycles
+        );
+    }
+
+    #[test]
+    fn disabling_renaming_enforces_false_dependences() {
+        let program = compile(LOOPY).unwrap();
+        let renamed = Analyzer::new(
+            &program,
+            AnalysisConfig::quick().with_machines(&[MachineKind::Oracle]),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let unrenamed = Analyzer::new(
+            &program,
+            AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Oracle])
+                .with_rename(false),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Reusing the same registers serially chains the whole program.
+        assert!(
+            unrenamed.parallelism(MachineKind::Oracle)
+                < renamed.parallelism(MachineKind::Oracle) / 2.0,
+            "renamed {:.1} vs unrenamed {:.1}",
+            renamed.parallelism(MachineKind::Oracle),
+            unrenamed.parallelism(MachineKind::Oracle)
+        );
+    }
+
+    #[test]
+    fn latencies_stretch_the_critical_path() {
+        let program = compile(LOOPY).unwrap();
+        let unit = Analyzer::new(
+            &program,
+            AnalysisConfig::quick().with_machines(&[MachineKind::Oracle]),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let slow = Analyzer::new(
+            &program,
+            AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Oracle])
+                .with_latency(crate::Latencies {
+                    load: 3,
+                    mul_div: 6,
+                    other: 1,
+                }),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let unit_cycles = unit.result(MachineKind::Oracle).unwrap().cycles;
+        let slow_cycles = slow.result(MachineKind::Oracle).unwrap().cycles;
+        assert!(slow_cycles > unit_cycles);
+        // And bounded: at most 6x the unit-latency path.
+        assert!(slow_cycles <= unit_cycles * 6);
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        let program = Program::new();
+        let err = Analyzer::new(&program, AnalysisConfig::quick()).unwrap_err();
+        assert!(matches!(err, AnalyzeError::BadProgram(_)));
+    }
+
+    #[test]
+    fn result_lookup() {
+        let report = analyze(LOOPY, AnalysisConfig::quick());
+        assert!(report.result(MachineKind::Cd).is_some());
+        let restricted = analyze(
+            LOOPY,
+            AnalysisConfig::quick().with_machines(&[MachineKind::Base]),
+        );
+        assert!(restricted.result(MachineKind::Oracle).is_none());
+    }
+}

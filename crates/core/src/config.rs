@@ -1,0 +1,269 @@
+use clfp_isa::Program;
+use clfp_predict::{
+    AlwaysTaken, Bimodal, BranchPredictor, BranchProfile, Btfn, Gshare, ProfilePredictor,
+    TwoLevel,
+};
+
+use crate::MachineKind;
+
+/// Which branch predictor drives the speculative machines.
+///
+/// The paper uses profile-based static prediction with the measurement
+/// input (an upper bound for static techniques); the alternatives exist
+/// for the ablation benches.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PredictorChoice {
+    /// Profile-based static majority prediction (the paper's predictor).
+    Profile,
+    /// Predict every branch taken.
+    AlwaysTaken,
+    /// Backward taken, forward not taken.
+    Btfn,
+    /// 2-bit saturating counters indexed by branch address.
+    Bimodal {
+        /// Table entries (power of two).
+        entries: usize,
+    },
+    /// Gshare: counters indexed by address XOR global history.
+    Gshare {
+        /// Table entries (power of two).
+        entries: usize,
+        /// Global history bits (≤ 16).
+        history_bits: u32,
+    },
+    /// Two-level local predictor (PAg): per-branch history registers over
+    /// a shared pattern table.
+    TwoLevel {
+        /// History-register table entries (power of two).
+        entries: usize,
+        /// Local history bits (≤ 14).
+        history_bits: u32,
+    },
+}
+
+impl PredictorChoice {
+    /// Instantiates the predictor for a program and profile.
+    pub fn build(
+        self,
+        program: &Program,
+        profile: &BranchProfile,
+    ) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorChoice::Profile => Box::new(ProfilePredictor::new(profile)),
+            PredictorChoice::AlwaysTaken => Box::new(AlwaysTaken),
+            PredictorChoice::Btfn => Box::new(Btfn::new(program)),
+            PredictorChoice::Bimodal { entries } => Box::new(Bimodal::new(entries)),
+            PredictorChoice::Gshare {
+                entries,
+                history_bits,
+            } => Box::new(Gshare::new(entries, history_bits)),
+            PredictorChoice::TwoLevel {
+                entries,
+                history_bits,
+            } => Box::new(TwoLevel::new(entries, history_bits)),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorChoice::Profile => "profile",
+            PredictorChoice::AlwaysTaken => "always-taken",
+            PredictorChoice::Btfn => "btfn",
+            PredictorChoice::Bimodal { .. } => "bimodal",
+            PredictorChoice::Gshare { .. } => "gshare",
+            PredictorChoice::TwoLevel { .. } => "two-level",
+        }
+    }
+}
+
+/// Configuration for an [`Analyzer`](crate::Analyzer) run.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Maximum dynamic instructions to trace (the paper used 100M; our
+    /// workloads converge far earlier).
+    pub max_instrs: u64,
+    /// Apply perfect loop unrolling (Section 4.2). The paper's headline
+    /// Table 3 has it on; Table 4 compares both settings.
+    pub unrolling: bool,
+    /// Apply perfect inlining. Always on in the paper; exposed for
+    /// ablation only.
+    pub inlining: bool,
+    /// Machines to analyze.
+    pub machines: Vec<MachineKind>,
+    /// Simulated memory size in words.
+    pub mem_words: usize,
+    /// Branch predictor for the SP machines.
+    pub predictor: PredictorChoice,
+    /// Instructions fetchable per cycle; `None` (the paper's setting —
+    /// Section 5 explicitly excludes fetch limitations) means unlimited.
+    /// With `Some(w)`, dynamic instruction *n* cannot execute before cycle
+    /// `n/w + 1`, modeling a finite-bandwidth front end.
+    pub fetch_bandwidth: Option<u64>,
+    /// Memory-disambiguation granularity in bytes (power of two, ≥ 4).
+    /// The paper assumes *perfect* disambiguation = word granularity (4).
+    /// Coarser values model imperfect alias analysis: accesses within the
+    /// same block conflict, adding false dependences.
+    pub disambiguation_bytes: u32,
+    /// Whether anti (write-after-read) and output (write-after-write)
+    /// dependences are removed by renaming. The paper's setting is `true`
+    /// ("we have eliminated all the anti-dependences and output
+    /// dependences", Section 4.1); `false` enforces them, modeling a
+    /// machine without register renaming.
+    pub rename: bool,
+    /// Operation latencies. The paper uses one cycle for everything
+    /// ("since we want to measure the actual parallelism ... we use one
+    /// clock cycle latencies", Section 4.4); realistic latencies consume
+    /// parallelism to fill pipeline bubbles.
+    pub latency: Latencies,
+}
+
+/// Per-class operation latencies in cycles.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Latencies {
+    /// Loads.
+    pub load: u64,
+    /// Multiplies, divides, remainders.
+    pub mul_div: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            load: 1,
+            mul_div: 1,
+            other: 1,
+        }
+    }
+}
+
+impl Latencies {
+    /// The paper's unit-latency model.
+    pub fn unit() -> Latencies {
+        Latencies::default()
+    }
+
+    /// A plausible early-90s pipeline: 2-cycle loads, 4-cycle
+    /// multiply/divide.
+    pub fn realistic() -> Latencies {
+        Latencies {
+            load: 2,
+            mul_div: 4,
+            other: 1,
+        }
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            max_instrs: 2_000_000,
+            unrolling: true,
+            inlining: true,
+            machines: MachineKind::ALL.to_vec(),
+            mem_words: 4 << 20,
+            predictor: PredictorChoice::Profile,
+            fetch_bandwidth: None,
+            disambiguation_bytes: 4,
+            rename: true,
+            latency: Latencies::unit(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A configuration tuned for fast unit tests: small trace cap, small
+    /// memory.
+    pub fn quick() -> AnalysisConfig {
+        AnalysisConfig {
+            max_instrs: 200_000,
+            mem_words: 1 << 20,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Builder-style: set the trace cap.
+    pub fn with_max_instrs(mut self, max_instrs: u64) -> AnalysisConfig {
+        self.max_instrs = max_instrs;
+        self
+    }
+
+    /// Builder-style: toggle perfect unrolling.
+    pub fn with_unrolling(mut self, unrolling: bool) -> AnalysisConfig {
+        self.unrolling = unrolling;
+        self
+    }
+
+    /// Builder-style: choose the predictor.
+    pub fn with_predictor(mut self, predictor: PredictorChoice) -> AnalysisConfig {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Builder-style: restrict the analyzed machines.
+    pub fn with_machines(mut self, machines: &[MachineKind]) -> AnalysisConfig {
+        self.machines = machines.to_vec();
+        self
+    }
+
+    /// Builder-style: impose a fetch-bandwidth limit.
+    pub fn with_fetch_bandwidth(mut self, width: u64) -> AnalysisConfig {
+        self.fetch_bandwidth = Some(width);
+        self
+    }
+
+    /// Builder-style: set the memory-disambiguation granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a power of two ≥ 4.
+    pub fn with_disambiguation_bytes(mut self, bytes: u32) -> AnalysisConfig {
+        assert!(
+            bytes >= 4 && bytes.is_power_of_two(),
+            "granularity must be a power of two >= 4"
+        );
+        self.disambiguation_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: toggle register/memory renaming.
+    pub fn with_rename(mut self, rename: bool) -> AnalysisConfig {
+        self.rename = rename;
+        self
+    }
+
+    /// Builder-style: set operation latencies.
+    pub fn with_latency(mut self, latency: Latencies) -> AnalysisConfig {
+        self.latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runs_all_machines() {
+        let config = AnalysisConfig::default();
+        assert_eq!(config.machines.len(), 7);
+        assert!(config.unrolling);
+        assert!(config.inlining);
+        assert_eq!(config.predictor.name(), "profile");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = AnalysisConfig::quick()
+            .with_max_instrs(123)
+            .with_unrolling(false)
+            .with_predictor(PredictorChoice::Btfn)
+            .with_machines(&[MachineKind::Sp]);
+        assert_eq!(config.max_instrs, 123);
+        assert!(!config.unrolling);
+        assert_eq!(config.machines, vec![MachineKind::Sp]);
+        assert_eq!(config.predictor.name(), "btfn");
+    }
+}

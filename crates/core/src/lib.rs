@@ -1,0 +1,61 @@
+//! # clfp-limits
+//!
+//! The paper's primary contribution: a trace-driven analyzer computing the
+//! **limits of parallelism under control-flow constraints** for seven
+//! abstract machine models (Lam & Wilson, *Limits of Control Flow on
+//! Parallelism*, ISCA 1992, Section 3):
+//!
+//! | machine | speculation | control dependence | multiple flows |
+//! |---------|-------------|--------------------|----------------|
+//! | [`MachineKind::Base`]   | — | — | — |
+//! | [`MachineKind::Cd`]     | — | ✓ | — (branches totally ordered) |
+//! | [`MachineKind::CdMf`]   | — | ✓ | ✓ |
+//! | [`MachineKind::Sp`]     | ✓ | — | — (mispredictions ordered) |
+//! | [`MachineKind::SpCd`]   | ✓ | ✓ | — (mispredictions ordered) |
+//! | [`MachineKind::SpCdMf`] | ✓ | ✓ | ✓ |
+//! | [`MachineKind::Oracle`] | perfect prediction | — | — |
+//!
+//! Every machine enforces only **true data dependences** (registers and
+//! perfectly disambiguated word-granular memory via a last-write table,
+//! Section 4.1) plus its own control-flow rule (Figure 1), under unit
+//! latencies and an unlimited scheduling window. Perfect inlining is
+//! always applied; perfect unrolling is configurable (Section 4.2 /
+//! Table 4). Parallelism is sequential instruction count divided by the
+//! critical-path length.
+//!
+//! ## Example
+//!
+//! ```
+//! use clfp_lang::compile;
+//! use clfp_limits::{AnalysisConfig, Analyzer, MachineKind};
+//!
+//! let program = compile(
+//!     "fn main() -> int {
+//!          var s: int = 0;
+//!          for (var i: int = 0; i < 100; i = i + 1) {
+//!              if (i % 3 == 0) { s = s + i; }
+//!          }
+//!          return s;
+//!      }",
+//! )?;
+//! let report = Analyzer::new(&program, AnalysisConfig::default())?.run()?;
+//! // The machine hierarchy must hold.
+//! assert!(report.parallelism(MachineKind::Base) <= report.parallelism(MachineKind::Cd));
+//! assert!(report.parallelism(MachineKind::SpCdMf) <= report.parallelism(MachineKind::Oracle));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analyzer;
+mod config;
+mod error;
+mod lastwrite;
+mod machine;
+mod pass;
+mod stats;
+
+pub use analyzer::{Analyzer, MachineResult, Report};
+pub use config::{AnalysisConfig, Latencies, PredictorChoice};
+pub use error::AnalyzeError;
+pub use lastwrite::LastWriteTable;
+pub use machine::MachineKind;
+pub use stats::{harmonic_mean, BranchReport, IpcProfile, MispredictionStats};

@@ -1,0 +1,675 @@
+//! A two-pass assembler for the clfp instruction set.
+//!
+//! The syntax is deliberately close to MIPS assembly:
+//!
+//! ```text
+//! # comment           ; also a comment
+//!         .data
+//! table:  .word 1, 2, 3
+//! buf:    .space 64            # bytes, word-aligned
+//!         .text
+//! main:   li   r8, 0
+//!         li   r9, table       # data symbols become addresses
+//! loop:   lw   r10, 0(r9)
+//!         add  r8, r8, r10
+//!         addi r9, r9, 4
+//!         blt  r9, r11, loop
+//!         halt
+//! ```
+//!
+//! Supported pseudo-instructions: `mv rd, rs` (expands to `addi rd, rs, 0`).
+//! Execution starts at the `__start` label if defined, else at `main`, else
+//! at instruction 0.
+
+use std::collections::HashMap;
+
+use crate::{AluOp, AsmError, BranchCond, DataItem, Instr, Program, Reg, DATA_BASE, WORD};
+
+/// Assembles a program from source text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax error,
+/// duplicate label, or undefined label reference.
+///
+/// # Example
+///
+/// ```
+/// let program = clfp_isa::assemble(".text\nmain: nop\n halt")?;
+/// assert_eq!(program.text.len(), 2);
+/// # Ok::<(), clfp_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// An operand whose value may be a symbol, resolved after pass one.
+#[derive(Clone)]
+enum Pending {
+    /// Instruction complete as written.
+    Done(Instr),
+    /// Branch with a label target.
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        label: String,
+        line: usize,
+    },
+    /// Jump with a label target.
+    Jump { label: String, line: usize },
+    /// Call with a label target.
+    Call { label: String, line: usize },
+    /// `li` of a symbol (code or data address).
+    LiSymbol { rd: Reg, label: String, line: usize },
+}
+
+struct Assembler {
+    section: Section,
+    pending: Vec<Pending>,
+    data: Vec<i32>,
+    symbols: HashMap<String, SymbolValue>,
+    program_symbols: crate::SymbolTable,
+}
+
+#[derive(Copy, Clone)]
+enum SymbolValue {
+    Code(u32),
+    Data(u32),
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            section: Section::Text,
+            pending: Vec::new(),
+            data: Vec::new(),
+            symbols: HashMap::new(),
+            program_symbols: crate::SymbolTable::new(),
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Program, AsmError> {
+        for (line_index, raw_line) in source.lines().enumerate() {
+            let line_no = line_index + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.line(line, line_no)?;
+        }
+        self.link()
+    }
+
+    fn line(&mut self, mut line: &str, line_no: usize) -> Result<(), AsmError> {
+        // Leading labels, possibly several on one line.
+        while let Some(colon) = find_label(line) {
+            let name = line[..colon].trim();
+            if !is_identifier(name) {
+                return Err(AsmError::new(line_no, format!("invalid label `{name}`")));
+            }
+            self.define_label(name, line_no)?;
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = line.strip_prefix('.') {
+            return self.directive(directive, line_no);
+        }
+        if self.section != Section::Text {
+            return Err(AsmError::new(
+                line_no,
+                "instruction outside of .text section",
+            ));
+        }
+        let pending = parse_instr(line, line_no)?;
+        self.pending.push(pending);
+        Ok(())
+    }
+
+    fn define_label(&mut self, name: &str, line_no: usize) -> Result<(), AsmError> {
+        if self.symbols.contains_key(name) {
+            return Err(AsmError::new(line_no, format!("duplicate label `{name}`")));
+        }
+        match self.section {
+            Section::Text => {
+                let index = self.pending.len() as u32;
+                self.symbols.insert(name.to_string(), SymbolValue::Code(index));
+                self.program_symbols.define_code(name, index);
+            }
+            Section::Data => {
+                let addr = DATA_BASE + self.data.len() as u32 * WORD;
+                self.symbols.insert(name.to_string(), SymbolValue::Data(addr));
+                // Size is patched once the next label or end of data is seen;
+                // for simplicity we record size 0 here and fix it at link.
+                self.program_symbols
+                    .define_data(name, DataItem { addr, size: 0 });
+            }
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, directive: &str, line_no: usize) -> Result<(), AsmError> {
+        let (name, rest) = match directive.find(char::is_whitespace) {
+            Some(at) => (&directive[..at], directive[at..].trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "word" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(line_no, ".word outside of .data section"));
+                }
+                for item in rest.split(',') {
+                    let value = parse_imm(item.trim())
+                        .ok_or_else(|| AsmError::new(line_no, format!("bad word `{item}`")))?;
+                    self.data.push(value);
+                }
+            }
+            "space" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(line_no, ".space outside of .data section"));
+                }
+                let bytes: u32 = rest
+                    .parse()
+                    .map_err(|_| AsmError::new(line_no, format!("bad size `{rest}`")))?;
+                let words = bytes.div_ceil(WORD);
+                self.data.extend(std::iter::repeat_n(0, words as usize));
+            }
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    format!("unknown directive `.{other}`"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn link(mut self) -> Result<Program, AsmError> {
+        let mut text = Vec::with_capacity(self.pending.len());
+        let resolve_code = |symbols: &HashMap<String, SymbolValue>,
+                            label: &str,
+                            line: usize|
+         -> Result<u32, AsmError> {
+            match symbols.get(label) {
+                Some(SymbolValue::Code(index)) => Ok(*index),
+                Some(SymbolValue::Data(_)) => Err(AsmError::new(
+                    line,
+                    format!("`{label}` is a data symbol, expected code label"),
+                )),
+                None => Err(AsmError::new(line, format!("undefined label `{label}`"))),
+            }
+        };
+        for pending in std::mem::take(&mut self.pending) {
+            let instr = match pending {
+                Pending::Done(instr) => instr,
+                Pending::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    label,
+                    line,
+                } => Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target: resolve_code(&self.symbols, &label, line)?,
+                },
+                Pending::Jump { label, line } => Instr::Jump {
+                    target: resolve_code(&self.symbols, &label, line)?,
+                },
+                Pending::Call { label, line } => Instr::Call {
+                    target: resolve_code(&self.symbols, &label, line)?,
+                },
+                Pending::LiSymbol { rd, label, line } => {
+                    let imm = match self.symbols.get(&label) {
+                        Some(SymbolValue::Code(index)) => *index as i32,
+                        Some(SymbolValue::Data(addr)) => *addr as i32,
+                        None => {
+                            return Err(AsmError::new(
+                                line,
+                                format!("undefined label `{label}`"),
+                            ))
+                        }
+                    };
+                    Instr::Li { rd, imm }
+                }
+            };
+            text.push(instr);
+        }
+
+        // Patch data symbol sizes: each extends to the next symbol or the
+        // end of the segment.
+        let mut data_symbols: Vec<(String, u32)> = self
+            .symbols
+            .iter()
+            .filter_map(|(name, value)| match value {
+                SymbolValue::Data(addr) => Some((name.clone(), *addr)),
+                SymbolValue::Code(_) => None,
+            })
+            .collect();
+        data_symbols.sort_by_key(|&(_, addr)| addr);
+        let data_end = DATA_BASE + self.data.len() as u32 * WORD;
+        let mut patched = crate::SymbolTable::new();
+        for (name, index) in self.program_symbols.code_symbols() {
+            patched.define_code(name, index);
+        }
+        for (i, (name, addr)) in data_symbols.iter().enumerate() {
+            let end = data_symbols
+                .get(i + 1)
+                .map(|&(_, next)| next)
+                .unwrap_or(data_end);
+            patched.define_data(name.clone(), DataItem {
+                addr: *addr,
+                size: end - addr,
+            });
+        }
+
+        // Execution starts at `__start` when defined (compiler-emitted
+        // stubs), else `main`, else instruction 0.
+        let entry = match (self.symbols.get("__start"), self.symbols.get("main")) {
+            (Some(SymbolValue::Code(index)), _) => *index,
+            (_, Some(SymbolValue::Code(index))) => *index,
+            _ => 0,
+        };
+        let program = Program {
+            text,
+            data: self.data,
+            entry,
+            symbols: patched,
+        };
+        if let Err(index) = program.validate() {
+            return Err(AsmError::new(
+                0,
+                format!("instruction {index} has an out-of-range target"),
+            ));
+        }
+        Ok(program)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['#', ';']) {
+        Some(at) => &line[..at],
+        None => line,
+    }
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    if is_identifier(head.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_imm(text: &str) -> Option<i32> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).ok().map(|v| v as i32);
+    }
+    if let Some(hex) = text.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16)
+            .ok()
+            .map(|v| (-v) as i32);
+    }
+    text.parse().ok()
+}
+
+fn parse_instr(line: &str, line_no: usize) -> Result<Pending, AsmError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(at) => (&line[..at], line[at..].trim()),
+        None => (line, ""),
+    };
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let err = |message: String| AsmError::new(line_no, message);
+    let need = |count: usize| -> Result<(), AsmError> {
+        if operands.len() == count {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line_no,
+                format!(
+                    "`{mnemonic}` expects {count} operand(s), found {}",
+                    operands.len()
+                ),
+            ))
+        }
+    };
+    let reg = |text: &str| -> Result<Reg, AsmError> {
+        Reg::parse(text).ok_or_else(|| AsmError::new(line_no, format!("bad register `{text}`")))
+    };
+
+    // ALU register-register forms.
+    if let Some(op) = AluOp::ALL.iter().find(|op| op.mnemonic() == mnemonic) {
+        need(3)?;
+        return Ok(Pending::Done(Instr::Alu {
+            op: *op,
+            rd: reg(operands[0])?,
+            rs: reg(operands[1])?,
+            rt: reg(operands[2])?,
+        }));
+    }
+    // ALU immediate forms (`addi`, `slti`, ...).
+    if let Some(base) = mnemonic.strip_suffix('i') {
+        if let Some(op) = AluOp::ALL.iter().find(|op| op.mnemonic() == base) {
+            need(3)?;
+            let imm = parse_imm(operands[2])
+                .ok_or_else(|| err(format!("bad immediate `{}`", operands[2])))?;
+            return Ok(Pending::Done(Instr::AluI {
+                op: *op,
+                rd: reg(operands[0])?,
+                rs: reg(operands[1])?,
+                imm,
+            }));
+        }
+    }
+    // Branches.
+    if let Some(cond) = BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+        need(3)?;
+        return Ok(Pending::Branch {
+            cond: *cond,
+            rs: reg(operands[0])?,
+            rt: reg(operands[1])?,
+            label: operands[2].to_string(),
+            line: line_no,
+        });
+    }
+
+    match mnemonic {
+        "cmovn" | "cmovz" => {
+            need(3)?;
+            let rd = reg(operands[0])?;
+            let rs = reg(operands[1])?;
+            let rt = reg(operands[2])?;
+            Ok(Pending::Done(if mnemonic == "cmovn" {
+                Instr::CMovN { rd, rs, rt }
+            } else {
+                Instr::CMovZ { rd, rs, rt }
+            }))
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg(operands[0])?;
+            match parse_imm(operands[1]) {
+                Some(imm) => Ok(Pending::Done(Instr::Li { rd, imm })),
+                None if is_identifier(operands[1]) => Ok(Pending::LiSymbol {
+                    rd,
+                    label: operands[1].to_string(),
+                    line: line_no,
+                }),
+                None => Err(err(format!("bad immediate `{}`", operands[1]))),
+            }
+        }
+        "mv" => {
+            need(2)?;
+            Ok(Pending::Done(Instr::AluI {
+                op: AluOp::Add,
+                rd: reg(operands[0])?,
+                rs: reg(operands[1])?,
+                imm: 0,
+            }))
+        }
+        "lw" => {
+            need(2)?;
+            let (offset, base) = parse_mem(operands[1], line_no)?;
+            Ok(Pending::Done(Instr::Lw {
+                rd: reg(operands[0])?,
+                base,
+                offset,
+            }))
+        }
+        "sw" => {
+            need(2)?;
+            let (offset, base) = parse_mem(operands[1], line_no)?;
+            Ok(Pending::Done(Instr::Sw {
+                rs: reg(operands[0])?,
+                base,
+                offset,
+            }))
+        }
+        "j" => {
+            need(1)?;
+            Ok(Pending::Jump {
+                label: operands[0].to_string(),
+                line: line_no,
+            })
+        }
+        "jr" => {
+            need(1)?;
+            Ok(Pending::Done(Instr::JumpR {
+                rs: reg(operands[0])?,
+            }))
+        }
+        "call" => {
+            need(1)?;
+            Ok(Pending::Call {
+                label: operands[0].to_string(),
+                line: line_no,
+            })
+        }
+        "callr" => {
+            need(1)?;
+            Ok(Pending::Done(Instr::CallR {
+                rs: reg(operands[0])?,
+            }))
+        }
+        "ret" => {
+            need(0)?;
+            Ok(Pending::Done(Instr::Ret))
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Pending::Done(Instr::Halt))
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Pending::Done(Instr::Nop))
+        }
+        other => Err(err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Parses a memory operand `offset(base)`, e.g. `-4(sp)` or `0(r9)`.
+fn parse_mem(text: &str, line_no: usize) -> Result<(i32, Reg), AsmError> {
+    let err = || AsmError::new(line_no, format!("bad memory operand `{text}`"));
+    let open = text.find('(').ok_or_else(err)?;
+    let close = text.rfind(')').ok_or_else(err)?;
+    if close != text.len() - 1 || close <= open {
+        return Err(err());
+    }
+    let offset_text = text[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_imm(offset_text).ok_or_else(err)?
+    };
+    let base = Reg::parse(text[open + 1..close].trim()).ok_or_else(err)?;
+    Ok((offset, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop() {
+        let program = assemble(
+            r#"
+            .data
+            arr: .word 10, 20, 30
+            .text
+            main:
+                li r8, arr
+                li r9, 0
+                li r10, 3
+            loop:
+                lw r11, 0(r8)
+                add r9, r9, r11
+                addi r8, r8, 4
+                addi r10, r10, -1
+                bgt r10, r0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.text.len(), 9);
+        assert_eq!(program.data, vec![10, 20, 30]);
+        assert_eq!(program.entry, 0);
+        // `li r8, arr` resolves to the data base address.
+        assert_eq!(
+            program.text[0],
+            Instr::Li {
+                rd: Reg::new(8),
+                imm: DATA_BASE as i32
+            }
+        );
+        // Loop back-edge points at instruction 3.
+        assert_eq!(
+            program.text[7],
+            Instr::Branch {
+                cond: BranchCond::Gt,
+                rs: Reg::new(10),
+                rt: Reg::ZERO,
+                target: 3
+            }
+        );
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_without_main() {
+        let program = assemble(".text\nstart: nop\n halt").unwrap();
+        assert_eq!(program.entry, 0);
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let program = assemble(".text\nhelper: ret\nmain: halt").unwrap();
+        assert_eq!(program.entry, 1);
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let err = assemble(".text\n j nowhere").unwrap_err();
+        assert!(err.to_string().contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let err = assemble(".text\nx: nop\nx: nop").unwrap_err();
+        assert!(err.to_string().contains("duplicate label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let err = assemble(".text\n frob r1, r2").unwrap_err();
+        assert!(err.to_string().contains("unknown mnemonic"));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn space_directive_reserves_words() {
+        let program = assemble(".data\nbuf: .space 10\nnext: .word 7\n.text\nmain: halt").unwrap();
+        // 10 bytes round up to 3 words.
+        assert_eq!(program.data.len(), 4);
+        let buf = program.symbols.data("buf").unwrap();
+        assert_eq!(buf.addr, DATA_BASE);
+        assert_eq!(buf.size, 12);
+        let next = program.symbols.data("next").unwrap();
+        assert_eq!(next.addr, DATA_BASE + 12);
+        assert_eq!(next.size, 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let program = assemble(
+            "# leading comment\n.text\nmain: nop ; trailing\n\n halt # end\n",
+        )
+        .unwrap();
+        assert_eq!(program.text.len(), 2);
+    }
+
+    #[test]
+    fn branch_to_data_symbol_is_error() {
+        let err = assemble(".data\nx: .word 1\n.text\nmain: j x").unwrap_err();
+        assert!(err.to_string().contains("data symbol"));
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let program = assemble(".text\nmain: lw r8, (sp)\n sw r8, -8(fp)\n halt").unwrap();
+        assert_eq!(
+            program.text[0],
+            Instr::Lw {
+                rd: Reg::new(8),
+                base: Reg::SP,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            program.text[1],
+            Instr::Sw {
+                rs: Reg::new(8),
+                base: Reg::FP,
+                offset: -8
+            }
+        );
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let program = assemble(".text\nmain: li r8, 0x10\n halt").unwrap();
+        assert_eq!(
+            program.text[0],
+            Instr::Li {
+                rd: Reg::new(8),
+                imm: 16
+            }
+        );
+    }
+
+    #[test]
+    fn operand_count_mismatch() {
+        let err = assemble(".text\nmain: add r1, r2").unwrap_err();
+        assert!(err.to_string().contains("expects 3 operand"));
+    }
+
+    #[test]
+    fn pseudo_mv() {
+        let program = assemble(".text\nmain: mv r8, r9\n halt").unwrap();
+        assert_eq!(
+            program.text[0],
+            Instr::AluI {
+                op: AluOp::Add,
+                rd: Reg::new(8),
+                rs: Reg::new(9),
+                imm: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Binary encoding of instructions.
+//!
+//! The clfp machine word for instruction storage is 64 bits wide, laid out
+//! as:
+//!
+//! ```text
+//!  63      56 55      48 47      40 39      32 31                        0
+//! +----------+----------+----------+----------+--------------------------+
+//! |  opcode  |    rd    |    rs    |    rt    |    imm / target (u32)    |
+//! +----------+----------+----------+----------+--------------------------+
+//! ```
+//!
+//! This is an abstract encoding — the study never depends on instruction
+//! *size*, only on instruction *count* — but a real binary format lets the
+//! toolchain write object files and lets property tests pin down that every
+//! instruction roundtrips losslessly.
+
+use std::fmt;
+
+use crate::{AluOp, BranchCond, Instr, Reg};
+
+const OP_ALU: u8 = 0x00; // + AluOp index (0..16)
+const OP_ALUI: u8 = 0x10; // + AluOp index (0..16)
+const OP_LI: u8 = 0x20;
+const OP_LW: u8 = 0x21;
+const OP_SW: u8 = 0x22;
+const OP_BRANCH: u8 = 0x30; // + BranchCond index (0..6)
+const OP_JUMP: u8 = 0x40;
+const OP_JUMPR: u8 = 0x41;
+const OP_CALL: u8 = 0x42;
+const OP_CALLR: u8 = 0x43;
+const OP_RET: u8 = 0x44;
+const OP_HALT: u8 = 0x50;
+const OP_NOP: u8 = 0x51;
+const OP_CMOVN: u8 = 0x52;
+const OP_CMOVZ: u8 = 0x53;
+
+/// Error produced when [`decode`] encounters an invalid instruction word.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    word: u64,
+}
+
+impl DecodeError {
+    /// The word that failed to decode.
+    pub fn word(&self) -> u64 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#018x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn pack(opcode: u8, rd: Reg, rs: Reg, rt: Reg, imm: u32) -> u64 {
+    (opcode as u64) << 56
+        | (rd.index() as u64) << 48
+        | (rs.index() as u64) << 40
+        | (rt.index() as u64) << 32
+        | imm as u64
+}
+
+/// Encodes an instruction into its 64-bit binary form.
+///
+/// # Example
+///
+/// ```
+/// use clfp_isa::{encode, decode, Instr, Reg};
+///
+/// let instr = Instr::Lw { rd: Reg::new(8), base: Reg::SP, offset: -4 };
+/// assert_eq!(decode(encode(instr))?, instr);
+/// # Ok::<(), clfp_isa::DecodeError>(())
+/// ```
+pub fn encode(instr: Instr) -> u64 {
+    let z = Reg::ZERO;
+    match instr {
+        Instr::Alu { op, rd, rs, rt } => pack(
+            OP_ALU + AluOp::ALL.iter().position(|&o| o == op).unwrap() as u8,
+            rd,
+            rs,
+            rt,
+            0,
+        ),
+        Instr::AluI { op, rd, rs, imm } => pack(
+            OP_ALUI + AluOp::ALL.iter().position(|&o| o == op).unwrap() as u8,
+            rd,
+            rs,
+            z,
+            imm as u32,
+        ),
+        Instr::Li { rd, imm } => pack(OP_LI, rd, z, z, imm as u32),
+        Instr::Lw { rd, base, offset } => pack(OP_LW, rd, base, z, offset as u32),
+        Instr::Sw { rs, base, offset } => pack(OP_SW, z, rs, base, offset as u32),
+        Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => pack(
+            OP_BRANCH + BranchCond::ALL.iter().position(|&c| c == cond).unwrap() as u8,
+            z,
+            rs,
+            rt,
+            target,
+        ),
+        Instr::Jump { target } => pack(OP_JUMP, z, z, z, target),
+        Instr::JumpR { rs } => pack(OP_JUMPR, z, rs, z, 0),
+        Instr::Call { target } => pack(OP_CALL, z, z, z, target),
+        Instr::CallR { rs } => pack(OP_CALLR, z, rs, z, 0),
+        Instr::Ret => pack(OP_RET, z, z, z, 0),
+        Instr::Halt => pack(OP_HALT, z, z, z, 0),
+        Instr::Nop => pack(OP_NOP, z, z, z, 0),
+        Instr::CMovN { rd, rs, rt } => pack(OP_CMOVN, rd, rs, rt, 0),
+        Instr::CMovZ { rd, rs, rt } => pack(OP_CMOVZ, rd, rs, rt, 0),
+    }
+}
+
+/// Decodes a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode byte is not a valid instruction, or
+/// a register field is out of range.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let err = DecodeError { word };
+    let opcode = (word >> 56) as u8;
+    let rd_bits = (word >> 48) as u8;
+    let rs_bits = (word >> 40) as u8;
+    let rt_bits = (word >> 32) as u8;
+    if rd_bits >= 32 || rs_bits >= 32 || rt_bits >= 32 {
+        return Err(err);
+    }
+    let rd = Reg::new(rd_bits);
+    let rs = Reg::new(rs_bits);
+    let rt = Reg::new(rt_bits);
+    let imm = word as u32;
+
+    let instr = match opcode {
+        op if (OP_ALU..OP_ALU + 16).contains(&op) => Instr::Alu {
+            op: AluOp::ALL[(op - OP_ALU) as usize],
+            rd,
+            rs,
+            rt,
+        },
+        op if (OP_ALUI..OP_ALUI + 16).contains(&op) => Instr::AluI {
+            op: AluOp::ALL[(op - OP_ALUI) as usize],
+            rd,
+            rs,
+            imm: imm as i32,
+        },
+        OP_LI => Instr::Li {
+            rd,
+            imm: imm as i32,
+        },
+        OP_LW => Instr::Lw {
+            rd,
+            base: rs,
+            offset: imm as i32,
+        },
+        OP_SW => Instr::Sw {
+            rs,
+            base: rt,
+            offset: imm as i32,
+        },
+        op if (OP_BRANCH..OP_BRANCH + 6).contains(&op) => Instr::Branch {
+            cond: BranchCond::ALL[(op - OP_BRANCH) as usize],
+            rs,
+            rt,
+            target: imm,
+        },
+        OP_JUMP => Instr::Jump { target: imm },
+        OP_JUMPR => Instr::JumpR { rs },
+        OP_CALL => Instr::Call { target: imm },
+        OP_CALLR => Instr::CallR { rs },
+        OP_RET => Instr::Ret,
+        OP_HALT => Instr::Halt,
+        OP_NOP => Instr::Nop,
+        OP_CMOVN => Instr::CMovN { rd, rs, rt },
+        OP_CMOVZ => Instr::CMovZ { rd, rs, rt },
+        _ => return Err(err),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+        prop::sample::select(AluOp::ALL.to_vec())
+    }
+
+    fn arb_cond() -> impl Strategy<Value = BranchCond> {
+        prop::sample::select(BranchCond::ALL.to_vec())
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
+            (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(op, rd, rs, imm)| Instr::AluI { op, rd, rs, imm }),
+            (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+            (arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(rd, base, offset)| Instr::Lw { rd, base, offset }),
+            (arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(rs, base, offset)| Instr::Sw { rs, base, offset }),
+            (arb_cond(), arb_reg(), arb_reg(), any::<u32>()).prop_map(|(cond, rs, rt, target)| {
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                }
+            }),
+            any::<u32>().prop_map(|target| Instr::Jump { target }),
+            arb_reg().prop_map(|rs| Instr::JumpR { rs }),
+            any::<u32>().prop_map(|target| Instr::Call { target }),
+            arb_reg().prop_map(|rs| Instr::CallR { rs }),
+            Just(Instr::Ret),
+            Just(Instr::Halt),
+            Just(Instr::Nop),
+            (arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(rd, rs, rt)| Instr::CMovN { rd, rs, rt }),
+            (arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(rd, rs, rt)| Instr::CMovZ { rd, rs, rt }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(instr in arb_instr()) {
+            let word = encode(instr);
+            prop_assert_eq!(decode(word).unwrap(), instr);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        assert!(decode(0xff00_0000_0000_0000).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // Valid NOP opcode but register field 33.
+        let word = (OP_NOP as u64) << 56 | 33u64 << 48;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn decode_error_displays_word() {
+        let err = decode(0xff00_0000_0000_0000).unwrap_err();
+        assert!(err.to_string().contains("0xff00000000000000"));
+        assert_eq!(err.word(), 0xff00_0000_0000_0000);
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Error produced by the assembler, carrying the 1-based source line and a
+/// description of the problem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending source line (0 for file-level
+    /// errors such as undefined labels discovered at link time).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let err = AsmError::new(7, "unknown mnemonic `frob`");
+        assert_eq!(
+            err.to_string(),
+            "assembly error at line 7: unknown mnemonic `frob`"
+        );
+        assert_eq!(err.line(), 7);
+        assert_eq!(err.message(), "unknown mnemonic `frob`");
+    }
+
+    #[test]
+    fn display_file_level() {
+        let err = AsmError::new(0, "undefined label `missing`");
+        assert_eq!(err.to_string(), "assembly error: undefined label `missing`");
+    }
+}

@@ -1,0 +1,545 @@
+use std::fmt;
+
+use crate::Reg;
+
+/// Arithmetic/logic operations shared by the register-register and
+/// register-immediate instruction forms.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Two's-complement addition (wrapping).
+    Add,
+    /// Two's-complement subtraction (wrapping).
+    Sub,
+    /// Two's-complement multiplication (wrapping, low 32 bits).
+    Mul,
+    /// Signed division; division by zero yields 0 (the trap is ignored,
+    /// matching the study's idealized machine).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left by `rt & 31`.
+    Sll,
+    /// Logical shift right by `rt & 31`.
+    Srl,
+    /// Arithmetic shift right by `rt & 31`.
+    Sra,
+    /// Set to 1 if `rs < rt` (signed), else 0.
+    Slt,
+    /// Set to 1 if `rs < rt` (unsigned), else 0.
+    Sltu,
+    /// Set to 1 if `rs == rt`, else 0.
+    Seq,
+    /// Set to 1 if `rs != rt`, else 0.
+    Sne,
+    /// Set to 1 if `rs <= rt` (signed), else 0.
+    Sle,
+}
+
+impl AluOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Seq,
+        AluOp::Sne,
+        AluOp::Sle,
+    ];
+
+    /// Mnemonic for the register-register form.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+            AluOp::Sne => "sne",
+            AluOp::Sle => "sle",
+        }
+    }
+
+    /// Evaluates the operation on two word values.
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+            AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+            AluOp::Sra => a >> (b as u32 & 31),
+            AluOp::Slt => (a < b) as i32,
+            AluOp::Sltu => ((a as u32) < (b as u32)) as i32,
+            AluOp::Seq => (a == b) as i32,
+            AluOp::Sne => (a != b) as i32,
+            AluOp::Sle => (a <= b) as i32,
+        }
+    }
+}
+
+/// Condition tested by a conditional branch, comparing two registers with a
+/// signed relation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Branch if `rs == rt`.
+    Eq,
+    /// Branch if `rs != rt`.
+    Ne,
+    /// Branch if `rs < rt` (signed).
+    Lt,
+    /// Branch if `rs >= rt` (signed).
+    Ge,
+    /// Branch if `rs <= rt` (signed).
+    Le,
+    /// Branch if `rs > rt` (signed).
+    Gt,
+}
+
+impl BranchCond {
+    /// All conditions, in encoding order.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Le,
+        BranchCond::Gt,
+    ];
+
+    /// Branch mnemonic (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Le => "ble",
+            BranchCond::Gt => "bgt",
+        }
+    }
+
+    /// Evaluates the condition.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+        }
+    }
+
+    /// The condition with both outcomes swapped (`Eq` ↔ `Ne`, ...).
+    pub fn negate(self) -> BranchCond {
+        match self {
+            BranchCond::Eq => BranchCond::Ne,
+            BranchCond::Ne => BranchCond::Eq,
+            BranchCond::Lt => BranchCond::Ge,
+            BranchCond::Ge => BranchCond::Lt,
+            BranchCond::Le => BranchCond::Gt,
+            BranchCond::Gt => BranchCond::Le,
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch and jump targets are indices into the program's text segment
+/// (instruction numbers, not byte addresses). Load/store addresses are byte
+/// addresses and must be word-aligned.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `op rd, rs, rt` — register-register ALU operation.
+    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    /// `opi rd, rs, imm` — register-immediate ALU operation.
+    AluI { op: AluOp, rd: Reg, rs: Reg, imm: i32 },
+    /// `li rd, imm` — load a 32-bit immediate.
+    Li { rd: Reg, imm: i32 },
+    /// `lw rd, offset(base)` — load word from `base + offset`.
+    Lw { rd: Reg, base: Reg, offset: i32 },
+    /// `sw rs, offset(base)` — store word to `base + offset`.
+    Sw { rs: Reg, base: Reg, offset: i32 },
+    /// `cmovn rd, rs, rt` — guarded move: `rd = rs` if `rt != 0`, else
+    /// `rd` keeps its value. A *guarded instruction* in the sense of the
+    /// paper's Section 6: the guard replaces a control dependence with a
+    /// data dependence (note the instruction reads `rd`).
+    CMovN { rd: Reg, rs: Reg, rt: Reg },
+    /// `cmovz rd, rs, rt` — guarded move: `rd = rs` if `rt == 0`.
+    CMovZ { rd: Reg, rs: Reg, rt: Reg },
+    /// `b<cond> rs, rt, target` — conditional branch.
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        target: u32,
+    },
+    /// `j target` — direct unconditional jump.
+    Jump { target: u32 },
+    /// `jr rs` — computed jump (e.g. switch tables).
+    JumpR { rs: Reg },
+    /// `call target` — direct call; writes the return address to `ra`.
+    Call { target: u32 },
+    /// `callr rs` — indirect call through `rs`; writes `ra`.
+    CallR { rs: Reg },
+    /// `ret` — return through `ra`.
+    Ret,
+    /// `halt` — stop the machine.
+    Halt,
+    /// `nop` — no operation.
+    Nop,
+}
+
+impl Instr {
+    /// The register this instruction writes, if any.
+    ///
+    /// `call`/`callr` report `ra`; `r0` destinations are reported as `None`
+    /// since writes to the zero register have no effect.
+    pub fn def(self) -> Option<Reg> {
+        let reg = match self {
+            Instr::Alu { rd, .. } | Instr::AluI { rd, .. } | Instr::Li { rd, .. } => rd,
+            Instr::CMovN { rd, .. } | Instr::CMovZ { rd, .. } => rd,
+            Instr::Lw { rd, .. } => rd,
+            Instr::Call { .. } | Instr::CallR { .. } => Reg::RA,
+            _ => return None,
+        };
+        if reg.is_zero() {
+            None
+        } else {
+            Some(reg)
+        }
+    }
+
+    /// The registers this instruction reads, as up to three entries.
+    ///
+    /// Reads of `r0` are omitted: the zero register never carries a
+    /// dependence.
+    pub fn uses(self) -> UseIter {
+        let mut regs = [None; 3];
+        match self {
+            Instr::Alu { rs, rt, .. } => {
+                regs[0] = Some(rs);
+                regs[1] = Some(rt);
+            }
+            Instr::AluI { rs, .. } => regs[0] = Some(rs),
+            // Guarded moves read their destination: the old value survives
+            // when the guard fails.
+            Instr::CMovN { rd, rs, rt } | Instr::CMovZ { rd, rs, rt } => {
+                regs[0] = Some(rs);
+                regs[1] = Some(rt);
+                regs[2] = Some(rd);
+            }
+            Instr::Li { .. } => {}
+            Instr::Lw { base, .. } => regs[0] = Some(base),
+            Instr::Sw { rs, base, .. } => {
+                regs[0] = Some(rs);
+                regs[1] = Some(base);
+            }
+            Instr::Branch { rs, rt, .. } => {
+                regs[0] = Some(rs);
+                regs[1] = Some(rt);
+            }
+            Instr::JumpR { rs } | Instr::CallR { rs } => regs[0] = Some(rs),
+            Instr::Ret => regs[0] = Some(Reg::RA),
+            Instr::Jump { .. } | Instr::Call { .. } | Instr::Halt | Instr::Nop => {}
+        }
+        // Drop zero-register reads; they never create dependences.
+        for slot in &mut regs {
+            if slot.is_some_and(Reg::is_zero) {
+                *slot = None;
+            }
+        }
+        UseIter { regs, next: 0 }
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether this is a computed (register-indirect) jump, excluding
+    /// returns and calls.
+    pub fn is_computed_jump(self) -> bool {
+        matches!(self, Instr::JumpR { .. })
+    }
+
+    /// Whether this instruction ends a basic block: any control transfer or
+    /// halt.
+    pub fn ends_block(self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpR { .. }
+                | Instr::Call { .. }
+                | Instr::CallR { .. }
+                | Instr::Ret
+                | Instr::Halt
+        )
+    }
+
+    /// Whether this instruction is stack-pointer arithmetic (frame
+    /// allocation/deallocation), which the study's "perfect inlining"
+    /// removes from traces.
+    pub fn is_sp_manip(self) -> bool {
+        match self {
+            Instr::AluI {
+                op: AluOp::Add | AluOp::Sub,
+                rd,
+                rs,
+                ..
+            } => rd == Reg::SP && rs == Reg::SP,
+            Instr::Alu {
+                op: AluOp::Add | AluOp::Sub,
+                rd,
+                rs,
+                ..
+            } => rd == Reg::SP && rs == Reg::SP,
+            _ => false,
+        }
+    }
+
+    /// Whether this instruction is a call or return, removed from traces by
+    /// the study's "perfect inlining".
+    pub fn is_call_or_ret(self) -> bool {
+        matches!(
+            self,
+            Instr::Call { .. } | Instr::CallR { .. } | Instr::Ret
+        )
+    }
+}
+
+/// Iterator over the registers an instruction reads.
+///
+/// Produced by [`Instr::uses`].
+#[derive(Clone, Debug)]
+pub struct UseIter {
+    regs: [Option<Reg>; 3],
+    next: usize,
+}
+
+impl Iterator for UseIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.next < self.regs.len() {
+            let slot = self.regs[self.next];
+            self.next += 1;
+            if let Some(reg) = slot {
+                return Some(reg);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", op.mnemonic()),
+            Instr::AluI { op, rd, rs, imm } => {
+                write!(f, "{}i {rd}, {rs}, {imm}", op.mnemonic())
+            }
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::CMovN { rd, rs, rt } => write!(f, "cmovn {rd}, {rs}, {rt}"),
+            Instr::CMovZ { rd, rs, rt } => write!(f, "cmovz {rd}, {rs}, {rt}"),
+            Instr::Lw { rd, base, offset } => write!(f, "lw {rd}, {offset}({base})"),
+            Instr::Sw { rs, base, offset } => write!(f, "sw {rs}, {offset}({base})"),
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "{} {rs}, {rt}, @{target}", cond.mnemonic()),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::JumpR { rs } => write!(f, "jr {rs}"),
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::CallR { rs } => write!(f, "callr {rs}"),
+            Instr::Ret => f.write_str("ret"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_reports_destination() {
+        let instr = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(8),
+            rs: Reg::new(9),
+            rt: Reg::new(10),
+        };
+        assert_eq!(instr.def(), Some(Reg::new(8)));
+    }
+
+    #[test]
+    fn def_hides_zero_register_writes() {
+        let instr = Instr::AluI {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs: Reg::new(9),
+            imm: 1,
+        };
+        assert_eq!(instr.def(), None);
+    }
+
+    #[test]
+    fn call_defines_ra() {
+        assert_eq!(Instr::Call { target: 0 }.def(), Some(Reg::RA));
+        assert_eq!(Instr::CallR { rs: Reg::new(8) }.def(), Some(Reg::RA));
+    }
+
+    #[test]
+    fn uses_skip_zero_register() {
+        let instr = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::new(8),
+            rt: Reg::ZERO,
+            target: 0,
+        };
+        let uses: Vec<Reg> = instr.uses().collect();
+        assert_eq!(uses, vec![Reg::new(8)]);
+    }
+
+    #[test]
+    fn ret_uses_ra() {
+        let uses: Vec<Reg> = Instr::Ret.uses().collect();
+        assert_eq!(uses, vec![Reg::RA]);
+    }
+
+    #[test]
+    fn cmov_reads_its_destination() {
+        let instr = Instr::CMovN {
+            rd: Reg::new(8),
+            rs: Reg::new(9),
+            rt: Reg::new(10),
+        };
+        assert_eq!(instr.def(), Some(Reg::new(8)));
+        let uses: Vec<Reg> = instr.uses().collect();
+        assert_eq!(uses, vec![Reg::new(9), Reg::new(10), Reg::new(8)]);
+        assert!(!instr.ends_block());
+        assert!(!instr.is_cond_branch());
+        assert_eq!(instr.to_string(), "cmovn r8, r9, r10");
+    }
+
+    #[test]
+    fn sp_manip_detection() {
+        let push = Instr::AluI {
+            op: AluOp::Add,
+            rd: Reg::SP,
+            rs: Reg::SP,
+            imm: -16,
+        };
+        assert!(push.is_sp_manip());
+        let normal = Instr::AluI {
+            op: AluOp::Add,
+            rd: Reg::new(8),
+            rs: Reg::SP,
+            imm: 4,
+        };
+        assert!(!normal.is_sp_manip());
+    }
+
+    #[test]
+    fn alu_eval_division_by_zero_is_zero() {
+        assert_eq!(AluOp::Div.eval(5, 0), 0);
+        assert_eq!(AluOp::Rem.eval(5, 0), 0);
+    }
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Sll.eval(1, 4), 16);
+        assert_eq!(AluOp::Sra.eval(-16, 2), -4);
+        assert_eq!(AluOp::Srl.eval(-1, 28), 15);
+        assert_eq!(AluOp::Slt.eval(-1, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(-1, 0), 0);
+    }
+
+    #[test]
+    fn alu_eval_overflow_wraps() {
+        assert_eq!(AluOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(AluOp::Div.eval(i32::MIN, -1), i32::MIN);
+    }
+
+    #[test]
+    fn branch_cond_negate_flips_outcome() {
+        for cond in BranchCond::ALL {
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-5, 3)] {
+                assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn ends_block_classification() {
+        assert!(Instr::Ret.ends_block());
+        assert!(Instr::Halt.ends_block());
+        assert!(Instr::Jump { target: 3 }.ends_block());
+        assert!(!Instr::Nop.ends_block());
+        assert!(!Instr::Li {
+            rd: Reg::new(8),
+            imm: 0
+        }
+        .ends_block());
+    }
+
+    #[test]
+    fn display_formats() {
+        let instr = Instr::Lw {
+            rd: Reg::new(8),
+            base: Reg::SP,
+            offset: 12,
+        };
+        assert_eq!(instr.to_string(), "lw r8, 12(sp)");
+    }
+}

@@ -1,0 +1,69 @@
+//! # clfp-isa
+//!
+//! The instruction set architecture used throughout the `clfp` limit study —
+//! a reproduction of Lam & Wilson, *Limits of Control Flow on Parallelism*
+//! (ISCA 1992).
+//!
+//! The original study traced MIPS R3000 binaries with `pixie`. This crate
+//! provides the equivalent substrate: a 32-register, word-oriented RISC
+//! instruction set that preserves every property the study's analyses rely
+//! on:
+//!
+//! * explicit conditional branches, direct jumps, computed jumps, and
+//!   call/return instructions (so control-dependence analysis and branch
+//!   prediction see the same instruction classes `pixie` did);
+//! * stack-pointer arithmetic that is recognizable from the object code
+//!   (the paper's "perfect inlining" deletes it from traces);
+//! * loop index updates expressed as ordinary register adds (the paper's
+//!   "perfect unrolling" finds them with data-flow analysis).
+//!
+//! The crate contains the instruction definitions ([`Instr`], [`AluOp`],
+//! [`BranchCond`], [`Reg`]), a binary encoding ([`encode`]/[`decode`]), the
+//! linked program container ([`Program`]), and a two-pass assembler
+//! ([`assemble`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use clfp_isa::{assemble, Instr};
+//!
+//! let program = assemble(
+//!     r#"
+//!     .data
+//! counter: .word 0
+//!     .text
+//! main:
+//!     li   r8, 10
+//!     li   r9, 0
+//! loop:
+//!     add  r9, r9, r8
+//!     addi r8, r8, -1
+//!     bgt  r8, r0, loop
+//!     halt
+//! "#,
+//! )?;
+//! assert_eq!(program.text.len(), 6);
+//! assert!(matches!(program.text[0], Instr::Li { .. }));
+//! # Ok::<(), clfp_isa::AsmError>(())
+//! ```
+
+mod asm;
+mod encode;
+mod error;
+mod instr;
+mod program;
+mod reg;
+
+pub use asm::assemble;
+pub use encode::{decode, encode, DecodeError};
+pub use error::AsmError;
+pub use instr::{AluOp, BranchCond, Instr};
+pub use program::{DataItem, Program, SymbolTable};
+pub use reg::Reg;
+
+/// Byte address where the data segment begins in the simulated address space.
+pub const DATA_BASE: u32 = 0x1000;
+
+/// Size of a machine word in bytes. All memory accesses are word-sized and
+/// word-aligned.
+pub const WORD: u32 = 4;

@@ -1,0 +1,284 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Instr, DATA_BASE, WORD};
+
+/// A named data-segment item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataItem {
+    /// Byte address of the item within the simulated address space.
+    pub addr: u32,
+    /// Size in bytes (always a multiple of the word size).
+    pub size: u32,
+}
+
+/// Maps symbolic names to text-segment indices and data-segment addresses.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct SymbolTable {
+    code: BTreeMap<String, u32>,
+    data: BTreeMap<String, DataItem>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Records a code label at the given instruction index.
+    ///
+    /// Returns `false` (and leaves the table unchanged) if the name was
+    /// already defined.
+    pub fn define_code(&mut self, name: impl Into<String>, index: u32) -> bool {
+        let name = name.into();
+        if self.data.contains_key(&name) {
+            return false;
+        }
+        match self.code.entry(name) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                entry.insert(index);
+                true
+            }
+        }
+    }
+
+    /// Records a data symbol.
+    ///
+    /// Returns `false` (and leaves the table unchanged) if the name was
+    /// already defined.
+    pub fn define_data(&mut self, name: impl Into<String>, item: DataItem) -> bool {
+        let name = name.into();
+        if self.code.contains_key(&name) {
+            return false;
+        }
+        match self.data.entry(name) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                entry.insert(item);
+                true
+            }
+        }
+    }
+
+    /// Looks up a code label, returning its instruction index.
+    pub fn code(&self, name: &str) -> Option<u32> {
+        self.code.get(name).copied()
+    }
+
+    /// Looks up a data symbol.
+    pub fn data(&self, name: &str) -> Option<&DataItem> {
+        self.data.get(name)
+    }
+
+    /// Iterates over all code labels in name order.
+    pub fn code_symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.code.iter().map(|(name, &index)| (name.as_str(), index))
+    }
+
+    /// Iterates over all data symbols in name order.
+    pub fn data_symbols(&self) -> impl Iterator<Item = (&str, &DataItem)> {
+        self.data.iter().map(|(name, item)| (name.as_str(), item))
+    }
+
+    /// The code label defined at instruction `index` with the greatest
+    /// index not exceeding `index`, i.e. the enclosing function/label name.
+    pub fn nearest_code_label(&self, index: u32) -> Option<(&str, u32)> {
+        self.code
+            .iter()
+            .filter(|&(_, &at)| at <= index)
+            .max_by_key(|&(_, &at)| at)
+            .map(|(name, &at)| (name.as_str(), at))
+    }
+}
+
+/// A fully linked program: text segment, initial data segment, entry point,
+/// and symbols.
+///
+/// Branch and call targets in `text` are instruction indices. The data
+/// segment is loaded at [`DATA_BASE`](crate::DATA_BASE) when executed.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// The instructions.
+    pub text: Vec<Instr>,
+    /// Initial contents of the data segment, in words.
+    pub data: Vec<i32>,
+    /// Entry point, as an instruction index.
+    pub entry: u32,
+    /// Symbol table.
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Byte address one past the end of the initial data segment.
+    pub fn data_end(&self) -> u32 {
+        DATA_BASE + self.data.len() as u32 * WORD
+    }
+
+    /// Validates internal consistency: all branch/jump/call targets must be
+    /// within the text segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first instruction with an out-of-range
+    /// target.
+    pub fn validate(&self) -> Result<(), usize> {
+        let len = self.text.len() as u32;
+        for (index, instr) in self.text.iter().enumerate() {
+            let target = match *instr {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Call { target } => Some(target),
+                _ => None,
+            };
+            if let Some(target) = target {
+                if target >= len {
+                    return Err(index);
+                }
+            }
+        }
+        if self.entry >= len && len > 0 {
+            return Err(self.entry as usize);
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint over the text and data segments, used to check
+    /// that a stored trace matches the program it is replayed against
+    /// (FNV-1a over the instruction encodings and data words).
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.text.len() as u64);
+        for &instr in &self.text {
+            mix(crate::encode(instr));
+        }
+        mix(self.data.len() as u64);
+        for &word in &self.data {
+            mix(word as u32 as u64);
+        }
+        mix(self.entry as u64);
+        hash
+    }
+
+    /// Renders the program as a disassembly listing with labels.
+    pub fn disassemble(&self) -> String {
+        let mut by_index: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, index) in self.symbols.code_symbols() {
+            by_index.entry(index).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (index, instr) in self.text.iter().enumerate() {
+            if let Some(names) = by_index.get(&(index as u32)) {
+                for name in names {
+                    out.push_str(name);
+                    out.push_str(":\n");
+                }
+            }
+            out.push_str(&format!("{index:6}:  {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn symbol_table_rejects_duplicates() {
+        let mut table = SymbolTable::new();
+        assert!(table.define_code("main", 0));
+        assert!(!table.define_code("main", 4));
+        assert_eq!(table.code("main"), Some(0));
+        assert!(table.define_data("buf", DataItem { addr: 0x1000, size: 8 }));
+        assert!(!table.define_data("buf", DataItem { addr: 0x2000, size: 4 }));
+        // Cross-namespace collisions are also rejected.
+        assert!(!table.define_data("main", DataItem { addr: 0x3000, size: 4 }));
+        assert!(!table.define_code("buf", 2));
+    }
+
+    #[test]
+    fn nearest_code_label_finds_enclosing() {
+        let mut table = SymbolTable::new();
+        table.define_code("main", 0);
+        table.define_code("helper", 10);
+        assert_eq!(table.nearest_code_label(5), Some(("main", 0)));
+        assert_eq!(table.nearest_code_label(10), Some(("helper", 10)));
+        assert_eq!(table.nearest_code_label(99), Some(("helper", 10)));
+    }
+
+    #[test]
+    fn validate_catches_bad_target() {
+        let mut program = Program::new();
+        program.text = vec![Instr::Jump { target: 5 }, Instr::Halt];
+        assert_eq!(program.validate(), Err(0));
+        program.text[0] = Instr::Jump { target: 1 };
+        assert_eq!(program.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_bad_entry() {
+        let mut program = Program::new();
+        program.text = vec![Instr::Halt];
+        program.entry = 3;
+        assert_eq!(program.validate(), Err(3));
+    }
+
+    #[test]
+    fn disassemble_includes_labels() {
+        let mut program = Program::new();
+        program.text = vec![
+            Instr::Li {
+                rd: Reg::new(8),
+                imm: 1,
+            },
+            Instr::Halt,
+        ];
+        program.symbols.define_code("main", 0);
+        let listing = program.disassemble();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("li r8, 1"));
+        assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_programs() {
+        let mut a = Program::new();
+        a.text = vec![Instr::Nop, Instr::Halt];
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.text[0] = Instr::Ret;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b = a.clone();
+        b.data.push(7);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b = a.clone();
+        b.entry = 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn data_end_accounts_for_words() {
+        let mut program = Program::new();
+        program.data = vec![1, 2, 3];
+        assert_eq!(program.data_end(), DATA_BASE + 12);
+    }
+}

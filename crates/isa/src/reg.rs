@@ -1,0 +1,168 @@
+use std::fmt;
+
+/// One of the 32 architectural registers.
+///
+/// Register conventions (loosely MIPS o32):
+///
+/// | register | alias  | role |
+/// |----------|--------|------|
+/// | `r0`     | `zero` | hardwired zero |
+/// | `r2`     | `v0`   | return value |
+/// | `r4`–`r7`| `a0`–`a3` | arguments |
+/// | `r8`–`r27` |      | allocatable temporaries |
+/// | `r29`    | `sp`   | stack pointer |
+/// | `r30`    | `fp`   | frame pointer |
+/// | `r31`    | `ra`   | return address |
+///
+/// # Example
+///
+/// ```
+/// use clfp_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 29);
+/// assert_eq!(Reg::new(29), Reg::SP);
+/// assert_eq!(Reg::SP.to_string(), "sp");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-value register `r2`.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register `r3`.
+    pub const V1: Reg = Reg(3);
+    /// First argument register `r4`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register `r5`.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register `r6`.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register `r7`.
+    pub const A3: Reg = Reg(7);
+    /// Stack pointer `r29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `r30`.
+    pub const FP: Reg = Reg(30);
+    /// Return address `r31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// First register the compiler may allocate to program variables.
+    pub const FIRST_ALLOCATABLE: u8 = 8;
+    /// One past the last register the compiler may allocate.
+    pub const LAST_ALLOCATABLE: u8 = 28;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses a register name: `r0`–`r31` or one of the aliases
+    /// `zero`, `v0`, `v1`, `a0`–`a3`, `sp`, `fp`, `ra`.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let reg = match name {
+            "zero" => Reg::ZERO,
+            "v0" => Reg::V0,
+            "v1" => Reg::V1,
+            "a0" => Reg::A0,
+            "a1" => Reg::A1,
+            "a2" => Reg::A2,
+            "a3" => Reg::A3,
+            "sp" => Reg::SP,
+            "fp" => Reg::FP,
+            "ra" => Reg::RA,
+            _ => {
+                let index: u8 = name.strip_prefix('r')?.parse().ok()?;
+                if index >= 32 {
+                    return None;
+                }
+                Reg(index)
+            }
+        };
+        Some(reg)
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => f.write_str("zero"),
+            Reg::SP => f.write_str("sp"),
+            Reg::FP => f.write_str("fp"),
+            Reg::RA => f.write_str("ra"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_numeric_names() {
+        for i in 0..32 {
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(Reg::new(i)));
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("fp"), Some(Reg::FP));
+        assert_eq!(Reg::parse("ra"), Some(Reg::RA));
+        assert_eq!(Reg::parse("v0"), Some(Reg::V0));
+        assert_eq!(Reg::parse("a3"), Some(Reg::A3));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("r99"), None);
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for reg in Reg::all() {
+            assert_eq!(Reg::parse(&reg.to_string()), Some(reg));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+}

@@ -1,0 +1,44 @@
+//! Robustness: the assembler must never panic — any input yields either a
+//! program or a structured error with a line number.
+
+use clfp_isa::assemble;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary junk never panics.
+    #[test]
+    fn arbitrary_text_never_panics(source in "\\PC{0,200}") {
+        let _ = assemble(&source);
+    }
+
+    /// Almost-assembly (mnemonic-shaped tokens, registers, numbers,
+    /// labels, directives in random order) never panics, and errors carry
+    /// plausible line numbers.
+    #[test]
+    fn assembly_shaped_text_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "add", "addi", "lw", "sw", "beq", "j", "jr", "call", "ret",
+                "halt", "li", "mv", "cmovn", ".text", ".data", ".word",
+                ".space", "r0", "r31", "r99", "sp", "label:", "label",
+                "0x10", "-5", "7,", "(", ")", "(sp)", "4(sp)", ",", "\n",
+                "#comment\n", ";c\n",
+            ]),
+            0..60,
+        )
+    ) {
+        let source = tokens.join(" ");
+        match assemble(&source) {
+            Ok(program) => {
+                // Anything that assembles must also validate.
+                prop_assert_eq!(program.validate(), Ok(()));
+            }
+            Err(err) => {
+                let lines = source.lines().count();
+                prop_assert!(err.line() <= lines + 1, "line {} of {}", err.line(), lines);
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The MiniC abstract syntax tree.
+
+use crate::lexer::Pos;
+
+/// A whole translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Global variable declarations, in source order.
+    pub globals: Vec<Global>,
+    /// Function declarations, in source order.
+    pub funcs: Vec<Func>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+/// A global variable: a scalar or a fixed-size word array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Array length; `None` for scalars.
+    pub array_len: Option<u32>,
+    /// Initial values (scalars: at most one; arrays: up to `array_len`,
+    /// rest zero-filled).
+    pub init: Vec<i32>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl Global {
+    /// Size in words.
+    pub fn words(&self) -> u32 {
+        self.array_len.unwrap_or(1)
+    }
+}
+
+/// A function declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all parameters are `int`).
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A brace-delimited statement list (a scope).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var name: int = init;` or `var name: int[len];`
+    VarDecl {
+        name: String,
+        /// Array length; `None` for scalars.
+        array_len: Option<u32>,
+        /// Scalar initializer.
+        init: Option<Expr>,
+        pos: Pos,
+    },
+    /// `lvalue = expr;`
+    Assign { target: LValue, value: Expr, pos: Pos },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While { cond: Expr, body: Block, pos: Pos },
+    /// `for (init; cond; step) { .. }` — each header part optional.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+        pos: Pos,
+    },
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `return;` or `return expr;`
+    Return(Option<Expr>, Pos),
+    /// A nested block scope.
+    Block(Block),
+}
+
+/// An assignable location.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// `base[index]` — `base` is an array variable or a word pointer.
+    Index { base: Box<Expr>, index: Box<Expr> },
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is 1 if x == 0, else 0).
+    Not,
+    /// Bitwise complement is spelled `x ^ -1`; no dedicated operator.
+    AddrOf,
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    /// Short-circuit logical and.
+    LogAnd,
+    /// Short-circuit logical or.
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a 0/1 comparison result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the operator is short-circuiting.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32, Pos),
+    /// Variable reference; arrays decay to their address.
+    Var(String, Pos),
+    /// `base[index]`, a word load.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        pos: Pos,
+    },
+    /// Unary operation (`-x`, `!x`, `&func`).
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
+    /// Call: direct if `name` is a function, indirect if it is a variable
+    /// holding a function address.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// Source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, pos)
+            | Expr::Var(_, pos)
+            | Expr::Index { pos, .. }
+            | Expr::Unary { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Call { pos, .. } => *pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LogAnd.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn global_words() {
+        let scalar = Global {
+            name: "g".into(),
+            array_len: None,
+            init: vec![],
+            pos: Pos::default(),
+        };
+        assert_eq!(scalar.words(), 1);
+        let array = Global {
+            name: "a".into(),
+            array_len: Some(10),
+            init: vec![],
+            pos: Pos::default(),
+        };
+        assert_eq!(array.words(), 10);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let module = Module {
+            globals: vec![Global {
+                name: "g".into(),
+                array_len: None,
+                init: vec![1],
+                pos: Pos::default(),
+            }],
+            funcs: vec![Func {
+                name: "main".into(),
+                params: vec![],
+                body: Block::default(),
+                pos: Pos::default(),
+            }],
+        };
+        assert!(module.func("main").is_some());
+        assert!(module.func("other").is_none());
+        assert!(module.global("g").is_some());
+    }
+}

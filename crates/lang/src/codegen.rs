@@ -1,0 +1,1486 @@
+//! MiniC code generation.
+//!
+//! Emits clfp assembly text shaped like 1992 MIPS `-O` output:
+//!
+//! * scalar locals (including loop indices) in callee-saved registers
+//!   `r8`–`r21`, saved/restored in prologue/epilogue;
+//! * expression temporaries in caller-saved `r22`–`r25` with spill slots in
+//!   the frame (`r26`/`r27` are materialization scratch);
+//! * every function adjusts `sp` on entry and exit — the serial dependence
+//!   the study's *perfect inlining* deletes;
+//! * loop conditions compile to fused compare-and-branch against the index
+//!   register, the pattern *perfect unrolling* recognizes;
+//! * short-circuit `&&`/`||` compile to branches (control dependence), not
+//!   data flow.
+//!
+//! Calling convention: arguments in `a0`–`a3`, result in `v0`, return
+//! address in `ra`. Function labels are prefixed `mc_`; a `__start` stub
+//! calls `mc_main` and halts.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use clfp_isa::{DATA_BASE, WORD};
+
+use crate::ast::{BinOp, Block, Expr, Func, LValue, Module, Stmt, UnOp};
+use crate::LangError;
+
+/// First and last callee-saved scalar registers.
+const SCALAR_FIRST: u8 = 8;
+const SCALAR_LAST: u8 = 21;
+/// Eval-stack temporary registers.
+const TEMP_FIRST: u8 = 22;
+const TEMP_LAST: u8 = 25;
+/// Materialization scratch registers (never hold live values across emits).
+const SCRATCH0: u8 = 26;
+const SCRATCH1: u8 = 27;
+/// Number of in-frame eval spill slots.
+const SPILL_SLOTS: u32 = 16;
+
+/// Code-generation options.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CodegenOptions {
+    /// Convert simple guarded assignments (`if (c) { x = pure_expr; }`,
+    /// optionally with an else arm) into conditional moves instead of
+    /// branches — the *guarded instructions* of the paper's Section 6.
+    /// Off by default: the paper's baseline compilers did not if-convert.
+    pub if_conversion: bool,
+    /// Run the AST optimizer (constant folding, algebraic identities, dead
+    /// branch elimination) before code generation. Off by default so the
+    /// published tables are reproducible bit-for-bit; the workload sources
+    /// contain no foldable constants by construction.
+    pub optimize: bool,
+}
+
+/// Generates an assembly listing for a checked module.
+///
+/// # Errors
+///
+/// Returns [`LangError`] only for internal limits (an expression so deep it
+/// exhausts the spill area), which no reasonable program reaches.
+pub fn generate_asm(module: &Module) -> Result<String, LangError> {
+    generate_asm_with(module, CodegenOptions::default())
+}
+
+/// Like [`generate_asm`] with explicit [`CodegenOptions`].
+///
+/// # Errors
+///
+/// Same as [`generate_asm`].
+pub fn generate_asm_with(module: &Module, options: CodegenOptions) -> Result<String, LangError> {
+    let mut out = String::new();
+
+    // ---- data segment ----------------------------------------------------
+    let mut global_addrs = HashMap::new();
+    let mut next_addr = DATA_BASE;
+    writeln!(out, "    .data").unwrap();
+    for global in &module.globals {
+        global_addrs.insert(global.name.clone(), next_addr);
+        write!(out, "g_{}:", global.name).unwrap();
+        let words = global.words();
+        if global.init.is_empty() {
+            writeln!(out, " .space {}", words * WORD).unwrap();
+        } else {
+            let inits: Vec<String> = global.init.iter().map(i32::to_string).collect();
+            writeln!(out, " .word {}", inits.join(", ")).unwrap();
+            let rest = words - global.init.len() as u32;
+            if rest > 0 {
+                writeln!(out, "    .space {}", rest * WORD).unwrap();
+            }
+        }
+        next_addr += words * WORD;
+    }
+
+    // ---- text segment ----------------------------------------------------
+    writeln!(out, "    .text").unwrap();
+    writeln!(out, "__start:").unwrap();
+    writeln!(out, "    call mc_main").unwrap();
+    writeln!(out, "    halt").unwrap();
+
+    for func in &module.funcs {
+        let mut gen = FuncGen::new(module, &global_addrs, func);
+        gen.options = options;
+        gen.generate()?;
+        out.push_str(&gen.finish());
+    }
+    Ok(out)
+}
+
+/// Where a local variable lives.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Storage {
+    /// A dedicated callee-saved register.
+    Reg(u8),
+    /// A frame word at `sp + offset`.
+    Frame(u32),
+    /// A frame-resident array starting at `sp + offset`.
+    FrameArray(u32),
+}
+
+/// An eval-stack entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Loc {
+    /// Held in a temp register.
+    Reg(u8),
+    /// Spilled to eval slot `n` (frame word `spill_base + 4n`).
+    Spill(u32),
+    /// A borrowed scalar register (a live variable used read-only —
+    /// must never be written or stored over).
+    Borrow(u8),
+    /// The zero register (constant 0).
+    Zero,
+}
+
+struct FuncGen<'a> {
+    module: &'a Module,
+    global_addrs: &'a HashMap<String, u32>,
+    func: &'a Func,
+    body: String,
+    /// Scope stack: name -> storage.
+    scopes: Vec<HashMap<String, Storage>>,
+    /// Storage for each declaration, assigned in a pre-pass.
+    decl_storage: Vec<Storage>,
+    /// Next declaration index during the main walk.
+    decl_cursor: usize,
+    /// Scalar registers used by this function (for save/restore).
+    used_scalar_regs: Vec<u8>,
+    /// Eval stack.
+    stack: Vec<Loc>,
+    /// Free temp registers.
+    free_temps: Vec<u8>,
+    /// Free spill slots.
+    free_spills: Vec<u32>,
+    /// Frame size in bytes.
+    frame: u32,
+    /// Byte offset of the eval spill area.
+    spill_base: u32,
+    /// (continue label, break label) stack.
+    loop_labels: Vec<(String, String)>,
+    /// Fresh-label counter.
+    labels: u32,
+    /// Byte offset of the saved-register area.
+    saved_regs_base: u32,
+    /// Whether the function makes no calls (leaf optimization: params stay
+    /// in `a0`-`a3`, locals prefer caller-saved registers, no `ra` save).
+    is_leaf: bool,
+    /// Code-generation options.
+    options: CodegenOptions,
+    /// First internal error, reported at the end.
+    err: Option<LangError>,
+}
+
+impl<'a> FuncGen<'a> {
+    fn new(
+        module: &'a Module,
+        global_addrs: &'a HashMap<String, u32>,
+        func: &'a Func,
+    ) -> FuncGen<'a> {
+        FuncGen {
+            module,
+            global_addrs,
+            func,
+            body: String::new(),
+            scopes: Vec::new(),
+            decl_storage: Vec::new(),
+            decl_cursor: 0,
+            used_scalar_regs: Vec::new(),
+            stack: Vec::new(),
+            free_temps: (TEMP_FIRST..=TEMP_LAST).rev().collect(),
+            free_spills: (0..SPILL_SLOTS).rev().collect(),
+            frame: 0,
+            spill_base: 0,
+            loop_labels: Vec::new(),
+            labels: 0,
+            saved_regs_base: 0,
+            is_leaf: false,
+            options: CodegenOptions::default(),
+            err: None,
+        }
+    }
+
+    // ---- frame layout pre-pass -------------------------------------------
+
+    /// Walks the function collecting every declaration (params first) and
+    /// assigns each one storage; computes the frame layout.
+    fn layout(&mut self) {
+        self.is_leaf = !body_has_calls(&self.func.body);
+        let params = self.func.params.len();
+        let mut decls: Vec<Option<u32>> = self.func.params.iter().map(|_| None).collect();
+        collect_decls(&self.func.body, &mut decls);
+
+        // Leaf functions prefer caller-saved registers (no save/restore):
+        // `v1`, then the argument registers not occupied by parameters —
+        // the classic MIPS leaf-procedure allocation.
+        let mut caller_pool: Vec<u8> = Vec::new();
+        if self.is_leaf {
+            caller_pool.push(3); // v1
+            for reg in (4 + params as u8)..8 {
+                caller_pool.push(reg);
+            }
+            caller_pool.reverse(); // pop() takes v1 first
+        }
+
+        let mut next_reg = SCALAR_FIRST;
+        // Frame: [ra][spill area][frame scalars][arrays][saved regs]
+        let mut offset = WORD; // slot 0 is ra
+        self.spill_base = offset;
+        offset += SPILL_SLOTS * WORD;
+
+        let mut frame_scalars = Vec::new();
+        let mut arrays = Vec::new();
+        for (index, decl) in decls.iter().enumerate() {
+            match decl {
+                None => {
+                    if self.is_leaf && index < params {
+                        // Parameters stay where they arrive.
+                        self.decl_storage.push(Storage::Reg(4 + index as u8));
+                    } else if let Some(reg) = caller_pool.pop() {
+                        self.decl_storage.push(Storage::Reg(reg));
+                    } else if next_reg <= SCALAR_LAST {
+                        self.decl_storage.push(Storage::Reg(next_reg));
+                        self.used_scalar_regs.push(next_reg);
+                        next_reg += 1;
+                    } else {
+                        frame_scalars.push(self.decl_storage.len());
+                        self.decl_storage.push(Storage::Frame(0)); // patched below
+                    }
+                }
+                Some(len) => {
+                    arrays.push((self.decl_storage.len(), *len));
+                    self.decl_storage.push(Storage::FrameArray(0)); // patched below
+                }
+            }
+        }
+        for index in frame_scalars {
+            self.decl_storage[index] = Storage::Frame(offset);
+            offset += WORD;
+        }
+        for (index, len) in arrays {
+            self.decl_storage[index] = Storage::FrameArray(offset);
+            offset += len * WORD;
+        }
+        // Saved callee-saved registers.
+        self.saved_regs_base = offset;
+        offset += self.used_scalar_regs.len() as u32 * WORD;
+        self.frame = offset;
+    }
+
+    // ---- label and emit helpers -------------------------------------------
+
+    fn fresh_label(&mut self, hint: &str) -> String {
+        self.labels += 1;
+        format!("L{}_{}_{}", self.labels, sanitize(&self.func.name), hint)
+    }
+
+    fn emit(&mut self, line: &str) {
+        writeln!(self.body, "    {line}").unwrap();
+    }
+
+    fn label(&mut self, name: &str) {
+        writeln!(self.body, "{name}:").unwrap();
+    }
+
+    fn fail(&mut self, message: &str) {
+        if self.err.is_none() {
+            self.err = Some(LangError::internal(format!(
+                "in `{}`: {message}",
+                self.func.name
+            )));
+        }
+    }
+
+    // ---- eval stack -------------------------------------------------------
+
+    fn alloc_temp(&mut self) -> Option<u8> {
+        self.free_temps.pop()
+    }
+
+    fn alloc_spill(&mut self) -> u32 {
+        match self.free_spills.pop() {
+            Some(slot) => slot,
+            None => {
+                self.fail("expression too deep: eval spill area exhausted");
+                0
+            }
+        }
+    }
+
+    fn spill_offset(&self, slot: u32) -> u32 {
+        self.spill_base + slot * WORD
+    }
+
+    fn push(&mut self, loc: Loc) {
+        self.stack.push(loc);
+    }
+
+    fn pop(&mut self) -> Loc {
+        self.stack.pop().expect("eval stack underflow")
+    }
+
+    /// Releases the resources of a popped entry.
+    fn free(&mut self, loc: Loc) {
+        match loc {
+            Loc::Reg(r) => self.free_temps.push(r),
+            Loc::Spill(slot) => self.free_spills.push(slot),
+            Loc::Borrow(_) | Loc::Zero => {}
+        }
+    }
+
+    /// Brings a popped entry into a readable register. Spilled entries load
+    /// into `scratch`; the register must be consumed before the next
+    /// materialization using the same scratch.
+    fn materialize(&mut self, loc: Loc, scratch: u8) -> u8 {
+        match loc {
+            Loc::Reg(r) | Loc::Borrow(r) => r,
+            Loc::Zero => 0,
+            Loc::Spill(slot) => {
+                let off = self.spill_offset(slot);
+                self.emit(&format!("lw r{scratch}, {off}(sp)"));
+                scratch
+            }
+        }
+    }
+
+    /// Allocates a destination for a freshly computed value: a temp
+    /// register when available, otherwise instructions write to scratch and
+    /// the caller must call [`FuncGen::finish_result`].
+    fn result_reg(&mut self) -> u8 {
+        match self.alloc_temp() {
+            Some(r) => r,
+            None => SCRATCH0,
+        }
+    }
+
+    /// Pushes the value now in `reg` (from [`FuncGen::result_reg`]) onto
+    /// the eval stack, spilling if it lives in scratch.
+    fn finish_result(&mut self, reg: u8) {
+        if reg == SCRATCH0 || reg == SCRATCH1 {
+            let slot = self.alloc_spill();
+            let off = self.spill_offset(slot);
+            self.emit(&format!("sw r{reg}, {off}(sp)"));
+            self.push(Loc::Spill(slot));
+        } else {
+            self.push(Loc::Reg(reg));
+        }
+    }
+
+    /// Spills every live register-resident eval entry (used before calls:
+    /// temps are caller-save). Borrowed scalar registers are callee-saved
+    /// and survive; they are left alone.
+    fn spill_live_temps(&mut self) {
+        for i in 0..self.stack.len() {
+            if let Loc::Reg(r) = self.stack[i] {
+                let slot = self.alloc_spill();
+                let off = self.spill_offset(slot);
+                self.emit(&format!("sw r{r}, {off}(sp)"));
+                self.free_temps.push(r);
+                self.stack[i] = Loc::Spill(slot);
+            }
+        }
+    }
+
+    // ---- name resolution ---------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Storage> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&storage) = scope.get(name) {
+                return Some(storage);
+            }
+        }
+        None
+    }
+
+    fn global_addr(&self, name: &str) -> Option<u32> {
+        self.global_addrs.get(name).copied()
+    }
+
+    fn is_global_array(&self, name: &str) -> bool {
+        self.module
+            .global(name)
+            .is_some_and(|g| g.array_len.is_some())
+    }
+
+    // ---- function body -----------------------------------------------------
+
+    fn generate(&mut self) -> Result<(), LangError> {
+        self.layout();
+
+        // Prologue. Leaf procedures do not save the return address (the
+        // classic MIPS leaf optimization; the 1992 compilers did the same).
+        self.label(&format!("mc_{}", sanitize(&self.func.name)));
+        self.emit(&format!("addi sp, sp, -{}", self.frame));
+        if !self.is_leaf {
+            self.emit("sw ra, 0(sp)");
+        }
+        let saved: Vec<u8> = self.used_scalar_regs.clone();
+        for (i, reg) in saved.iter().enumerate() {
+            let off = self.saved_regs_base + i as u32 * WORD;
+            self.emit(&format!("sw r{reg}, {off}(sp)"));
+        }
+        // Bind parameters.
+        self.scopes.push(HashMap::new());
+        for (i, param) in self.func.params.clone().into_iter().enumerate() {
+            let storage = self.decl_storage[self.decl_cursor];
+            self.decl_cursor += 1;
+            match storage {
+                // Leaf params stay in their arrival register.
+                Storage::Reg(r) if r == 4 + i as u8 => {}
+                Storage::Reg(r) => self.emit(&format!("mv r{r}, a{i}")),
+                Storage::Frame(off) => self.emit(&format!("sw a{i}, {off}(sp)")),
+                Storage::FrameArray(_) => unreachable!("params are scalars"),
+            }
+            self.scopes.last_mut().unwrap().insert(param, storage);
+        }
+
+        let body = self.func.body.clone();
+        self.gen_block_in_scope(&body);
+        self.scopes.pop();
+
+        // Implicit `return 0` at the end.
+        self.emit("li v0, 0");
+        // Epilogue.
+        self.label(&format!("Lret_{}", sanitize(&self.func.name)));
+        for (i, reg) in saved.iter().enumerate() {
+            let off = self.saved_regs_base + i as u32 * WORD;
+            self.emit(&format!("lw r{reg}, {off}(sp)"));
+        }
+        if !self.is_leaf {
+            self.emit("lw ra, 0(sp)");
+        }
+        self.emit(&format!("addi sp, sp, {}", self.frame));
+        self.emit("ret");
+
+        match self.err.take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(self) -> String {
+        self.body
+    }
+
+    fn gen_block(&mut self, block: &Block) {
+        self.scopes.push(HashMap::new());
+        self.gen_block_in_scope(block);
+        self.scopes.pop();
+    }
+
+    fn gen_block_in_scope(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.gen_stmt(stmt);
+            debug_assert!(self.stack.is_empty(), "eval stack leak after {stmt:?}");
+        }
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::VarDecl { name, init, .. } => {
+                let storage = self.decl_storage[self.decl_cursor];
+                self.decl_cursor += 1;
+                if let Some(init) = init.clone() {
+                    match storage {
+                        Storage::Reg(r) => self.eval_into(&init, r),
+                        Storage::Frame(off) => {
+                            self.eval(&init);
+                            let loc = self.pop();
+                            let reg = self.materialize(loc, SCRATCH0);
+                            self.emit(&format!("sw r{reg}, {off}(sp)"));
+                            self.free(loc);
+                        }
+                        Storage::FrameArray(_) => unreachable!("checked by parser"),
+                    }
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("inside function")
+                    .insert(name.clone(), storage);
+            }
+            Stmt::Assign { target, value, .. } => self.gen_assign(target, value),
+            Stmt::Expr(expr) => {
+                self.eval(expr);
+                let loc = self.pop();
+                self.free(loc);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                if self.options.if_conversion && self.try_if_convert(cond, then_blk, else_blk) {
+                    return;
+                }
+                let else_label = self.fresh_label("else");
+                let end_label = self.fresh_label("endif");
+                let target = if else_blk.is_some() {
+                    else_label.clone()
+                } else {
+                    end_label.clone()
+                };
+                self.gen_cond_false(cond, &target);
+                self.gen_block(then_blk);
+                if let Some(else_blk) = else_blk {
+                    self.emit(&format!("j {end_label}"));
+                    self.label(&else_label);
+                    self.gen_block(else_blk);
+                }
+                self.label(&end_label);
+            }
+            Stmt::While { cond, body, .. } => {
+                let head = self.fresh_label("while");
+                let exit = self.fresh_label("endwhile");
+                self.label(&head);
+                self.gen_cond_false(cond, &exit);
+                self.loop_labels.push((head.clone(), exit.clone()));
+                self.gen_block(body);
+                self.loop_labels.pop();
+                self.emit(&format!("j {head}"));
+                self.label(&exit);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.gen_stmt(init);
+                }
+                let head = self.fresh_label("for");
+                let step_label = self.fresh_label("step");
+                let exit = self.fresh_label("endfor");
+                self.label(&head);
+                if let Some(cond) = cond {
+                    self.gen_cond_false(cond, &exit);
+                }
+                self.loop_labels.push((step_label.clone(), exit.clone()));
+                self.gen_block(body);
+                self.loop_labels.pop();
+                self.label(&step_label);
+                if let Some(step) = step {
+                    self.gen_stmt(step);
+                }
+                self.emit(&format!("j {head}"));
+                self.label(&exit);
+                self.scopes.pop();
+            }
+            Stmt::Break(_) => {
+                let target = self
+                    .loop_labels
+                    .last()
+                    .expect("checked by sema")
+                    .1
+                    .clone();
+                self.emit(&format!("j {target}"));
+            }
+            Stmt::Continue(_) => {
+                let target = self
+                    .loop_labels
+                    .last()
+                    .expect("checked by sema")
+                    .0
+                    .clone();
+                self.emit(&format!("j {target}"));
+            }
+            Stmt::Return(value, _) => {
+                match value {
+                    Some(value) => {
+                        self.eval(value);
+                        let loc = self.pop();
+                        let reg = self.materialize(loc, SCRATCH0);
+                        self.emit(&format!("mv v0, r{reg}"));
+                        self.free(loc);
+                    }
+                    None => self.emit("li v0, 0"),
+                }
+                self.emit(&format!("j Lret_{}", sanitize(&self.func.name)));
+            }
+            Stmt::Block(block) => self.gen_block(block),
+        }
+    }
+
+    /// Attempts to if-convert `if (cond) { x = a; } [else { x = b; }]`
+    /// into guarded moves (paper Section 6). Returns whether it succeeded.
+    ///
+    /// Requirements: the arm(s) are single assignments to the same
+    /// register-resident scalar, and the assigned expressions are
+    /// speculation-safe (no calls, no memory accesses — a hoisted load
+    /// could fault on the path where the guard protected it).
+    fn try_if_convert(&mut self, cond: &Expr, then_blk: &Block, else_blk: &Option<Block>) -> bool {
+        let arm = |block: &Block| -> Option<(String, Expr)> {
+            let [Stmt::Assign {
+                target: LValue::Var(name),
+                value,
+                ..
+            }] = &block.stmts[..]
+            else {
+                return None;
+            };
+            if expr_is_speculation_safe(value) {
+                Some((name.clone(), value.clone()))
+            } else {
+                None
+            }
+        };
+        let Some((name, then_value)) = arm(then_blk) else {
+            return false;
+        };
+        let else_value = match else_blk {
+            None => None,
+            Some(block) => match arm(block) {
+                Some((else_name, value)) if else_name == name => Some(value),
+                _ => return false,
+            },
+        };
+        let Some(Storage::Reg(dest)) = self.lookup(&name) else {
+            return false;
+        };
+
+        // Evaluate the guard and both values unconditionally, then commit
+        // with conditional moves.
+        self.eval(cond);
+        let guard_loc = self.pop();
+        let guard = self.materialize(guard_loc, SCRATCH0);
+        // Keep the guard safe: if it sits in scratch it must survive the
+        // value evaluations below, so promote it to a temp or spill.
+        let (guard, guard_loc) = if guard == SCRATCH0 {
+            match self.alloc_temp() {
+                Some(r) => {
+                    self.emit(&format!("mv r{r}, r{guard}"));
+                    self.free(guard_loc);
+                    (r, Loc::Reg(r))
+                }
+                None => {
+                    let slot = self.alloc_spill();
+                    let off = self.spill_offset(slot);
+                    self.emit(&format!("sw r{guard}, {off}(sp)"));
+                    self.free(guard_loc);
+                    (SCRATCH0, Loc::Spill(slot))
+                }
+            }
+        } else {
+            (guard, guard_loc)
+        };
+
+        self.eval(&then_value);
+        let then_loc = self.pop();
+        let then_reg = self.materialize(then_loc, SCRATCH1);
+        // Re-materialize the guard in case it was spilled.
+        let guard = match guard_loc {
+            Loc::Spill(slot) => {
+                let off = self.spill_offset(slot);
+                self.emit(&format!("lw r{SCRATCH0}, {off}(sp)"));
+                SCRATCH0
+            }
+            _ => guard,
+        };
+        self.emit(&format!("cmovn r{dest}, r{then_reg}, r{guard}"));
+        self.free(then_loc);
+
+        if let Some(else_value) = else_value {
+            self.eval(&else_value);
+            let else_loc = self.pop();
+            let else_reg = self.materialize(else_loc, SCRATCH1);
+            let guard = match guard_loc {
+                Loc::Spill(slot) => {
+                    let off = self.spill_offset(slot);
+                    self.emit(&format!("lw r{SCRATCH0}, {off}(sp)"));
+                    SCRATCH0
+                }
+                _ => guard,
+            };
+            self.emit(&format!("cmovz r{dest}, r{else_reg}, r{guard}"));
+            self.free(else_loc);
+        }
+        self.free(guard_loc);
+        true
+    }
+
+    fn gen_assign(&mut self, target: &LValue, value: &Expr) {
+        match target {
+            LValue::Var(name) => match self.lookup(name) {
+                Some(Storage::Reg(r)) => self.eval_into(value, r),
+                Some(Storage::Frame(off)) => {
+                    self.eval(value);
+                    let loc = self.pop();
+                    let reg = self.materialize(loc, SCRATCH0);
+                    self.emit(&format!("sw r{reg}, {off}(sp)"));
+                    self.free(loc);
+                }
+                Some(Storage::FrameArray(_)) => unreachable!("checked by sema"),
+                None => {
+                    // Global scalar: absolute-address store.
+                    let addr = self.global_addr(name).expect("checked by sema");
+                    self.eval(value);
+                    let loc = self.pop();
+                    let reg = self.materialize(loc, SCRATCH0);
+                    self.emit(&format!("sw r{reg}, {addr}(r0)"));
+                    self.free(loc);
+                }
+            },
+            LValue::Index { base, index } => {
+                // Evaluate the value first, then the address parts, so the
+                // store consumes at most scratch + one temp.
+                self.eval(value);
+                let (addr_reg, offset, addr_loc) = self.gen_address(base, index);
+                let value_loc = self.pop();
+                let value_reg = self.materialize(value_loc, SCRATCH1);
+                self.emit(&format!("sw r{value_reg}, {offset}(r{addr_reg})"));
+                self.free(value_loc);
+                if let Some(loc) = addr_loc {
+                    self.free(loc);
+                }
+            }
+        }
+    }
+
+    /// Computes the address of `base[index]`. Returns `(reg, offset, loc)`
+    /// where the address is `reg + offset` and `loc` is an eval entry to
+    /// free afterwards (already popped).
+    fn gen_address(&mut self, base: &Expr, index: &Expr) -> (u8, i64, Option<Loc>) {
+        // Resolve the base form.
+        enum BaseKind {
+            /// Constant byte address (global arrays / global scalars).
+            Const(i64),
+            /// sp + constant (local arrays).
+            Sp(i64),
+            /// A computed pointer value.
+            Value,
+        }
+        let base_kind = match base {
+            Expr::Var(name, _) => match self.lookup(name) {
+                Some(Storage::FrameArray(off)) => BaseKind::Sp(off as i64),
+                Some(_) => BaseKind::Value,
+                None if self.is_global_array(name) || self.global_addr(name).is_some() => {
+                    BaseKind::Const(self.global_addr(name).expect("global") as i64)
+                }
+                None => BaseKind::Value,
+            },
+            _ => BaseKind::Value,
+        };
+
+        match (base_kind, index) {
+            // Constant base, constant index: absolute addressing.
+            (BaseKind::Const(addr), Expr::Int(i, _)) => (0, addr + *i as i64 * 4, None),
+            (BaseKind::Sp(off), Expr::Int(i, _)) => (29, off + *i as i64 * 4, None),
+            (BaseKind::Const(addr), _) => {
+                self.eval(index);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                let dest = self.addr_dest(loc, reg);
+                self.emit(&format!("slli r{dest}, r{reg}, 2"));
+                (dest, addr, Some(self.addr_loc(loc, dest)))
+            }
+            (BaseKind::Sp(off), _) => {
+                self.eval(index);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                let dest = self.addr_dest(loc, reg);
+                self.emit(&format!("slli r{dest}, r{reg}, 2"));
+                self.emit(&format!("add r{dest}, sp, r{dest}"));
+                (dest, off, Some(self.addr_loc(loc, dest)))
+            }
+            (BaseKind::Value, Expr::Int(i, _)) => {
+                self.eval(base);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                // The base register is only read; no new register needed.
+                (reg, *i as i64 * 4, Some(loc))
+            }
+            (BaseKind::Value, _) => {
+                self.eval(base);
+                self.eval(index);
+                let index_loc = self.pop();
+                let base_loc = self.pop();
+                let index_reg = self.materialize(index_loc, SCRATCH0);
+                let base_reg = self.materialize(base_loc, SCRATCH1);
+                let dest = self.addr_dest2(index_loc, base_loc);
+                self.emit(&format!("slli r{dest}, r{index_reg}, 2"));
+                self.emit(&format!("add r{dest}, r{base_reg}, r{dest}"));
+                // Free whichever of the two entries is not the dest.
+                let dest_loc = self.addr_loc2(index_loc, base_loc, dest);
+                (dest, 0, Some(dest_loc))
+            }
+        }
+    }
+
+    /// Picks a register to hold a computed address, preferring to reuse a
+    /// temp the operand already owns.
+    fn addr_dest(&mut self, loc: Loc, value_reg: u8) -> u8 {
+        match loc {
+            Loc::Reg(_) => value_reg, // reuse the owned temp
+            _ => match self.alloc_temp() {
+                Some(r) => r,
+                None => SCRATCH0,
+            },
+        }
+    }
+
+    /// The eval entry that owns the address register from [`addr_dest`].
+    fn addr_loc(&mut self, operand_loc: Loc, dest: u8) -> Loc {
+        match operand_loc {
+            Loc::Reg(r) if r == dest => Loc::Reg(r),
+            other => {
+                self.free(other);
+                if (TEMP_FIRST..=TEMP_LAST).contains(&dest) {
+                    Loc::Reg(dest)
+                } else {
+                    // Address lives in scratch; the very next instruction
+                    // consumes it, so nothing to own.
+                    Loc::Zero
+                }
+            }
+        }
+    }
+
+    fn addr_dest2(&mut self, index_loc: Loc, base_loc: Loc) -> u8 {
+        if let Loc::Reg(r) = index_loc {
+            return r;
+        }
+        // The base register cannot be reused (it is read after the slli);
+        // allocate a fresh temp, falling back to scratch.
+        let _ = base_loc;
+        match self.alloc_temp() {
+            Some(r) => r,
+            None => SCRATCH0,
+        }
+    }
+
+    fn addr_loc2(&mut self, index_loc: Loc, base_loc: Loc, dest: u8) -> Loc {
+        let mut dest_loc = Loc::Zero;
+        for loc in [index_loc, base_loc] {
+            match loc {
+                Loc::Reg(r) if r == dest => dest_loc = loc,
+                other => self.free(other),
+            }
+        }
+        if dest_loc == Loc::Zero && (TEMP_FIRST..=TEMP_LAST).contains(&dest) {
+            dest_loc = Loc::Reg(dest);
+        }
+        dest_loc
+    }
+
+    // ---- conditions --------------------------------------------------------
+
+    /// Emits code that jumps to `target` when `cond` is false.
+    fn gen_cond_false(&mut self, cond: &Expr, target: &str) {
+        match cond {
+            Expr::Binary { op, lhs, rhs, .. } if op.is_comparison() => {
+                self.gen_compare_branch(op.negated(), lhs, rhs, target);
+            }
+            Expr::Binary {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
+                self.gen_cond_false(lhs, target);
+                self.gen_cond_false(rhs, target);
+            }
+            Expr::Binary {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let taken = self.fresh_label("or");
+                self.gen_cond_true(lhs, &taken);
+                self.gen_cond_false(rhs, target);
+                self.label(&taken);
+            }
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+                ..
+            } => self.gen_cond_true(expr, target),
+            Expr::Int(v, _) => {
+                if *v == 0 {
+                    self.emit(&format!("j {target}"));
+                }
+            }
+            _ => {
+                self.eval(cond);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                self.emit(&format!("beq r{reg}, r0, {target}"));
+                self.free(loc);
+            }
+        }
+    }
+
+    /// Emits code that jumps to `target` when `cond` is true.
+    fn gen_cond_true(&mut self, cond: &Expr, target: &str) {
+        match cond {
+            Expr::Binary { op, lhs, rhs, .. } if op.is_comparison() => {
+                self.gen_compare_branch(*op, lhs, rhs, target);
+            }
+            Expr::Binary {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
+                self.gen_cond_true(lhs, target);
+                self.gen_cond_true(rhs, target);
+            }
+            Expr::Binary {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let fallthrough = self.fresh_label("and");
+                self.gen_cond_false(lhs, &fallthrough);
+                self.gen_cond_true(rhs, target);
+                self.label(&fallthrough);
+            }
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+                ..
+            } => self.gen_cond_false(expr, target),
+            Expr::Int(v, _) => {
+                if *v != 0 {
+                    self.emit(&format!("j {target}"));
+                }
+            }
+            _ => {
+                self.eval(cond);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                self.emit(&format!("bne r{reg}, r0, {target}"));
+                self.free(loc);
+            }
+        }
+    }
+
+    /// Emits `b<op> lhs, rhs, target` with operands evaluated in place —
+    /// register-resident variables are used directly (the fused
+    /// compare-and-branch form the induction analysis recognizes).
+    fn gen_compare_branch(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, target: &str) {
+        self.eval_operand(lhs);
+        self.eval_operand(rhs);
+        let rhs_loc = self.pop();
+        let lhs_loc = self.pop();
+        let rhs_reg = self.materialize(rhs_loc, SCRATCH0);
+        let lhs_reg = self.materialize(lhs_loc, SCRATCH1);
+        let mnemonic = match op {
+            BinOp::Lt => "blt",
+            BinOp::Le => "ble",
+            BinOp::Gt => "bgt",
+            BinOp::Ge => "bge",
+            BinOp::Eq => "beq",
+            BinOp::Ne => "bne",
+            _ => unreachable!("comparison op"),
+        };
+        self.emit(&format!("{mnemonic} r{lhs_reg}, r{rhs_reg}, {target}"));
+        self.free(rhs_loc);
+        self.free(lhs_loc);
+    }
+
+    /// Evaluates an expression for use as a read-only operand: variables in
+    /// registers are *borrowed* (no copy), zero literals use `r0`.
+    fn eval_operand(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Int(0, _) => self.push(Loc::Zero),
+            Expr::Var(name, _) => match self.lookup(name) {
+                Some(Storage::Reg(r)) => self.push(Loc::Borrow(r)),
+                _ => self.eval(expr),
+            },
+            _ => self.eval(expr),
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    /// Evaluates `expr`, pushing its location onto the eval stack.
+    fn eval(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Int(v, _) => {
+                let dest = self.result_reg();
+                self.emit(&format!("li r{dest}, {v}"));
+                self.finish_result(dest);
+            }
+            Expr::Var(name, _) => match self.lookup(name) {
+                Some(Storage::Reg(r)) => {
+                    let dest = self.result_reg();
+                    self.emit(&format!("mv r{dest}, r{r}"));
+                    self.finish_result(dest);
+                }
+                Some(Storage::Frame(off)) => {
+                    let dest = self.result_reg();
+                    self.emit(&format!("lw r{dest}, {off}(sp)"));
+                    self.finish_result(dest);
+                }
+                Some(Storage::FrameArray(off)) => {
+                    // Local arrays decay to their address.
+                    let dest = self.result_reg();
+                    self.emit(&format!("addi r{dest}, sp, {off}"));
+                    self.finish_result(dest);
+                }
+                None => {
+                    let addr = self.global_addr(name).expect("checked by sema");
+                    let dest = self.result_reg();
+                    if self.is_global_array(name) {
+                        self.emit(&format!("li r{dest}, {addr}"));
+                    } else {
+                        self.emit(&format!("lw r{dest}, {addr}(r0)"));
+                    }
+                    self.finish_result(dest);
+                }
+            },
+            Expr::Index { base, index, .. } => {
+                let (addr_reg, offset, addr_loc) = self.gen_address(base, index);
+                let dest = match addr_loc {
+                    Some(Loc::Reg(r)) => r, // reuse the address temp
+                    _ => self.result_reg(),
+                };
+                self.emit(&format!("lw r{dest}, {offset}(r{addr_reg})"));
+                match addr_loc {
+                    Some(Loc::Reg(r)) if r == dest => self.push(Loc::Reg(r)),
+                    other => {
+                        if let Some(loc) = other {
+                            self.free(loc);
+                        }
+                        self.finish_result(dest);
+                    }
+                }
+            }
+            Expr::Unary { op, expr, .. } => match op {
+                UnOp::Neg => {
+                    self.eval_operand(expr);
+                    let loc = self.pop();
+                    let reg = self.materialize(loc, SCRATCH0);
+                    let dest = self.unary_dest(loc);
+                    self.emit(&format!("sub r{dest}, r0, r{reg}"));
+                    self.finish_unary(loc, dest);
+                }
+                UnOp::Not => {
+                    self.eval_operand(expr);
+                    let loc = self.pop();
+                    let reg = self.materialize(loc, SCRATCH0);
+                    let dest = self.unary_dest(loc);
+                    self.emit(&format!("seqi r{dest}, r{reg}, 0"));
+                    self.finish_unary(loc, dest);
+                }
+                UnOp::AddrOf => {
+                    let Expr::Var(name, _) = expr.as_ref() else {
+                        unreachable!("checked by sema");
+                    };
+                    let dest = self.result_reg();
+                    self.emit(&format!("li r{dest}, mc_{}", sanitize(name)));
+                    self.finish_result(dest);
+                }
+            },
+            Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs),
+            Expr::Call { name, args, .. } => self.gen_call(name, args),
+        }
+    }
+
+    fn unary_dest(&mut self, loc: Loc) -> u8 {
+        match loc {
+            Loc::Reg(r) => r,
+            _ => self.result_reg(),
+        }
+    }
+
+    fn finish_unary(&mut self, loc: Loc, dest: u8) {
+        match loc {
+            Loc::Reg(r) if r == dest => self.push(Loc::Reg(r)),
+            other => {
+                self.free(other);
+                self.finish_result(dest);
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) {
+        if op.is_logical() {
+            // Short-circuit in value position: compute 0/1 with branches.
+            // Any live temps must be spilled *before* the branching starts:
+            // code emitted inside the condition tree (e.g. spills forced by
+            // a call in the right operand) may be skipped at run time, so
+            // nothing outside the tree may depend on it.
+            self.spill_live_temps();
+            let false_label = self.fresh_label("valfalse");
+            let end_label = self.fresh_label("valend");
+            let pos = lhs.pos();
+            let full = Expr::Binary {
+                op,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs.clone()),
+                pos,
+            };
+            self.gen_cond_false(&full, &false_label);
+            let dest = self.result_reg();
+            self.emit(&format!("li r{dest}, 1"));
+            self.emit(&format!("j {end_label}"));
+            self.label(&false_label);
+            self.emit(&format!("li r{dest}, 0"));
+            self.label(&end_label);
+            self.finish_result(dest);
+            return;
+        }
+
+        // Immediate forms: `x op const` in one instruction.
+        if let Expr::Int(imm, _) = rhs {
+            if let Some(mnemonic) = imm_mnemonic(op) {
+                self.eval_operand(lhs);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                let dest = self.unary_dest(loc);
+                self.emit(&format!("{mnemonic} r{dest}, r{reg}, {imm}"));
+                self.finish_unary(loc, dest);
+                return;
+            }
+        }
+        // Commutative with constant lhs: swap.
+        if let Expr::Int(imm, _) = lhs {
+            if matches!(op, BinOp::Add | BinOp::Mul | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor)
+            {
+                if let Some(mnemonic) = imm_mnemonic(op) {
+                    self.eval_operand(rhs);
+                    let loc = self.pop();
+                    let reg = self.materialize(loc, SCRATCH0);
+                    let dest = self.unary_dest(loc);
+                    self.emit(&format!("{mnemonic} r{dest}, r{reg}, {imm}"));
+                    self.finish_unary(loc, dest);
+                    return;
+                }
+            }
+        }
+
+        self.eval_operand(lhs);
+        self.eval_operand(rhs);
+        let rhs_loc = self.pop();
+        let lhs_loc = self.pop();
+        let rhs_reg = self.materialize(rhs_loc, SCRATCH0);
+        let lhs_reg = self.materialize(lhs_loc, SCRATCH1);
+        // Reuse an owned temp for the destination when possible.
+        let dest = match (lhs_loc, rhs_loc) {
+            (Loc::Reg(r), _) => r,
+            (_, Loc::Reg(r)) => r,
+            _ => self.result_reg(),
+        };
+        let (mnemonic, swap) = reg_mnemonic(op);
+        if swap {
+            self.emit(&format!("{mnemonic} r{dest}, r{rhs_reg}, r{lhs_reg}"));
+        } else {
+            self.emit(&format!("{mnemonic} r{dest}, r{lhs_reg}, r{rhs_reg}"));
+        }
+        // Free the operand that does not own dest; push dest.
+        let mut pushed = false;
+        for loc in [lhs_loc, rhs_loc] {
+            match loc {
+                Loc::Reg(r) if r == dest && !pushed => {
+                    self.push(Loc::Reg(r));
+                    pushed = true;
+                }
+                other => self.free(other),
+            }
+        }
+        if !pushed {
+            self.finish_result(dest);
+        }
+    }
+
+    /// Evaluates `expr` directly into callee-saved register `dest` (an
+    /// assignment target). Produces the single-instruction
+    /// `addi rX, rX, c` form for `i = i + 1`, which the induction analysis
+    /// requires.
+    fn eval_into(&mut self, expr: &Expr, dest: u8) {
+        match expr {
+            Expr::Int(v, _) => self.emit(&format!("li r{dest}, {v}")),
+            Expr::Var(name, _) => match self.lookup(name) {
+                Some(Storage::Reg(r)) => {
+                    if r != dest {
+                        self.emit(&format!("mv r{dest}, r{r}"));
+                    }
+                }
+                Some(Storage::Frame(off)) => self.emit(&format!("lw r{dest}, {off}(sp)")),
+                Some(Storage::FrameArray(off)) => {
+                    self.emit(&format!("addi r{dest}, sp, {off}"))
+                }
+                None => {
+                    let addr = self.global_addr(name).expect("checked by sema");
+                    if self.is_global_array(name) {
+                        self.emit(&format!("li r{dest}, {addr}"));
+                    } else {
+                        self.emit(&format!("lw r{dest}, {addr}(r0)"));
+                    }
+                }
+            },
+            Expr::Binary { op, lhs, rhs, .. } if !op.is_logical() => {
+                // `dest = lhs op const` in one instruction when possible.
+                if let Expr::Int(imm, _) = rhs.as_ref() {
+                    if let Some(mnemonic) = imm_mnemonic(*op) {
+                        self.eval_operand(lhs);
+                        let loc = self.pop();
+                        let reg = self.materialize(loc, SCRATCH0);
+                        self.emit(&format!("{mnemonic} r{dest}, r{reg}, {imm}"));
+                        self.free(loc);
+                        return;
+                    }
+                }
+                self.eval_operand(lhs);
+                self.eval_operand(rhs);
+                let rhs_loc = self.pop();
+                let lhs_loc = self.pop();
+                let rhs_reg = self.materialize(rhs_loc, SCRATCH0);
+                let lhs_reg = self.materialize(lhs_loc, SCRATCH1);
+                let (mnemonic, swap) = reg_mnemonic(*op);
+                if swap {
+                    self.emit(&format!("{mnemonic} r{dest}, r{rhs_reg}, r{lhs_reg}"));
+                } else {
+                    self.emit(&format!("{mnemonic} r{dest}, r{lhs_reg}, r{rhs_reg}"));
+                }
+                self.free(rhs_loc);
+                self.free(lhs_loc);
+            }
+            Expr::Index { base, index, .. } => {
+                let (addr_reg, offset, addr_loc) = self.gen_address(base, index);
+                self.emit(&format!("lw r{dest}, {offset}(r{addr_reg})"));
+                if let Some(loc) = addr_loc {
+                    self.free(loc);
+                }
+            }
+            _ => {
+                // General case: calls, logicals, unary — evaluate then move.
+                self.eval(expr);
+                let loc = self.pop();
+                let reg = self.materialize(loc, SCRATCH0);
+                self.emit(&format!("mv r{dest}, r{reg}"));
+                self.free(loc);
+            }
+        }
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr]) {
+        // Evaluate arguments left to right onto the eval stack.
+        for arg in args {
+            self.eval(arg);
+        }
+        // Temps are caller-save: push every live register entry to the
+        // frame (including the argument values just computed).
+        self.spill_live_temps();
+        // Load arguments into a0..a3 from their (now frame-resident or
+        // borrowed) locations. Iterate in reverse so pops line up.
+        let mut arg_locs: Vec<Loc> = Vec::with_capacity(args.len());
+        for _ in args {
+            arg_locs.push(self.pop());
+        }
+        arg_locs.reverse();
+        for (i, loc) in arg_locs.iter().enumerate() {
+            match *loc {
+                Loc::Spill(slot) => {
+                    let off = self.spill_offset(slot);
+                    self.emit(&format!("lw a{i}, {off}(sp)"));
+                }
+                Loc::Borrow(r) => self.emit(&format!("mv a{i}, r{r}")),
+                Loc::Zero => self.emit(&format!("li a{i}, 0")),
+                Loc::Reg(_) => unreachable!("all temps were spilled"),
+            }
+        }
+        for loc in arg_locs {
+            self.free(loc);
+        }
+
+        // Direct or indirect?
+        if self.module.func(name).is_some() {
+            self.emit(&format!("call mc_{}", sanitize(name)));
+        } else {
+            match self.lookup(name) {
+                Some(Storage::Reg(r)) => self.emit(&format!("callr r{r}")),
+                Some(Storage::Frame(off)) => {
+                    self.emit(&format!("lw r{SCRATCH0}, {off}(sp)"));
+                    self.emit(&format!("callr r{SCRATCH0}"));
+                }
+                Some(Storage::FrameArray(_)) => unreachable!("checked by sema"),
+                None => {
+                    let addr = self.global_addr(name).expect("checked by sema");
+                    self.emit(&format!("lw r{SCRATCH0}, {addr}(r0)"));
+                    self.emit(&format!("callr r{SCRATCH0}"));
+                }
+            }
+        }
+
+        // Result.
+        let dest = self.result_reg();
+        self.emit(&format!("mv r{dest}, v0"));
+        self.finish_result(dest);
+    }
+}
+
+/// Whether an expression can be evaluated unconditionally during
+/// if-conversion: no calls (side effects) and no memory accesses (a load
+/// hoisted past its guard could fault). Division is safe — the ISA defines
+/// division by zero as 0.
+fn expr_is_speculation_safe(expr: &Expr) -> bool {
+    match expr {
+        Expr::Int(..) => true,
+        Expr::Var(..) => true, // register or global scalar read
+        Expr::Index { .. } | Expr::Call { .. } => false,
+        Expr::Unary { op, expr, .. } => !matches!(op, UnOp::AddrOf) && expr_is_speculation_safe(expr),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            !op.is_logical() && expr_is_speculation_safe(lhs) && expr_is_speculation_safe(rhs)
+        }
+    }
+}
+
+/// Whether a function body contains any call (direct or indirect).
+fn body_has_calls(block: &Block) -> bool {
+    fn expr_has_calls(expr: &Expr) -> bool {
+        match expr {
+            Expr::Call { .. } => true,
+            Expr::Int(..) | Expr::Var(..) => false,
+            Expr::Index { base, index, .. } => expr_has_calls(base) || expr_has_calls(index),
+            Expr::Unary { expr, .. } => expr_has_calls(expr),
+            Expr::Binary { lhs, rhs, .. } => expr_has_calls(lhs) || expr_has_calls(rhs),
+        }
+    }
+    fn stmt_has_calls(stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::VarDecl { init, .. } => init.as_ref().is_some_and(expr_has_calls),
+            Stmt::Assign { target, value, .. } => {
+                let target_calls = match target {
+                    LValue::Var(_) => false,
+                    LValue::Index { base, index } => {
+                        expr_has_calls(base) || expr_has_calls(index)
+                    }
+                };
+                target_calls || expr_has_calls(value)
+            }
+            Stmt::Expr(expr) => expr_has_calls(expr),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                expr_has_calls(cond)
+                    || body_has_calls(then_blk)
+                    || else_blk.as_ref().is_some_and(body_has_calls)
+            }
+            Stmt::While { cond, body, .. } => expr_has_calls(cond) || body_has_calls(body),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                init.as_deref().is_some_and(stmt_has_calls)
+                    || cond.as_ref().is_some_and(expr_has_calls)
+                    || step.as_deref().is_some_and(stmt_has_calls)
+                    || body_has_calls(body)
+            }
+            Stmt::Return(value, _) => value.as_ref().is_some_and(expr_has_calls),
+            Stmt::Block(block) => body_has_calls(block),
+            Stmt::Break(_) | Stmt::Continue(_) => false,
+        }
+    }
+    block.stmts.iter().any(stmt_has_calls)
+}
+
+/// Collects the array-length of every declaration in body order
+/// (`None` = scalar).
+fn collect_decls(block: &Block, decls: &mut Vec<Option<u32>>) {
+    for stmt in &block.stmts {
+        collect_decls_stmt(stmt, decls);
+    }
+}
+
+fn collect_decls_stmt(stmt: &Stmt, decls: &mut Vec<Option<u32>>) {
+    match stmt {
+        Stmt::VarDecl { array_len, .. } => decls.push(*array_len),
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            collect_decls(then_blk, decls);
+            if let Some(else_blk) = else_blk {
+                collect_decls(else_blk, decls);
+            }
+        }
+        Stmt::While { body, .. } => collect_decls(body, decls),
+        Stmt::For {
+            init, step, body, ..
+        } => {
+            if let Some(init) = init {
+                collect_decls_stmt(init, decls);
+            }
+            if let Some(step) = step {
+                collect_decls_stmt(step, decls);
+            }
+            collect_decls(body, decls);
+        }
+        Stmt::Block(block) => collect_decls(block, decls),
+        _ => {}
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.to_string()
+}
+
+impl BinOp {
+    /// The comparison with the opposite outcome.
+    pub(crate) fn negated(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Ge => BinOp::Lt,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            other => other,
+        }
+    }
+}
+
+/// Immediate-form mnemonic for `x op const`, if one exists.
+fn imm_mnemonic(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Add => "addi",
+        BinOp::Sub => "subi",
+        BinOp::Mul => "muli",
+        BinOp::Div => "divi",
+        BinOp::Rem => "remi",
+        BinOp::Shl => "slli",
+        BinOp::Shr => "srai",
+        BinOp::BitAnd => "andi",
+        BinOp::BitOr => "ori",
+        BinOp::BitXor => "xori",
+        BinOp::Lt => "slti",
+        BinOp::Le => "slei",
+        BinOp::Eq => "seqi",
+        BinOp::Ne => "snei",
+        BinOp::Gt | BinOp::Ge => return None, // need operand swap
+        BinOp::LogAnd | BinOp::LogOr => return None,
+    })
+}
+
+/// Register-form mnemonic and whether operands swap (`a > b` = `b < a`).
+fn reg_mnemonic(op: BinOp) -> (&'static str, bool) {
+    match op {
+        BinOp::Add => ("add", false),
+        BinOp::Sub => ("sub", false),
+        BinOp::Mul => ("mul", false),
+        BinOp::Div => ("div", false),
+        BinOp::Rem => ("rem", false),
+        BinOp::Shl => ("sll", false),
+        BinOp::Shr => ("sra", false),
+        BinOp::BitAnd => ("and", false),
+        BinOp::BitOr => ("or", false),
+        BinOp::BitXor => ("xor", false),
+        BinOp::Lt => ("slt", false),
+        BinOp::Le => ("sle", false),
+        BinOp::Gt => ("slt", true),
+        BinOp::Ge => ("sle", true),
+        BinOp::Eq => ("seq", false),
+        BinOp::Ne => ("sne", false),
+        BinOp::LogAnd | BinOp::LogOr => unreachable!("handled before"),
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error produced by the MiniC front end or compiler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    line: usize,
+    column: usize,
+    message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> LangError {
+        LangError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn internal(message: impl Into<String>) -> LangError {
+        LangError {
+            line: 0,
+            column: 0,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line (0 for internal errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based source column (0 for internal errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "minic error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "minic error at {}:{}: {}",
+                self.line, self.column, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let err = LangError::new(3, 7, "unexpected token");
+        assert_eq!(err.to_string(), "minic error at 3:7: unexpected token");
+        assert_eq!(err.line(), 3);
+        assert_eq!(err.column(), 7);
+    }
+
+    #[test]
+    fn display_internal() {
+        let err = LangError::internal("codegen invariant violated");
+        assert_eq!(err.to_string(), "minic error: codegen invariant violated");
+    }
+}

@@ -1,0 +1,535 @@
+//! The MiniC lexer.
+
+use std::fmt;
+
+use crate::LangError;
+
+/// A source position (1-based line and column).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// The kind of a token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An integer literal (decimal, hex, or character literal).
+    Int(i32),
+    /// An identifier.
+    Ident(String),
+    /// A keyword.
+    Fn,
+    Var,
+    IntType,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    AndAnd,
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            TokenKind::Int(v) => return write!(f, "integer `{v}`"),
+            TokenKind::Ident(name) => return write!(f, "identifier `{name}`"),
+            TokenKind::Fn => "`fn`",
+            TokenKind::Var => "`var`",
+            TokenKind::IntType => "`int`",
+            TokenKind::If => "`if`",
+            TokenKind::Else => "`else`",
+            TokenKind::While => "`while`",
+            TokenKind::For => "`for`",
+            TokenKind::Return => "`return`",
+            TokenKind::Break => "`break`",
+            TokenKind::Continue => "`continue`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semicolon => "`;`",
+            TokenKind::Colon => "`:`",
+            TokenKind::Arrow => "`->`",
+            TokenKind::Assign => "`=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::NotEq => "`!=`",
+            TokenKind::Not => "`!`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(text)
+    }
+}
+
+/// One token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Streaming lexer over MiniC source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Lexes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] on malformed literals or unexpected
+    /// characters.
+    pub fn tokenize(source: &'a str) -> Result<Vec<Token>, LangError> {
+        let mut lexer = Lexer::new(source);
+        let mut tokens = Vec::new();
+        loop {
+            let token = lexer.next_token()?;
+            let done = token.kind == TokenKind::Eof;
+            tokens.push(token);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Possible comment; look ahead without consuming `/`
+                    // unless it is one.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    match clone.next() {
+                        Some('/') => {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        Some('*') => {
+                            let start = self.pos();
+                            self.bump(); // '/'
+                            self.bump(); // '*'
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.eat('/') {
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(LangError::new(
+                                    start.line,
+                                    start.column,
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] on malformed input.
+    pub fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            '0'..='9' => self.number(pos)?,
+            '\'' => self.char_literal(pos)?,
+            c if c.is_ascii_alphabetic() || c == '_' => self.ident_or_keyword(),
+            _ => {
+                self.bump();
+                match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    ':' => TokenKind::Colon,
+                    '+' => TokenKind::Plus,
+                    '-' => {
+                        if self.eat('>') {
+                            TokenKind::Arrow
+                        } else {
+                            TokenKind::Minus
+                        }
+                    }
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    '%' => TokenKind::Percent,
+                    '^' => TokenKind::Caret,
+                    '=' => {
+                        if self.eat('=') {
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    '!' => {
+                        if self.eat('=') {
+                            TokenKind::NotEq
+                        } else {
+                            TokenKind::Not
+                        }
+                    }
+                    '<' => {
+                        if self.eat('=') {
+                            TokenKind::Le
+                        } else if self.eat('<') {
+                            TokenKind::Shl
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    '>' => {
+                        if self.eat('=') {
+                            TokenKind::Ge
+                        } else if self.eat('>') {
+                            TokenKind::Shr
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    '&' => {
+                        if self.eat('&') {
+                            TokenKind::AndAnd
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    '|' => {
+                        if self.eat('|') {
+                            TokenKind::OrOr
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(LangError::new(
+                            pos.line,
+                            pos.column,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<TokenKind, LangError> {
+        let mut text = String::new();
+        let mut is_hex = false;
+        text.push(self.bump().expect("digit"));
+        if text == "0" && (self.peek() == Some('x') || self.peek() == Some('X')) {
+            self.bump();
+            is_hex = true;
+            text.clear();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_hexdigit() && (is_hex || c.is_ascii_digit()) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let radix = if is_hex { 16 } else { 10 };
+        match i64::from_str_radix(&text, radix) {
+            // Accept anything representable in 32 bits (values above
+            // i32::MAX wrap, so `0xFFFFFFFF` means -1).
+            Ok(v) if (0..=u32::MAX as i64).contains(&v) => Ok(TokenKind::Int(v as i32)),
+            _ => Err(LangError::new(
+                pos.line,
+                pos.column,
+                format!("integer literal `{text}` out of range"),
+            )),
+        }
+    }
+
+    fn char_literal(&mut self, pos: Pos) -> Result<TokenKind, LangError> {
+        self.bump(); // opening quote
+        let err = |msg: &str| LangError::new(pos.line, pos.column, msg.to_string());
+        let c = self.bump().ok_or_else(|| err("unterminated character literal"))?;
+        let value = if c == '\\' {
+            let esc = self.bump().ok_or_else(|| err("unterminated character literal"))?;
+            match esc {
+                'n' => '\n' as i32,
+                't' => '\t' as i32,
+                '0' => 0,
+                '\\' => '\\' as i32,
+                '\'' => '\'' as i32,
+                other => {
+                    return Err(err(&format!("unknown escape `\\{other}`")));
+                }
+            }
+        } else {
+            c as i32
+        };
+        if !self.eat('\'') {
+            return Err(err("unterminated character literal"));
+        }
+        Ok(TokenKind::Int(value))
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "fn" => TokenKind::Fn,
+            "var" => TokenKind::Var,
+            "int" => TokenKind::IntType,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            _ => TokenKind::Ident(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("var x: int = 42;"),
+            vec![
+                TokenKind::Var,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::IntType,
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && || -> & | ^ !"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Amp,
+                TokenKind::Pipe,
+                TokenKind::Caret,
+                TokenKind::Not,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_char() {
+        assert_eq!(
+            kinds("0x1F 'a' '\\n' '\\0'"),
+            vec![
+                TokenKind::Int(31),
+                TokenKind::Int(97),
+                TokenKind::Int(10),
+                TokenKind::Int(0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // line\n 2 /* block\n spanning */ 3"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(Lexer::tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = Lexer::tokenize("a\n  b").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, column: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        let err = Lexer::tokenize("a $ b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("iff fn_x fn"),
+            vec![
+                TokenKind::Ident("iff".into()),
+                TokenKind::Ident("fn_x".into()),
+                TokenKind::Fn,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

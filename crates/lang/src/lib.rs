@@ -1,0 +1,134 @@
+//! # clfp-lang
+//!
+//! **MiniC**: a small C-like language and compiler targeting the clfp
+//! instruction set.
+//!
+//! The original study traced SPEC-era C and FORTRAN programs compiled by
+//! the MIPS compilers with full optimization. Reproducing the study
+//! therefore needs a compiler whose output has the same *shape* as 1992
+//! MIPS `-O` code:
+//!
+//! * scalar locals and loop indices live in callee-saved registers (the
+//!   induction-variable analysis of Section 4.2 assumes this);
+//! * every function allocates and frees a stack frame by adjusting `sp`
+//!   (the serial dependence "perfect inlining" removes);
+//! * loops compile to a register increment, a compare against a
+//!   loop-invariant bound, and a conditional back edge;
+//! * short-circuit booleans, `if`/`else`, `while`/`for`, recursion, and
+//!   calls through function pointers produce the control-flow variety the
+//!   seven machine models are sensitive to.
+//!
+//! ## Language summary
+//!
+//! ```text
+//! var g: int = 3;                 // global scalar
+//! var table: int[8] = {1,2,3};    // global array (rest zero-filled)
+//!
+//! fn add(a: int, b: int) -> int { return a + b; }
+//!
+//! fn main() -> int {
+//!     var s: int = 0;
+//!     for (var i: int = 0; i < 8; i = i + 1) {
+//!         if (table[i] > 0 && i % 2 == 0) { s = s + table[i]; }
+//!     }
+//!     var f: int = &add;          // function address
+//!     s = f(s, g);                // indirect call
+//!     return s;
+//! }
+//! ```
+//!
+//! Arrays decay to addresses; indexing `p[i]` works on any integer value
+//! as a word pointer, which is how workloads build linked structures in a
+//! global arena. There are no other types: everything is a 32-bit word,
+//! exactly like the study's view of a trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use clfp_lang::compile;
+//! use clfp_vm::{Vm, VmOptions};
+//! use clfp_isa::Reg;
+//!
+//! let program = compile("fn main() -> int { return 6 * 7; }")?;
+//! let mut vm = Vm::new(&program, VmOptions::default());
+//! vm.run(10_000)?;
+//! assert_eq!(vm.reg(Reg::V0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+mod codegen;
+mod error;
+pub mod interp;
+mod lexer;
+mod opt;
+mod parser;
+mod sema;
+
+pub use codegen::{generate_asm, generate_asm_with, CodegenOptions};
+pub use error::LangError;
+pub use interp::{interpret, interpret_source, InterpOutcome};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use opt::optimize;
+pub use parser::parse;
+pub use sema::check;
+
+use clfp_isa::Program;
+
+/// Compiles MiniC source to a linked [`Program`].
+///
+/// Pipeline: lex → parse → semantic check → assembly generation →
+/// assemble.
+///
+/// # Errors
+///
+/// Returns [`LangError`] for syntax or semantic errors; assembler failures
+/// on generated code are reported as internal errors.
+///
+/// # Example
+///
+/// ```
+/// let program = clfp_lang::compile("fn main() -> int { return 1 + 2; }")?;
+/// assert!(program.text.len() > 3);
+/// # Ok::<(), clfp_lang::LangError>(())
+/// ```
+pub fn compile(source: &str) -> Result<Program, LangError> {
+    compile_with_options(source, CodegenOptions::default())
+}
+
+/// Compiles MiniC source with explicit [`CodegenOptions`] (e.g.
+/// if-conversion to guarded moves).
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_options(
+    source: &str,
+    options: CodegenOptions,
+) -> Result<Program, LangError> {
+    let mut module = parse(source)?;
+    check(&module)?;
+    if options.optimize {
+        module = optimize(&module);
+    }
+    let asm = generate_asm_with(&module, options)?;
+    clfp_isa::assemble(&asm).map_err(|err| {
+        LangError::internal(format!("generated assembly failed to assemble: {err}"))
+    })
+}
+
+/// Compiles MiniC source and also returns the generated assembly listing,
+/// for debugging and documentation.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_listing(source: &str) -> Result<(Program, String), LangError> {
+    let module = parse(source)?;
+    check(&module)?;
+    let asm = generate_asm(&module)?;
+    let program = clfp_isa::assemble(&asm).map_err(|err| {
+        LangError::internal(format!("generated assembly failed to assemble: {err}"))
+    })?;
+    Ok((program, asm))
+}

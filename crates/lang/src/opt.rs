@@ -1,0 +1,388 @@
+//! AST-level optimizer: constant folding, algebraic identities, and dead
+//! branch elimination.
+//!
+//! The transformations preserve MiniC semantics exactly (wrapping
+//! arithmetic, division-by-zero-is-zero, short-circuit evaluation) — the
+//! differential test suite compiles optimized programs and checks them
+//! against the unoptimized reference interpreter. Expressions are only
+//! *discarded* when they are pure (no calls), so side effects always
+//! survive.
+
+use crate::ast::{BinOp, Block, Expr, Func, Global, LValue, Module, Stmt, UnOp};
+use crate::interp::eval_binop;
+
+/// Optimizes a module: returns a semantically identical module with
+/// constants folded, algebraic identities simplified, and
+/// statically-decided `if`/`while` statements pruned.
+pub fn optimize(module: &Module) -> Module {
+    Module {
+        globals: module.globals.iter().map(Global::clone).collect(),
+        funcs: module.funcs.iter().map(opt_func).collect(),
+    }
+}
+
+fn opt_func(func: &Func) -> Func {
+    Func {
+        name: func.name.clone(),
+        params: func.params.clone(),
+        body: opt_block(&func.body),
+        pos: func.pos,
+    }
+}
+
+fn opt_block(block: &Block) -> Block {
+    let mut stmts = Vec::with_capacity(block.stmts.len());
+    for stmt in &block.stmts {
+        if let Some(stmt) = opt_stmt(stmt) { stmts.push(stmt) }
+    }
+    Block { stmts }
+}
+
+/// Optimizes one statement; `None` means the statement disappeared.
+fn opt_stmt(stmt: &Stmt) -> Option<Stmt> {
+    match stmt {
+        Stmt::VarDecl {
+            name,
+            array_len,
+            init,
+            pos,
+        } => Some(Stmt::VarDecl {
+            name: name.clone(),
+            array_len: *array_len,
+            init: init.as_ref().map(opt_expr),
+            pos: *pos,
+        }),
+        Stmt::Assign { target, value, pos } => {
+            let target = match target {
+                LValue::Var(name) => LValue::Var(name.clone()),
+                LValue::Index { base, index } => LValue::Index {
+                    base: Box::new(opt_expr(base)),
+                    index: Box::new(opt_expr(index)),
+                },
+            };
+            Some(Stmt::Assign {
+                target,
+                value: opt_expr(value),
+                pos: *pos,
+            })
+        }
+        Stmt::Expr(expr) => Some(Stmt::Expr(opt_expr(expr))),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            pos,
+        } => {
+            let cond = opt_expr(cond);
+            let then_blk = opt_block(then_blk);
+            let else_blk = else_blk.as_ref().map(opt_block);
+            // Statically decided branch: keep only the taken arm.
+            if let Expr::Int(v, _) = cond {
+                let taken = if v != 0 {
+                    Some(then_blk)
+                } else {
+                    else_blk
+                };
+                return match taken {
+                    Some(block) if !block.stmts.is_empty() => Some(Stmt::Block(block)),
+                    _ => None,
+                };
+            }
+            Some(Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                pos: *pos,
+            })
+        }
+        Stmt::While { cond, body, pos } => {
+            let cond = opt_expr(cond);
+            if matches!(cond, Expr::Int(0, _)) {
+                return None; // never entered
+            }
+            Some(Stmt::While {
+                cond,
+                body: opt_block(body),
+                pos: *pos,
+            })
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            pos,
+        } => {
+            let init = init
+                .as_deref()
+                .and_then(opt_stmt)
+                .map(Box::new);
+            let cond = cond.as_ref().map(opt_expr);
+            // `for (init; 0; ...)` still runs the initializer.
+            if let Some(Expr::Int(0, _)) = cond {
+                return init.map(|stmt| Stmt::Block(Block { stmts: vec![*stmt] }));
+            }
+            let step = step.as_deref().and_then(opt_stmt).map(Box::new);
+            Some(Stmt::For {
+                init,
+                cond,
+                step,
+                body: opt_block(body),
+                pos: *pos,
+            })
+        }
+        Stmt::Break(pos) => Some(Stmt::Break(*pos)),
+        Stmt::Continue(pos) => Some(Stmt::Continue(*pos)),
+        Stmt::Return(value, pos) => Some(Stmt::Return(value.as_ref().map(opt_expr), *pos)),
+        Stmt::Block(block) => {
+            let block = opt_block(block);
+            if block.stmts.is_empty() {
+                None
+            } else {
+                Some(Stmt::Block(block))
+            }
+        }
+    }
+}
+
+/// Whether evaluating the expression has no side effects (no calls).
+fn is_pure(expr: &Expr) -> bool {
+    match expr {
+        Expr::Int(..) | Expr::Var(..) => true,
+        Expr::Call { .. } => false,
+        Expr::Index { base, index, .. } => is_pure(base) && is_pure(index),
+        Expr::Unary { expr, .. } => is_pure(expr),
+        Expr::Binary { lhs, rhs, .. } => is_pure(lhs) && is_pure(rhs),
+    }
+}
+
+fn opt_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Int(..) | Expr::Var(..) => expr.clone(),
+        Expr::Index { base, index, pos } => Expr::Index {
+            base: Box::new(opt_expr(base)),
+            index: Box::new(opt_expr(index)),
+            pos: *pos,
+        },
+        Expr::Unary { op, expr: inner, pos } => {
+            let inner = opt_expr(inner);
+            match (op, &inner) {
+                (UnOp::Neg, Expr::Int(v, _)) => Expr::Int(v.wrapping_neg(), *pos),
+                (UnOp::Not, Expr::Int(v, _)) => Expr::Int((*v == 0) as i32, *pos),
+                // --x == x
+                (
+                    UnOp::Neg,
+                    Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: innermost,
+                        ..
+                    },
+                ) => (**innermost).clone(),
+                _ => Expr::Unary {
+                    op: *op,
+                    expr: Box::new(inner),
+                    pos: *pos,
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs, pos } => {
+            let lhs = opt_expr(lhs);
+            let rhs = opt_expr(rhs);
+            opt_binary(*op, lhs, rhs, *pos)
+        }
+        Expr::Call { name, args, pos } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(opt_expr).collect(),
+            pos: *pos,
+        },
+    }
+}
+
+fn opt_binary(op: BinOp, lhs: Expr, rhs: Expr, pos: crate::lexer::Pos) -> Expr {
+    // Short-circuit operators: fold only forms that preserve evaluation
+    // order and the 0/1 result.
+    if op.is_logical() {
+        match (&lhs, &rhs) {
+            (Expr::Int(a, _), Expr::Int(b, _)) => {
+                let value = match op {
+                    BinOp::LogAnd => (*a != 0 && *b != 0) as i32,
+                    _ => (*a != 0 || *b != 0) as i32,
+                };
+                return Expr::Int(value, pos);
+            }
+            // `0 && x` is 0 without evaluating x; `1 || x` is 1.
+            (Expr::Int(0, _), _) if op == BinOp::LogAnd => return Expr::Int(0, pos),
+            (Expr::Int(v, _), _) if op == BinOp::LogOr && *v != 0 => {
+                return Expr::Int(1, pos)
+            }
+            _ => {}
+        }
+        return Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos,
+        };
+    }
+
+    // Full constant folding with the ISA's exact semantics.
+    if let (Expr::Int(a, _), Expr::Int(b, _)) = (&lhs, &rhs) {
+        return Expr::Int(eval_binop(op, *a, *b), pos);
+    }
+
+    // Algebraic identities. The non-constant operand is returned directly;
+    // a *discarded* operand must be pure.
+    let pure_lhs = is_pure(&lhs);
+    let pure_rhs = is_pure(&rhs);
+    match (op, &lhs, &rhs) {
+        // x + 0, x - 0, x << 0, x >> 0, x | 0, x ^ 0  =>  x
+        (BinOp::Add | BinOp::Sub | BinOp::Shl | BinOp::Shr | BinOp::BitOr | BinOp::BitXor,
+            _, Expr::Int(0, _)) => lhs,
+        // 0 + x, 0 | x, 0 ^ x  =>  x
+        (BinOp::Add | BinOp::BitOr | BinOp::BitXor, Expr::Int(0, _), _) => rhs,
+        // x * 1, x / 1  =>  x
+        (BinOp::Mul | BinOp::Div, _, Expr::Int(1, _)) => lhs,
+        // 1 * x  =>  x
+        (BinOp::Mul, Expr::Int(1, _), _) => rhs,
+        // x * 0 and x & 0  =>  0  (x must be pure)
+        (BinOp::Mul | BinOp::BitAnd, _, Expr::Int(0, _)) if pure_lhs => Expr::Int(0, pos),
+        (BinOp::Mul | BinOp::BitAnd, Expr::Int(0, _), _) if pure_rhs => Expr::Int(0, pos),
+        // x % 1  =>  0 (pure x)
+        (BinOp::Rem, _, Expr::Int(1, _)) if pure_lhs => Expr::Int(0, pos),
+        _ => Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check, interpret, parse};
+
+    fn opt(source: &str) -> Module {
+        let module = parse(source).unwrap();
+        check(&module).unwrap();
+        optimize(&module)
+    }
+
+    fn main_stmts(module: &Module) -> &[Stmt] {
+        &module.func("main").unwrap().body.stmts
+    }
+
+    #[test]
+    fn folds_constants() {
+        let module = opt("fn main() -> int { return 2 + 3 * 4 - 6 / 2; }");
+        assert!(matches!(
+            main_stmts(&module)[0],
+            Stmt::Return(Some(Expr::Int(11, _)), _)
+        ));
+    }
+
+    #[test]
+    fn folds_with_isa_semantics() {
+        let module = opt("fn main() -> int { return 7 / 0 + (0 - 7) % 2; }");
+        // 7/0 = 0; -7 % 2 = -1.
+        assert!(matches!(
+            main_stmts(&module)[0],
+            Stmt::Return(Some(Expr::Int(-1, _)), _)
+        ));
+    }
+
+    #[test]
+    fn identities_preserve_variables() {
+        let module = opt(
+            "fn main() -> int { var x: int = 5; return (x + 0) * 1 + 0 * (x - 2); }",
+        );
+        let Stmt::Return(Some(expr), _) = &main_stmts(&module)[1] else {
+            panic!()
+        };
+        // (x+0)*1 => x; 0*(x-2) => 0; x + 0 => x.
+        assert!(matches!(expr, Expr::Var(name, _) if name == "x"), "{expr:?}");
+    }
+
+    #[test]
+    fn impure_operands_survive() {
+        let module = opt(
+            "fn f() -> int { return 1; } fn main() -> int { return f() * 0; }",
+        );
+        // The call must NOT be deleted.
+        let Stmt::Return(Some(expr), _) = &main_stmts(&module)[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Binary { .. }), "call was discarded: {expr:?}");
+    }
+
+    #[test]
+    fn dead_if_pruned() {
+        let module = opt(
+            "fn main() -> int { var x: int = 1; if (0) { x = 2; } if (1) { x = 3; } else { x = 4; } return x; }",
+        );
+        // `if (0)` gone entirely; `if (1)` reduced to its then-arm block.
+        let stmts = main_stmts(&module);
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[1], Stmt::Block(_)));
+    }
+
+    #[test]
+    fn dead_while_pruned_and_for_keeps_init() {
+        let module = opt(
+            "fn main() -> int { var s: int = 0; while (0) { s = 1; } for (s = 5; 0; s = 9) { s = 7; } return s; }",
+        );
+        let stmts = main_stmts(&module);
+        // while gone; for reduced to its init assignment.
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[1], Stmt::Block(b) if b.stmts.len() == 1));
+    }
+
+    #[test]
+    fn logical_folding_respects_short_circuit() {
+        let module = opt(
+            "fn f() -> int { return 1; } fn main() -> int { return (0 && f() != 0) + (1 || f() != 0); }",
+        );
+        // Both fold away without touching f (lhs decides the outcome).
+        assert!(matches!(
+            main_stmts(&module)[0],
+            Stmt::Return(Some(Expr::Int(1, _)), _)
+        ));
+        // But `f() && 0` must keep the call.
+        let kept = opt("fn f() -> int { return 1; } fn main() -> int { return f() != 0 && 0 != 0; }");
+        let Stmt::Return(Some(expr), _) = &main_stmts(&kept)[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Binary { op: BinOp::LogAnd, .. }));
+    }
+
+    #[test]
+    fn double_negation() {
+        let module = opt("fn main() -> int { var x: int = 3; return -(-x); }");
+        let Stmt::Return(Some(expr), _) = &main_stmts(&module)[1] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Var(..)), "{expr:?}");
+    }
+
+    /// The optimizer is semantics-preserving: interpret both versions.
+    #[test]
+    fn differential_against_interpreter() {
+        let sources = [
+            "fn main() -> int { var s: int = 0; for (var i: int = 0; i < 10; i = i + 1) { s = s + i * 1 + 0; } return s; }",
+            "fn f(x: int) -> int { return x * 2; } fn main() -> int { return f(3) * 0 + f(4) + (1 && 2); }",
+            "var g: int[4] = {9, 8, 7, 6}; fn main() -> int { return g[1 + 1] + g[0] * 1; }",
+            "fn main() -> int { var x: int = 10; while (x > 0 && 1) { x = x - (2 - 1); } return x; }",
+        ];
+        for source in sources {
+            let module = parse(source).unwrap();
+            check(&module).unwrap();
+            let optimized = optimize(&module);
+            let a = interpret(&module, 1_000_000).unwrap();
+            let b = interpret(&optimized, 1_000_000).unwrap();
+            assert_eq!(a.result, b.result, "optimizer changed semantics of:\n{source}");
+            assert_eq!(a.globals, b.globals);
+            assert!(b.steps <= a.steps, "optimizer made the program slower");
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::{BinOp, Block, Expr, Func, Global, LValue, Module, Stmt, UnOp};
+use crate::lexer::{Lexer, Pos, Token, TokenKind};
+use crate::LangError;
+
+/// Parses MiniC source into a [`Module`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let module = clfp_lang::parse("fn main() -> int { return 0; }")?;
+/// assert_eq!(module.funcs.len(), 1);
+/// # Ok::<(), clfp_lang::LangError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Module, LangError> {
+    let tokens = Lexer::tokenize(source)?;
+    Parser { tokens, index: 0 }.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.index].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.index].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.index].clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        token
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, LangError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, pos))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: String) -> LangError {
+        let pos = self.pos();
+        LangError::new(pos.line, pos.column, message)
+    }
+
+    // ---- declarations ---------------------------------------------------
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        let mut module = Module::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(module),
+                TokenKind::Var => module.globals.push(self.global()?),
+                TokenKind::Fn => module.funcs.push(self.func()?),
+                other => {
+                    return Err(self.error(format!(
+                        "expected `fn` or `var` at top level, found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn global(&mut self) -> Result<Global, LangError> {
+        self.expect(&TokenKind::Var)?;
+        let (name, pos) = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        self.expect(&TokenKind::IntType)?;
+        let array_len = self.array_suffix()?;
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if self.eat(&TokenKind::LBrace) {
+                if array_len.is_none() {
+                    return Err(self.error("scalar globals take a single initializer".into()));
+                }
+                loop {
+                    init.push(self.const_int()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        if let Some(len) = array_len {
+            if init.len() as u32 > len {
+                return Err(self.error(format!(
+                    "array `{name}` has {} initializers but length {len}",
+                    init.len()
+                )));
+            }
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Global {
+            name,
+            array_len,
+            init,
+            pos,
+        })
+    }
+
+    fn array_suffix(&mut self) -> Result<Option<u32>, LangError> {
+        if !self.eat(&TokenKind::LBracket) {
+            return Ok(None);
+        }
+        let len = self.const_int()?;
+        self.expect(&TokenKind::RBracket)?;
+        if len <= 0 {
+            return Err(self.error(format!("array length must be positive, got {len}")));
+        }
+        Ok(Some(len as u32))
+    }
+
+    /// A constant integer: a literal with optional leading minus.
+    fn const_int(&mut self) -> Result<i32, LangError> {
+        let negate = self.eat(&TokenKind::Minus);
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if negate { v.wrapping_neg() } else { v })
+            }
+            other => Err(self.error(format!("expected integer constant, found {other}"))),
+        }
+    }
+
+    fn func(&mut self) -> Result<Func, LangError> {
+        self.expect(&TokenKind::Fn)?;
+        let (name, pos) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let (param, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                self.expect(&TokenKind::IntType)?;
+                params.push(param);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if self.eat(&TokenKind::Arrow) {
+            self.expect(&TokenKind::IntType)?;
+        }
+        let body = self.block()?;
+        Ok(Func {
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unexpected end of input in block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            TokenKind::Var => {
+                let stmt = self.var_decl()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(stmt)
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                let pos = self.pos();
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                let pos = self.pos();
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semicolon {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Return(value, pos))
+            }
+            TokenKind::Break => {
+                let pos = self.pos();
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Break(pos))
+            }
+            TokenKind::Continue => {
+                let pos = self.pos();
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Continue(pos))
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            _ => {
+                let stmt = self.assign_or_expr()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&TokenKind::Var)?;
+        let (name, pos) = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        self.expect(&TokenKind::IntType)?;
+        let array_len = self.array_suffix()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            if array_len.is_some() {
+                return Err(self.error("local arrays cannot have initializers".into()));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::VarDecl {
+            name,
+            array_len,
+            init,
+            pos,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.pos();
+        self.expect(&TokenKind::If)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                // `else if` chains become a nested block.
+                let nested = self.if_stmt()?;
+                Some(Block {
+                    stmts: vec![nested],
+                })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            pos,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.pos();
+        self.expect(&TokenKind::For)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semicolon {
+            None
+        } else if self.peek() == &TokenKind::Var {
+            Some(Box::new(self.var_decl()?))
+        } else {
+            Some(Box::new(self.assign_or_expr()?))
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        let cond = if self.peek() == &TokenKind::Semicolon {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.assign_or_expr()?))
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            pos,
+        })
+    }
+
+    /// Parses `lvalue = expr` or a bare expression (without the trailing
+    /// semicolon, which `for` headers do not have).
+    fn assign_or_expr(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.pos();
+        let expr = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let target = match expr {
+                Expr::Var(name, _) => LValue::Var(name),
+                Expr::Index { base, index, .. } => LValue::Index { base, index },
+                other => {
+                    let at = other.pos();
+                    return Err(LangError::new(
+                        at.line,
+                        at.column,
+                        "invalid assignment target",
+                    ));
+                }
+            };
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target, value, pos })
+        } else {
+            Ok(Stmt::Expr(expr))
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence climbing. Levels, loosest first:
+    /// `||`, `&&`, `|`, `^`, `&`, `== !=`, `< <= > >=`, `<< >>`, `+ -`,
+    /// `* / %`.
+    fn binary_expr(&mut self, min_level: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, level) = match self.peek() {
+                TokenKind::OrOr => (BinOp::LogOr, 0),
+                TokenKind::AndAnd => (BinOp::LogAnd, 1),
+                TokenKind::Pipe => (BinOp::BitOr, 2),
+                TokenKind::Caret => (BinOp::BitXor, 3),
+                TokenKind::Amp => (BinOp::BitAnd, 4),
+                TokenKind::EqEq => (BinOp::Eq, 5),
+                TokenKind::NotEq => (BinOp::Ne, 5),
+                TokenKind::Lt => (BinOp::Lt, 6),
+                TokenKind::Le => (BinOp::Le, 6),
+                TokenKind::Gt => (BinOp::Gt, 6),
+                TokenKind::Ge => (BinOp::Ge, 6),
+                TokenKind::Shl => (BinOp::Shl, 7),
+                TokenKind::Shr => (BinOp::Shr, 7),
+                TokenKind::Plus => (BinOp::Add, 8),
+                TokenKind::Minus => (BinOp::Sub, 8),
+                TokenKind::Star => (BinOp::Mul, 9),
+                TokenKind::Slash => (BinOp::Div, 9),
+                TokenKind::Percent => (BinOp::Rem, 9),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                // Fold negation of literals so `-5` is a constant.
+                if let Expr::Int(v, _) = expr {
+                    return Ok(Expr::Int(v.wrapping_neg(), pos));
+                }
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                    pos,
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                    pos,
+                })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let (name, name_pos) = self.expect_ident()?;
+                Ok(Expr::Unary {
+                    op: UnOp::AddrOf,
+                    expr: Box::new(Expr::Var(name, name_pos)),
+                    pos,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.peek() == &TokenKind::LBracket {
+                let pos = self.pos();
+                self.bump();
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    pos,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let expr = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(expr)
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let module = parse("fn add(a: int, b: int) -> int { return a + b; }").unwrap();
+        assert_eq!(module.funcs.len(), 1);
+        let func = &module.funcs[0];
+        assert_eq!(func.name, "add");
+        assert_eq!(func.params, vec!["a", "b"]);
+        assert_eq!(func.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let module = parse("var g: int = -3; var a: int[4] = {1, 2}; var b: int;").unwrap();
+        assert_eq!(module.globals.len(), 3);
+        assert_eq!(module.globals[0].init, vec![-3]);
+        assert_eq!(module.globals[1].array_len, Some(4));
+        assert_eq!(module.globals[1].init, vec![1, 2]);
+        assert!(module.globals[2].init.is_empty());
+    }
+
+    #[test]
+    fn precedence() {
+        let module = parse("fn f() -> int { return 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let Stmt::Return(Some(expr), _) = &module.funcs[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        // Top level must be `&&`.
+        let Expr::Binary { op: BinOp::LogAnd, lhs, rhs, .. } = expr else {
+            panic!("expected &&, got {expr:?}");
+        };
+        assert!(matches!(**lhs, Expr::Binary { op: BinOp::Lt, .. }));
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn left_associativity() {
+        let module = parse("fn f() -> int { return 10 - 3 - 2; }").unwrap();
+        let Stmt::Return(Some(Expr::Binary { op: BinOp::Sub, lhs, .. }), _) =
+            &module.funcs[0].body.stmts[0]
+        else {
+            panic!("expected return of subtraction");
+        };
+        assert!(matches!(**lhs, Expr::Binary { op: BinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let source = r#"
+            fn f(n: int) -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; } else if (i > 10) { break; } else { continue; }
+                }
+                while (s > 100) { s = s - 1; }
+                return s;
+            }
+        "#;
+        let module = parse(source).unwrap();
+        assert_eq!(module.funcs[0].body.stmts.len(), 4);
+        assert!(matches!(module.funcs[0].body.stmts[1], Stmt::For { .. }));
+        assert!(matches!(module.funcs[0].body.stmts[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_indexing_and_calls() {
+        let module =
+            parse("fn f() -> int { return a[i + 1] + g(x, y[2]); }").unwrap();
+        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. }), _) = &module.funcs[0].body.stmts[0]
+        else {
+            panic!();
+        };
+        assert!(matches!(**lhs, Expr::Index { .. }));
+        assert!(matches!(**rhs, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn parses_function_address() {
+        let module = parse("fn f() -> int { var h: int = &f; return h(); }").unwrap();
+        let Stmt::VarDecl { init: Some(init), .. } = &module.funcs[0].body.stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(init, Expr::Unary { op: UnOp::AddrOf, .. }));
+    }
+
+    #[test]
+    fn assignment_targets() {
+        let module = parse("fn f() -> int { x = 1; a[0] = 2; p[i][j] = 3; return 0; }").unwrap();
+        assert!(matches!(
+            module.funcs[0].body.stmts[0],
+            Stmt::Assign { target: LValue::Var(_), .. }
+        ));
+        assert!(matches!(
+            module.funcs[0].body.stmts[1],
+            Stmt::Assign { target: LValue::Index { .. }, .. }
+        ));
+        assert!(matches!(
+            module.funcs[0].body.stmts[2],
+            Stmt::Assign { target: LValue::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_assignment_target() {
+        let err = parse("fn f() -> int { 1 + 2 = 3; return 0; }").unwrap_err();
+        assert!(err.to_string().contains("invalid assignment target"));
+    }
+
+    #[test]
+    fn missing_semicolon() {
+        let err = parse("fn f() -> int { return 0 }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"));
+    }
+
+    #[test]
+    fn empty_for_header() {
+        let module = parse("fn f() -> int { for (;;) { break; } return 0; }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &module.funcs[0].body.stmts[0] else {
+            panic!();
+        };
+        assert!(init.is_none());
+        assert!(cond.is_none());
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let module = parse("fn f() -> int { return -5; }").unwrap();
+        assert!(matches!(
+            module.funcs[0].body.stmts[0],
+            Stmt::Return(Some(Expr::Int(-5, _)), _)
+        ));
+    }
+
+    #[test]
+    fn top_level_junk_is_error() {
+        assert!(parse("int x;").is_err());
+    }
+
+    #[test]
+    fn array_with_too_many_inits() {
+        let err = parse("var a: int[2] = {1,2,3};").unwrap_err();
+        assert!(err.to_string().contains("initializers"));
+    }
+}

@@ -1,0 +1,497 @@
+//! Semantic checks for MiniC.
+//!
+//! Everything in MiniC is a 32-bit word, so there is no type inference —
+//! the checker enforces name resolution, arity, lvalue validity, and
+//! structural rules (`break` inside loops, a `main` entry point, the
+//! four-register argument limit of the calling convention).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Block, Expr, Func, LValue, Module, Stmt, UnOp};
+use crate::lexer::Pos;
+use crate::LangError;
+
+/// Maximum call arguments (they travel in `a0`–`a3`).
+pub const MAX_ARGS: usize = 4;
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum VarKind {
+    Scalar,
+    Array,
+}
+
+/// Checks a parsed module.
+///
+/// # Errors
+///
+/// Returns the first semantic error: duplicate or missing definitions,
+/// bad call arity, invalid lvalues, `break`/`continue` outside loops, or a
+/// missing `main`.
+pub fn check(module: &Module) -> Result<(), LangError> {
+    let mut checker = Checker {
+        funcs: HashMap::new(),
+        globals: HashMap::new(),
+        scopes: Vec::new(),
+        loop_depth: 0,
+    };
+    checker.module(module)
+}
+
+struct Checker {
+    funcs: HashMap<String, usize>, // name -> arity
+    globals: HashMap<String, VarKind>,
+    scopes: Vec<HashMap<String, VarKind>>,
+    loop_depth: usize,
+}
+
+fn err(pos: Pos, message: impl Into<String>) -> LangError {
+    LangError::new(pos.line, pos.column, message)
+}
+
+impl Checker {
+    fn module(&mut self, module: &Module) -> Result<(), LangError> {
+        for global in &module.globals {
+            if self.globals.insert(
+                global.name.clone(),
+                if global.array_len.is_some() {
+                    VarKind::Array
+                } else {
+                    VarKind::Scalar
+                },
+            )
+            .is_some()
+            {
+                return Err(err(global.pos, format!("duplicate global `{}`", global.name)));
+            }
+        }
+        for func in &module.funcs {
+            if self.globals.contains_key(&func.name) {
+                return Err(err(
+                    func.pos,
+                    format!("`{}` is defined as both a global and a function", func.name),
+                ));
+            }
+            if self.funcs.insert(func.name.clone(), func.params.len()).is_some() {
+                return Err(err(func.pos, format!("duplicate function `{}`", func.name)));
+            }
+            if func.params.len() > MAX_ARGS {
+                return Err(err(
+                    func.pos,
+                    format!(
+                        "function `{}` has {} parameters; at most {MAX_ARGS} are supported",
+                        func.name,
+                        func.params.len()
+                    ),
+                ));
+            }
+        }
+        match self.funcs.get("main") {
+            Some(0) => {}
+            Some(_) => {
+                let main = module.func("main").expect("main exists");
+                return Err(err(main.pos, "`main` must take no parameters"));
+            }
+            None => {
+                return Err(LangError::internal("program has no `main` function"));
+            }
+        }
+        for func in &module.funcs {
+            self.func(func)?;
+        }
+        Ok(())
+    }
+
+    fn func(&mut self, func: &Func) -> Result<(), LangError> {
+        self.scopes.clear();
+        self.loop_depth = 0;
+        let mut top = HashMap::new();
+        let mut seen = HashSet::new();
+        for param in &func.params {
+            if !seen.insert(param.clone()) {
+                return Err(err(
+                    func.pos,
+                    format!("duplicate parameter `{param}` in `{}`", func.name),
+                ));
+            }
+            top.insert(param.clone(), VarKind::Scalar);
+        }
+        self.scopes.push(top);
+        self.block_in_current_scope(&func.body)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarKind> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&kind) = scope.get(name) {
+                return Some(kind);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        self.block_in_current_scope(block)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn block_in_current_scope(&mut self, block: &Block) -> Result<(), LangError> {
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn declare(&mut self, name: &str, kind: VarKind, pos: Pos) -> Result<(), LangError> {
+        if self.funcs.contains_key(name) {
+            return Err(err(pos, format!("`{name}` is already a function name")));
+        }
+        let scope = self.scopes.last_mut().expect("inside a function");
+        if scope.insert(name.to_string(), kind).is_some() {
+            return Err(err(pos, format!("duplicate variable `{name}` in this scope")));
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::VarDecl {
+                name,
+                array_len,
+                init,
+                pos,
+            } => {
+                // The initializer may not reference the new variable.
+                if let Some(init) = init {
+                    self.expr(init)?;
+                }
+                let kind = if array_len.is_some() {
+                    VarKind::Array
+                } else {
+                    VarKind::Scalar
+                };
+                self.declare(name, kind, *pos)
+            }
+            Stmt::Assign { target, value, pos } => {
+                match target {
+                    LValue::Var(name) => match self.lookup(name) {
+                        Some(VarKind::Scalar) => {}
+                        Some(VarKind::Array) => {
+                            return Err(err(*pos, format!("cannot assign to array `{name}`")));
+                        }
+                        None => {
+                            return Err(err(*pos, format!("undefined variable `{name}`")));
+                        }
+                    },
+                    LValue::Index { base, index } => {
+                        self.expr(base)?;
+                        self.expr(index)?;
+                    }
+                }
+                self.expr(value)
+            }
+            Stmt::Expr(expr) => {
+                if !matches!(expr, Expr::Call { .. }) {
+                    let pos = expr.pos();
+                    return Err(err(pos, "expression statement must be a call"));
+                }
+                self.expr(expr)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.expr(cond)?;
+                self.block(then_blk)?;
+                if let Some(else_blk) = else_blk {
+                    self.block(else_blk)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                let result = self.block(body);
+                self.loop_depth -= 1;
+                result
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                // The for header introduces its own scope (`var i` in init).
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.expr(cond)?;
+                }
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                self.loop_depth += 1;
+                let result = self.block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                result
+            }
+            Stmt::Break(pos) => {
+                if self.loop_depth == 0 {
+                    Err(err(*pos, "`break` outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Continue(pos) => {
+                if self.loop_depth == 0 {
+                    Err(err(*pos, "`continue` outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Return(value, _) => {
+                if let Some(value) = value {
+                    self.expr(value)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(block) => self.block(block),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(), LangError> {
+        match expr {
+            Expr::Int(..) => Ok(()),
+            Expr::Var(name, pos) => {
+                if self.lookup(name).is_some() {
+                    Ok(())
+                } else if self.funcs.contains_key(name) {
+                    Err(err(
+                        *pos,
+                        format!("function `{name}` used as a value; take its address with `&{name}`"),
+                    ))
+                } else {
+                    Err(err(*pos, format!("undefined variable `{name}`")))
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                self.expr(base)?;
+                self.expr(index)
+            }
+            Expr::Unary { op, expr, pos } => match op {
+                UnOp::AddrOf => {
+                    let Expr::Var(name, _) = expr.as_ref() else {
+                        return Err(err(*pos, "`&` takes a function name"));
+                    };
+                    if self.funcs.contains_key(name) {
+                        Ok(())
+                    } else {
+                        Err(err(*pos, format!("`&{name}`: no such function")))
+                    }
+                }
+                UnOp::Neg | UnOp::Not => self.expr(expr),
+            },
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+            Expr::Call { name, args, pos } => {
+                if args.len() > MAX_ARGS {
+                    return Err(err(
+                        *pos,
+                        format!("call passes {} arguments; at most {MAX_ARGS} are supported", args.len()),
+                    ));
+                }
+                if let Some(&arity) = self.funcs.get(name) {
+                    if args.len() != arity {
+                        return Err(err(
+                            *pos,
+                            format!(
+                                "`{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                        ));
+                    }
+                } else {
+                    match self.lookup(name) {
+                        Some(VarKind::Scalar) => {} // indirect call
+                        Some(VarKind::Array) => {
+                            return Err(err(
+                                *pos,
+                                format!("cannot call array `{name}`"),
+                            ));
+                        }
+                        None => {
+                            return Err(err(*pos, format!("undefined function `{name}`")));
+                        }
+                    }
+                }
+                for arg in args {
+                    self.expr(arg)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check_src(source: &str) -> Result<(), LangError> {
+        check(&parse(source).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check_src(
+            r#"
+            var g: int = 1;
+            var a: int[4];
+            fn helper(x: int) -> int { return x + g; }
+            fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 4; i = i + 1) {
+                    a[i] = helper(i);
+                    s = s + a[i];
+                }
+                var f: int = &helper;
+                return f(s);
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_main() {
+        let result = check_src("fn f() -> int { return 0; }");
+        assert!(result.unwrap_err().to_string().contains("no `main`"));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let result = check_src("fn main(x: int) -> int { return x; }");
+        assert!(result.unwrap_err().to_string().contains("no parameters"));
+    }
+
+    #[test]
+    fn undefined_variable() {
+        let result = check_src("fn main() -> int { return nope; }");
+        assert!(result.unwrap_err().to_string().contains("undefined variable"));
+    }
+
+    #[test]
+    fn undefined_function() {
+        let result = check_src("fn main() -> int { return nope(); }");
+        assert!(result.unwrap_err().to_string().contains("undefined function"));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let result =
+            check_src("fn f(a: int) -> int { return a; } fn main() -> int { return f(1, 2); }");
+        assert!(result.unwrap_err().to_string().contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn too_many_args() {
+        let result = check_src(
+            "fn f(a: int, b: int, c: int, d: int) -> int { return a; } \
+             fn main() -> int { var p: int = &f; return p(1,2,3,4,5); }",
+        );
+        assert!(result.unwrap_err().to_string().contains("at most 4"));
+    }
+
+    #[test]
+    fn too_many_params() {
+        let result = check_src(
+            "fn f(a: int, b: int, c: int, d: int, e: int) -> int { return a; } \
+             fn main() -> int { return 0; }",
+        );
+        assert!(result.unwrap_err().to_string().contains("at most 4"));
+    }
+
+    #[test]
+    fn break_outside_loop() {
+        let result = check_src("fn main() -> int { break; return 0; }");
+        assert!(result.unwrap_err().to_string().contains("outside of a loop"));
+    }
+
+    #[test]
+    fn continue_inside_loop_ok() {
+        check_src("fn main() -> int { while (0) { continue; } return 0; }").unwrap();
+    }
+
+    #[test]
+    fn duplicate_variable_in_scope() {
+        let result = check_src("fn main() -> int { var x: int; var x: int; return 0; }");
+        assert!(result.unwrap_err().to_string().contains("duplicate variable"));
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_ok() {
+        check_src("fn main() -> int { var x: int = 1; { var x: int = 2; } return x; }").unwrap();
+    }
+
+    #[test]
+    fn assign_to_array_rejected() {
+        let result = check_src("var a: int[2]; fn main() -> int { a = 1; return 0; }");
+        assert!(result.unwrap_err().to_string().contains("cannot assign to array"));
+    }
+
+    #[test]
+    fn function_as_value_needs_addrof() {
+        let result =
+            check_src("fn f() -> int { return 0; } fn main() -> int { return f; }");
+        assert!(result.unwrap_err().to_string().contains("take its address"));
+    }
+
+    #[test]
+    fn addrof_non_function_rejected() {
+        let result = check_src("fn main() -> int { var x: int; return &x; }");
+        assert!(result.unwrap_err().to_string().contains("no such function"));
+    }
+
+    #[test]
+    fn expression_statement_must_be_call() {
+        let result = check_src("fn main() -> int { 1 + 2; return 0; }");
+        assert!(result.unwrap_err().to_string().contains("must be a call"));
+    }
+
+    #[test]
+    fn duplicate_global() {
+        let result = check_src("var g: int; var g: int; fn main() -> int { return 0; }");
+        assert!(result.unwrap_err().to_string().contains("duplicate global"));
+    }
+
+    #[test]
+    fn global_function_clash() {
+        let result = check_src("var f: int; fn f() -> int { return 0; } fn main() -> int { return 0; }");
+        assert!(result.unwrap_err().to_string().contains("both a global and a function"));
+    }
+
+    #[test]
+    fn calling_array_rejected() {
+        let result = check_src("var a: int[2]; fn main() -> int { return a(); }");
+        assert!(result.unwrap_err().to_string().contains("cannot call array"));
+    }
+
+    #[test]
+    fn indirect_call_through_scalar_ok() {
+        check_src(
+            "fn f() -> int { return 7; } fn main() -> int { var p: int = &f; return p(); }",
+        )
+        .unwrap();
+    }
+}

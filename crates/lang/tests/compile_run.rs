@@ -1,0 +1,490 @@
+//! End-to-end tests: compile MiniC, execute on the VM, and check both the
+//! result and (where used) the final global values — differentially against
+//! the reference AST interpreter.
+
+use clfp_isa::{Reg, DATA_BASE};
+use clfp_lang::{compile, compile_with_listing, interpret_source};
+use clfp_vm::{Vm, VmOptions};
+
+fn run_compiled(source: &str) -> (i32, Vm<'static>) {
+    let program = Box::leak(Box::new(compile(source).unwrap_or_else(|err| {
+        panic!("compile failed: {err}\nsource:\n{source}")
+    })));
+    let mut vm = Vm::new(program, VmOptions { mem_words: 1 << 20 });
+    vm.run(50_000_000)
+        .unwrap_or_else(|err| panic!("vm failed: {err}\n{}", program.disassemble()));
+    assert!(vm.halted(), "program did not halt");
+    let result = vm.reg(Reg::V0);
+    (result, vm)
+}
+
+/// Compiled result must equal the interpreter's result.
+fn differential(source: &str) -> i32 {
+    let expected = interpret_source(source, 100_000_000)
+        .unwrap_or_else(|err| panic!("interp failed: {err}"));
+    let (result, vm) = run_compiled(source);
+    assert_eq!(
+        result, expected.result,
+        "compiled vs interpreted result mismatch"
+    );
+    // Compare final global memory too.
+    for (i, &value) in expected.globals.iter().enumerate() {
+        let addr = DATA_BASE + (i as u32) * 4;
+        assert_eq!(
+            vm.load_word(addr).unwrap(),
+            value,
+            "global word {i} mismatch"
+        );
+    }
+    result
+}
+
+#[test]
+fn constant_return() {
+    assert_eq!(differential("fn main() -> int { return 42; }"), 42);
+}
+
+#[test]
+fn arithmetic_precedence() {
+    assert_eq!(
+        differential("fn main() -> int { return 2 + 3 * 4 - 6 / 2; }"),
+        11
+    );
+}
+
+#[test]
+fn division_semantics() {
+    assert_eq!(differential("fn main() -> int { return -7 / 2; }"), -3);
+    assert_eq!(differential("fn main() -> int { return -7 % 2; }"), -1);
+    assert_eq!(differential("fn main() -> int { return 5 / 0; }"), 0);
+}
+
+#[test]
+fn shifts_and_bitops() {
+    assert_eq!(
+        differential("fn main() -> int { return (1 << 10) | (255 & 15) ^ 1; }"),
+        1024 | (15 ^ 1)
+    );
+    assert_eq!(differential("fn main() -> int { return -16 >> 2; }"), -4);
+}
+
+#[test]
+fn comparisons_as_values() {
+    assert_eq!(
+        differential(
+            "fn main() -> int { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5) + (5 == 5) + (6 != 6); }"
+        ),
+        3
+    );
+}
+
+#[test]
+fn locals_in_registers() {
+    let source = r#"
+        fn main() -> int {
+            var a: int = 3;
+            var b: int = 4;
+            var c: int = a * a + b * b;
+            return c;
+        }
+    "#;
+    assert_eq!(differential(source), 25);
+}
+
+#[test]
+fn for_loop_sum() {
+    let source = r#"
+        fn main() -> int {
+            var s: int = 0;
+            for (var i: int = 1; i <= 100; i = i + 1) { s = s + i; }
+            return s;
+        }
+    "#;
+    assert_eq!(differential(source), 5050);
+}
+
+#[test]
+fn while_loop_collatz() {
+    let source = r#"
+        fn main() -> int {
+            var n: int = 27;
+            var steps: int = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps = steps + 1;
+            }
+            return steps;
+        }
+    "#;
+    assert_eq!(differential(source), 111);
+}
+
+#[test]
+fn nested_loops() {
+    let source = r#"
+        fn main() -> int {
+            var count: int = 0;
+            for (var i: int = 0; i < 10; i = i + 1) {
+                for (var j: int = 0; j < 10; j = j + 1) {
+                    if (i * j % 7 == 0) { count = count + 1; }
+                }
+            }
+            return count;
+        }
+    "#;
+    differential(source);
+}
+
+#[test]
+fn break_continue() {
+    let source = r#"
+        fn main() -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < 1000; i = i + 1) {
+                if (i > 20) { break; }
+                if (i % 3 != 0) { continue; }
+                s = s + i;
+            }
+            return s;
+        }
+    "#;
+    assert_eq!(differential(source), 3 + 6 + 9 + 12 + 15 + 18);
+}
+
+#[test]
+fn global_scalars() {
+    let source = r#"
+        var counter: int = 10;
+        fn bump() -> int { counter = counter + 5; return counter; }
+        fn main() -> int { bump(); bump(); return counter; }
+    "#;
+    assert_eq!(differential(source), 20);
+}
+
+#[test]
+fn global_arrays() {
+    let source = r#"
+        var data: int[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+        var out: int[8];
+        fn main() -> int {
+            for (var i: int = 0; i < 8; i = i + 1) { out[i] = data[7 - i]; }
+            var check: int = 0;
+            for (var i: int = 0; i < 8; i = i + 1) { check = check * 10 + out[i]; }
+            return check;
+        }
+    "#;
+    assert_eq!(differential(source), 12345678);
+}
+
+#[test]
+fn local_arrays() {
+    let source = r#"
+        fn main() -> int {
+            var buf: int[10];
+            for (var i: int = 0; i < 10; i = i + 1) { buf[i] = i * i; }
+            var s: int = 0;
+            for (var i: int = 0; i < 10; i = i + 1) { s = s + buf[i]; }
+            return s;
+        }
+    "#;
+    assert_eq!(differential(source), 285);
+}
+
+#[test]
+fn functions_and_args() {
+    let source = r#"
+        fn max4(a: int, b: int, c: int, d: int) -> int {
+            var m: int = a;
+            if (b > m) { m = b; }
+            if (c > m) { m = c; }
+            if (d > m) { m = d; }
+            return m;
+        }
+        fn main() -> int { return max4(3, 9, 2, 7); }
+    "#;
+    assert_eq!(differential(source), 9);
+}
+
+#[test]
+fn recursion_factorial() {
+    let source = r#"
+        fn fact(n: int) -> int {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        fn main() -> int { return fact(10); }
+    "#;
+    assert_eq!(differential(source), 3628800);
+}
+
+#[test]
+fn mutual_recursion() {
+    let source = r#"
+        fn is_even(n: int) -> int { if (n == 0) { return 1; } return is_odd(n - 1); }
+        fn is_odd(n: int) -> int { if (n == 0) { return 0; } return is_even(n - 1); }
+        fn main() -> int { return is_even(10) * 10 + is_odd(7); }
+    "#;
+    assert_eq!(differential(source), 11);
+}
+
+#[test]
+fn deep_recursion_uses_stack() {
+    let source = r#"
+        fn depth(n: int) -> int {
+            if (n == 0) { return 0; }
+            return 1 + depth(n - 1);
+        }
+        fn main() -> int { return depth(2000); }
+    "#;
+    assert_eq!(differential(source), 2000);
+}
+
+#[test]
+fn short_circuit_semantics() {
+    let source = r#"
+        var calls: int = 0;
+        fn touch(v: int) -> int { calls = calls + 1; return v; }
+        fn main() -> int {
+            var a: int = 0 != 0 && touch(1) != 0;
+            var b: int = 1 == 1 || touch(1) != 0;
+            return calls * 10 + a + b;
+        }
+    "#;
+    // Neither operand function should run.
+    assert_eq!(differential(source), 1);
+}
+
+#[test]
+fn logical_values() {
+    let source = r#"
+        fn main() -> int {
+            var x: int = 5;
+            var y: int = 0;
+            return (x && y) * 100 + (x || y) * 10 + (!x) + (!y) * 2;
+        }
+    "#;
+    assert_eq!(differential(source), 12);
+}
+
+#[test]
+fn indirect_calls() {
+    let source = r#"
+        fn inc(x: int) -> int { return x + 1; }
+        fn dec(x: int) -> int { return x - 1; }
+        var ops: int[2];
+        fn main() -> int {
+            ops[0] = &inc;
+            ops[1] = &dec;
+            var v: int = 100;
+            for (var i: int = 0; i < 10; i = i + 1) {
+                var f: int = ops[i % 2];
+                v = f(v);
+            }
+            return v;
+        }
+    "#;
+    let (result, _) = run_compiled(source);
+    assert_eq!(result, 100); // 5 incs + 5 decs
+}
+
+#[test]
+fn pointer_arithmetic_lists() {
+    let source = r#"
+        var arena: int[64];
+        fn main() -> int {
+            var hp: int = arena;
+            var head: int = 0;
+            for (var i: int = 1; i <= 5; i = i + 1) {
+                hp[0] = i * i;
+                hp[1] = head;
+                head = hp;
+                hp = hp + 8;
+            }
+            var s: int = 0;
+            while (head != 0) {
+                s = s + head[0];
+                head = head[1];
+            }
+            return s;
+        }
+    "#;
+    assert_eq!(differential(source), 1 + 4 + 9 + 16 + 25);
+}
+
+#[test]
+fn array_passed_to_function() {
+    let source = r#"
+        fn fill(p: int, n: int, seed: int) -> int {
+            for (var i: int = 0; i < n; i = i + 1) {
+                p[i] = seed;
+                seed = seed * 1103515245 + 12345;
+                seed = seed % 1000;
+            }
+            return 0;
+        }
+        fn sum(p: int, n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) { s = s + p[i]; }
+            return s;
+        }
+        fn main() -> int {
+            var local: int[16];
+            fill(local, 16, 7);
+            return sum(local, 16);
+        }
+    "#;
+    differential(source);
+}
+
+#[test]
+fn many_locals_spill_to_frame() {
+    // 20 scalars exceed the 14 allocatable registers; the rest go to the
+    // frame and the program must still be correct.
+    let mut body = String::new();
+    for i in 0..20 {
+        body.push_str(&format!("var v{i}: int = {i};\n"));
+    }
+    body.push_str("var s: int = 0;\n");
+    for i in 0..20 {
+        body.push_str(&format!("s = s + v{i};\n"));
+    }
+    let source = format!("fn main() -> int {{ {body} return s; }}");
+    assert_eq!(differential(&source), (0..20).sum::<i32>());
+}
+
+#[test]
+fn deep_expression_spills_eval_stack() {
+    // A right-leaning expression tree deeper than the 4 temp registers.
+    let expr = "1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12))))))))))";
+    let source = format!("fn main() -> int {{ return {expr}; }}");
+    assert_eq!(differential(&source), 78);
+}
+
+#[test]
+fn call_inside_expression() {
+    let source = r#"
+        fn sq(x: int) -> int { return x * x; }
+        fn main() -> int {
+            var a: int = 2;
+            return a + sq(a + 1) * sq(2) - sq(sq(a));
+        }
+    "#;
+    assert_eq!(differential(source), 2 + 9 * 4 - 16);
+}
+
+#[test]
+fn shadowing() {
+    let source = r#"
+        fn main() -> int {
+            var x: int = 1;
+            {
+                var x: int = 2;
+                x = x + 10;
+            }
+            return x;
+        }
+    "#;
+    assert_eq!(differential(source), 1);
+}
+
+#[test]
+fn else_if_chains() {
+    let source = r#"
+        fn classify(x: int) -> int {
+            if (x < 0) { return 0 - 1; }
+            else if (x == 0) { return 0; }
+            else if (x < 10) { return 1; }
+            else { return 2; }
+        }
+        fn main() -> int {
+            return classify(-5) + classify(0) * 10 + classify(5) * 100 + classify(50) * 1000;
+        }
+    "#;
+    assert_eq!(differential(source), -1 + 100 + 2000);
+}
+
+#[test]
+fn listing_contains_expected_shape() {
+    let source = r#"
+        fn main() -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < 10; i = i + 1) { s = s + i; }
+            return s;
+        }
+    "#;
+    let (_, listing) = compile_with_listing(source).unwrap();
+    // The loop increment must be the fused single-instruction
+    // `addi rX, rX, 1` form the induction analysis recognizes.
+    let has_fused_increment = listing.lines().any(|line| {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("addi ") else {
+            return false;
+        };
+        let ops: Vec<&str> = rest.split(", ").collect();
+        ops.len() == 3 && ops[0] == ops[1] && ops[2] == "1"
+    });
+    assert!(has_fused_increment, "missing fused increment in:\n{listing}");
+    // Frames are allocated by sp arithmetic.
+    assert!(listing.contains("addi sp, sp, -"));
+    // The loop condition is a fused compare-and-branch on registers.
+    assert!(listing.contains("bge "), "listing:\n{listing}");
+}
+
+#[test]
+fn empty_function_returns_zero() {
+    assert_eq!(differential("fn noop() -> int { } fn main() -> int { return noop() + 7; }"), 7);
+}
+
+#[test]
+fn return_without_value() {
+    assert_eq!(
+        differential("fn f() -> int { return; } fn main() -> int { return f() + 3; }"),
+        3
+    );
+}
+
+#[test]
+fn unary_operators() {
+    assert_eq!(differential("fn main() -> int { var x: int = 5; return -x + !x + !!x; }"), -4);
+}
+
+#[test]
+fn complex_conditions() {
+    let source = r#"
+        fn main() -> int {
+            var hits: int = 0;
+            for (var i: int = 0; i < 30; i = i + 1) {
+                if ((i % 2 == 0 && i % 3 == 0) || i > 25 || !(i < 28)) {
+                    hits = hits + 1;
+                }
+            }
+            return hits;
+        }
+    "#;
+    differential(source);
+}
+
+#[test]
+fn sorting_program() {
+    let source = r#"
+        var data: int[16] = {13, 2, 9, 4, 15, 6, 1, 8, 3, 10, 11, 12, 5, 14, 7, 16};
+        fn main() -> int {
+            // Insertion sort.
+            for (var i: int = 1; i < 16; i = i + 1) {
+                var key: int = data[i];
+                var j: int = i - 1;
+                while (j >= 0 && data[j] > key) {
+                    data[j + 1] = data[j];
+                    j = j - 1;
+                }
+                data[j + 1] = key;
+            }
+            var ok: int = 1;
+            for (var i: int = 0; i < 16; i = i + 1) {
+                if (data[i] != i + 1) { ok = 0; }
+            }
+            return ok;
+        }
+    "#;
+    assert_eq!(differential(source), 1);
+}

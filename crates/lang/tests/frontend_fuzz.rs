@@ -1,0 +1,50 @@
+//! Robustness: the MiniC front end must never panic — any input yields
+//! either a program or a structured error with a source position.
+
+use clfp_lang::{check, compile, parse, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics(source in "\\PC{0,200}") {
+        let _ = Lexer::tokenize(&source);
+    }
+
+    #[test]
+    fn parser_never_panics(source in "\\PC{0,200}") {
+        let _ = parse(&source);
+    }
+
+    /// Token-soup inputs built from MiniC's own vocabulary: the whole
+    /// pipeline either compiles them or reports an error; it never panics.
+    #[test]
+    fn pipeline_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "fn", "var", "int", "if", "else", "while", "for", "return",
+                "break", "continue", "main", "x", "y", "(", ")", "{", "}",
+                "[", "]", ":", ";", ",", "=", "+", "-", "*", "/", "%", "<",
+                ">", "==", "!=", "&&", "||", "&", "!", "->", "0", "1", "42",
+                "'a'", "0xFF",
+            ]),
+            0..50,
+        )
+    ) {
+        let source = tokens.join(" ");
+        match parse(&source) {
+            Ok(module) => {
+                if check(&module).is_ok() {
+                    // Anything semantically valid must make it through
+                    // codegen and the assembler.
+                    let result = compile(&source);
+                    prop_assert!(result.is_ok(), "codegen failed on valid program:\n{source}");
+                }
+            }
+            Err(err) => {
+                prop_assert!(err.line() <= source.lines().count() + 1);
+            }
+        }
+    }
+}

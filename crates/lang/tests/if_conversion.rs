@@ -1,0 +1,166 @@
+//! Tests for if-conversion to guarded moves (the paper's Section 6
+//! "guarded instructions").
+
+use clfp_isa::{Instr, Reg};
+use clfp_lang::{compile, compile_with_options, CodegenOptions};
+use clfp_vm::{Vm, VmOptions};
+
+const OPTIONS: CodegenOptions = CodegenOptions {
+    if_conversion: true,
+    optimize: false,
+};
+
+fn run(program: &clfp_isa::Program) -> (i32, u64, u64) {
+    let mut vm = Vm::new(program, VmOptions { mem_words: 1 << 20 });
+    let trace = vm.trace(50_000_000).unwrap();
+    assert!(vm.halted());
+    let summary = trace.summarize(program);
+    (vm.reg(Reg::V0), summary.total, summary.cond_branches)
+}
+
+/// Both compilations must produce the same result; the converted one must
+/// execute fewer conditional branches.
+fn check(source: &str) -> (u64, u64) {
+    let plain = compile(source).unwrap();
+    let converted = compile_with_options(source, OPTIONS).unwrap();
+    let (r1, _, b1) = run(&plain);
+    let (r2, _, b2) = run(&converted);
+    assert_eq!(r1, r2, "if-conversion changed the result of:\n{source}");
+    (b1, b2)
+}
+
+#[test]
+fn converts_guarded_assignment() {
+    let source = r#"
+        fn main() -> int {
+            var peak: int = 0;
+            for (var i: int = 0; i < 100; i = i + 1) {
+                var v: int = (i * 37 + 11) % 64;
+                if (v > peak) { peak = v; }
+            }
+            return peak;
+        }
+    "#;
+    let (before, after) = check(source);
+    assert!(
+        after < before,
+        "expected fewer branches: {before} -> {after}"
+    );
+    // The converted binary contains cmovn.
+    let converted = compile_with_options(source, OPTIONS).unwrap();
+    assert!(converted
+        .text
+        .iter()
+        .any(|i| matches!(i, Instr::CMovN { .. })));
+}
+
+#[test]
+fn converts_if_else_diamond() {
+    let source = r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 0; i < 64; i = i + 1) {
+                var x: int = 0;
+                if (i % 3 == 0) { x = i * 2; } else { x = 7 - i; }
+                acc = acc + x;
+            }
+            return acc;
+        }
+    "#;
+    let (before, after) = check(source);
+    assert!(after < before);
+    let converted = compile_with_options(source, OPTIONS).unwrap();
+    assert!(converted.text.iter().any(|i| matches!(i, Instr::CMovZ { .. })));
+}
+
+#[test]
+fn does_not_convert_calls_or_loads() {
+    // Arms with calls or memory reads must keep their branches.
+    let source = r#"
+        var table: int[8] = {1,2,3,4,5,6,7,8};
+        fn f(x: int) -> int { return x + 1; }
+        fn main() -> int {
+            var a: int = 0;
+            var b: int = 0;
+            if (a == 0) { b = f(3); }
+            if (b > 0) { a = table[2]; }
+            return a * 100 + b;
+        }
+    "#;
+    let converted = compile_with_options(source, OPTIONS).unwrap();
+    assert!(
+        !converted
+            .text
+            .iter()
+            .any(|i| matches!(i, Instr::CMovN { .. } | Instr::CMovZ { .. })),
+        "unsafe arms must not be converted"
+    );
+    check(source);
+}
+
+#[test]
+fn does_not_convert_multi_statement_arms() {
+    let source = r#"
+        fn main() -> int {
+            var a: int = 0;
+            var b: int = 0;
+            if (a == 0) { a = 1; b = 2; }
+            return a + b;
+        }
+    "#;
+    let converted = compile_with_options(source, OPTIONS).unwrap();
+    assert!(!converted
+        .text
+        .iter()
+        .any(|i| matches!(i, Instr::CMovN { .. })));
+    check(source);
+}
+
+#[test]
+fn guarded_semantics_with_self_reference() {
+    // x = x + 1 under a guard: the cmov reads the old x.
+    let source = r#"
+        fn main() -> int {
+            var hits: int = 0;
+            for (var i: int = 0; i < 50; i = i + 1) {
+                if (i % 7 == 0) { hits = hits + 1; }
+            }
+            return hits;
+        }
+    "#;
+    check(source);
+}
+
+#[test]
+fn complex_guard_expressions() {
+    let source = r#"
+        var gate: int = 3;
+        fn main() -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < 40; i = i + 1) {
+                if ((i ^ gate) % 5 < 2) { s = s + i * i - gate; }
+            }
+            return s;
+        }
+    "#;
+    let (before, after) = check(source);
+    assert!(after < before);
+}
+
+#[test]
+fn nested_converted_ifs() {
+    let source = r#"
+        fn main() -> int {
+            var lo: int = 1000;
+            var hi: int = 0;
+            for (var i: int = 0; i < 200; i = i + 1) {
+                var v: int = (i * 61 + 17) % 97;
+                if (v < lo) { lo = v; }
+                if (v > hi) { hi = v; }
+            }
+            return hi * 1000 + lo;
+        }
+    "#;
+    let (before, after) = check(source);
+    assert!(after < before);
+}

@@ -1,0 +1,103 @@
+//! # clfp-predict
+//!
+//! Branch prediction for the clfp limit study.
+//!
+//! The paper (Section 4.4.2) uses **static branch prediction based on
+//! profile information**, collected by running each benchmark on *the same
+//! input* used in the measurement run — deliberately an upper bound for
+//! static prediction. [`ProfilePredictor`] reproduces exactly that.
+//! Computed jumps are never predicted (they always count as mispredicted).
+//!
+//! For ablation studies this crate also provides the classic alternatives:
+//! [`AlwaysTaken`], [`Btfn`] (backward-taken/forward-not-taken),
+//! [`Bimodal`] (2-bit saturating counters), [`Gshare`], and [`TwoLevel`]
+//! (Yeh & Patt's PAg).
+//!
+//! ## Example
+//!
+//! ```
+//! use clfp_isa::assemble;
+//! use clfp_predict::{BranchProfile, ProfilePredictor, BranchPredictor};
+//!
+//! let program = assemble(
+//!     ".text\nmain: li r8, 100\nloop: addi r8, r8, -1\n bgt r8, r0, loop\n halt",
+//! )?;
+//! let profile = BranchProfile::collect(&program, 10_000)?;
+//! let mut predictor = ProfilePredictor::new(&profile);
+//! // The loop branch is taken 99 of 100 times: the profile predicts taken.
+//! assert!(predictor.predict_and_update(2, true));
+//! assert!(profile.accuracy() > 0.98);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod dynamic;
+mod profile;
+mod statics;
+
+pub use dynamic::{Bimodal, Gshare, TwoLevel};
+pub use profile::BranchProfile;
+pub use statics::{AlwaysTaken, Btfn, ProfilePredictor};
+
+/// A branch-outcome predictor.
+///
+/// The limit analyzer walks a trace in order; for every conditional branch
+/// it asks the predictor for a prediction and simultaneously reveals the
+/// actual outcome (so dynamic predictors can train). The return value is
+/// the *predicted* outcome; a misprediction is `prediction != taken`.
+pub trait BranchPredictor {
+    /// Predicts the branch at static instruction `pc`, then trains on the
+    /// actual outcome `taken`. Returns the prediction made *before*
+    /// training.
+    fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Resets any dynamic state (no-op for static predictors).
+    fn reset(&mut self) {}
+}
+
+/// Running prediction-accuracy counters.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct PredictionStats {
+    /// Branches observed.
+    pub total: u64,
+    /// Branches predicted correctly.
+    pub correct: u64,
+}
+
+impl PredictionStats {
+    /// Records one outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Fraction predicted correctly (1.0 when no branches were seen).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accuracy() {
+        let mut stats = PredictionStats::default();
+        for i in 0..10 {
+            stats.record(i != 0);
+        }
+        assert_eq!(stats.total, 10);
+        assert_eq!(stats.correct, 9);
+        assert!((stats.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(PredictionStats::default().accuracy(), 1.0);
+    }
+}

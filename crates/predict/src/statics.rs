@@ -1,0 +1,127 @@
+//! Static predictors: fixed per-branch predictions that never change
+//! during the measured run.
+
+use clfp_isa::{Instr, Program};
+
+use crate::{BranchPredictor, BranchProfile};
+
+/// The paper's predictor: the majority direction observed in a profiling
+/// run on the same input (Section 4.4.2).
+#[derive(Clone, Debug)]
+pub struct ProfilePredictor {
+    profile: BranchProfile,
+}
+
+impl ProfilePredictor {
+    /// Builds the predictor from a collected profile.
+    pub fn new(profile: &BranchProfile) -> ProfilePredictor {
+        ProfilePredictor {
+            profile: profile.clone(),
+        }
+    }
+}
+
+impl BranchPredictor for ProfilePredictor {
+    fn predict_and_update(&mut self, pc: u32, _taken: bool) -> bool {
+        self.profile.majority(pc)
+    }
+
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+}
+
+/// Predicts every conditional branch taken.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AlwaysTaken;
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict_and_update(&mut self, _pc: u32, _taken: bool) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+}
+
+/// Backward-taken / forward-not-taken: loop back edges (targets at or
+/// before the branch) predict taken, forward branches predict not taken.
+#[derive(Clone, Debug)]
+pub struct Btfn {
+    backward: Vec<bool>,
+}
+
+impl Btfn {
+    /// Classifies every branch in `program` by direction.
+    pub fn new(program: &Program) -> Btfn {
+        let backward = program
+            .text
+            .iter()
+            .enumerate()
+            .map(|(pc, instr)| match *instr {
+                Instr::Branch { target, .. } => target <= pc as u32,
+                _ => false,
+            })
+            .collect();
+        Btfn { backward }
+    }
+}
+
+impl BranchPredictor for Btfn {
+    fn predict_and_update(&mut self, pc: u32, _taken: bool) -> bool {
+        self.backward[pc as usize]
+    }
+
+    fn name(&self) -> &'static str {
+        "btfn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    #[test]
+    fn profile_predictor_is_static() {
+        let mut profile = BranchProfile::new();
+        profile.record(5, true);
+        profile.record(5, true);
+        profile.record(5, false);
+        let mut predictor = ProfilePredictor::new(&profile);
+        // Prediction never changes, whatever outcomes stream past.
+        assert!(predictor.predict_and_update(5, false));
+        assert!(predictor.predict_and_update(5, false));
+        assert!(predictor.predict_and_update(5, false));
+        assert_eq!(predictor.name(), "profile");
+    }
+
+    #[test]
+    fn always_taken() {
+        let mut predictor = AlwaysTaken;
+        assert!(predictor.predict_and_update(0, false));
+        assert_eq!(predictor.name(), "always-taken");
+    }
+
+    #[test]
+    fn btfn_classifies_direction() {
+        let program = assemble(
+            r#"
+            .text
+            main:
+                beq r8, r0, fwd    # pc 0: forward
+            loop:
+                addi r8, r8, -1    # pc 1
+                bgt r8, r0, loop   # pc 2: backward
+            fwd:
+                halt               # pc 3
+            "#,
+        )
+        .unwrap();
+        let mut predictor = Btfn::new(&program);
+        assert!(!predictor.predict_and_update(0, true));
+        assert!(predictor.predict_and_update(2, false));
+        assert_eq!(predictor.name(), "btfn");
+    }
+}

@@ -1,0 +1,131 @@
+use clfp_isa::{Program, DATA_BASE, WORD};
+
+use crate::VmError;
+
+/// Flat, word-granular simulated memory.
+///
+/// Addresses are byte addresses; every access must be word-aligned. The
+/// layout matches the study's process image:
+///
+/// ```text
+/// 0x0000 .. DATA_BASE   reserved (null guard)
+/// DATA_BASE ..          data segment (globals), then heap growing up
+///             .. top    stack growing down from the top of memory
+/// ```
+#[derive(Clone, Debug)]
+pub struct Memory {
+    words: Vec<i32>,
+}
+
+impl Memory {
+    /// Creates a memory of `words` 32-bit words, loading the program's data
+    /// segment at [`DATA_BASE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data segment does not fit.
+    pub fn new(words: usize, program: &Program) -> Memory {
+        let data_start = (DATA_BASE / WORD) as usize;
+        assert!(
+            data_start + program.data.len() <= words,
+            "data segment ({} words) does not fit in memory ({words} words)",
+            program.data.len()
+        );
+        let mut mem = vec![0i32; words];
+        mem[data_start..data_start + program.data.len()].copy_from_slice(&program.data);
+        Memory { words: mem }
+    }
+
+    /// Total size in bytes; also the initial stack pointer.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() as u32) * WORD
+    }
+
+    fn index(&self, pc: u32, addr: u32) -> Result<usize, VmError> {
+        if !addr.is_multiple_of(WORD) {
+            return Err(VmError::Unaligned { pc, addr });
+        }
+        let index = (addr / WORD) as usize;
+        if index >= self.words.len() {
+            return Err(VmError::OutOfRange { pc, addr });
+        }
+        Ok(index)
+    }
+
+    /// Loads the word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unaligned`] or [`VmError::OutOfRange`]; `pc` is only used
+    /// to report the faulting instruction.
+    pub fn load(&self, pc: u32, addr: u32) -> Result<i32, VmError> {
+        Ok(self.words[self.index(pc, addr)?])
+    }
+
+    /// Stores `value` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unaligned`] or [`VmError::OutOfRange`].
+    pub fn store(&mut self, pc: u32, addr: u32, value: i32) -> Result<(), VmError> {
+        let index = self.index(pc, addr)?;
+        self.words[index] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program_with_data(data: Vec<i32>) -> Program {
+        Program {
+            data,
+            ..Program::new()
+        }
+    }
+
+    #[test]
+    fn loads_initial_data() {
+        let mem = Memory::new(0x1000, &program_with_data(vec![7, 8, 9]));
+        assert_eq!(mem.load(0, DATA_BASE).unwrap(), 7);
+        assert_eq!(mem.load(0, DATA_BASE + 8).unwrap(), 9);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let mut mem = Memory::new(0x1000, &program_with_data(vec![]));
+        mem.store(0, 0x2000, -5).unwrap();
+        assert_eq!(mem.load(0, 0x2000).unwrap(), -5);
+    }
+
+    #[test]
+    fn rejects_unaligned() {
+        let mem = Memory::new(0x1000, &program_with_data(vec![]));
+        assert_eq!(
+            mem.load(3, 0x2001),
+            Err(VmError::Unaligned { pc: 3, addr: 0x2001 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut mem = Memory::new(0x1000, &program_with_data(vec![]));
+        assert!(matches!(
+            mem.store(1, 0x4000, 1),
+            Err(VmError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn data_must_fit() {
+        let _ = Memory::new(0x400 + 1, &program_with_data(vec![0; 2]));
+    }
+
+    #[test]
+    fn size_bytes_is_word_multiple() {
+        let mem = Memory::new(0x1000, &program_with_data(vec![]));
+        assert_eq!(mem.size_bytes(), 0x4000);
+    }
+}

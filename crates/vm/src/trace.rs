@@ -1,0 +1,197 @@
+use clfp_isa::{Instr, Program};
+
+/// One dynamically executed instruction.
+///
+/// An event identifies the static instruction by index (`pc`); the dynamic
+/// facts the limit analyzer needs are the actual memory address of a
+/// load/store and the actual outcome of a conditional branch. This is the
+/// same information `pixie` traces carried in the original study.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Static instruction index into the program's text segment.
+    pub pc: u32,
+    /// Byte address accessed, valid only for loads and stores.
+    pub mem_addr: u32,
+    /// Branch outcome, valid only for conditional branches.
+    pub taken: bool,
+}
+
+impl TraceEvent {
+    /// Looks up the static instruction this event executed.
+    pub fn instr(&self, program: &Program) -> Instr {
+        program.text[self.pc as usize]
+    }
+}
+
+/// A captured instruction trace plus summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace from raw events.
+    pub fn from_events(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The raw events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Computes the instruction-mix summary of this trace.
+    pub fn summarize(&self, program: &Program) -> TraceSummary {
+        let mut summary = TraceSummary::default();
+        for event in &self.events {
+            summary.total += 1;
+            match event.instr(program) {
+                Instr::Branch { .. } => {
+                    summary.cond_branches += 1;
+                    if event.taken {
+                        summary.taken_branches += 1;
+                    }
+                }
+                Instr::JumpR { .. } => summary.computed_jumps += 1,
+                Instr::Jump { .. } => summary.jumps += 1,
+                Instr::Call { .. } | Instr::CallR { .. } => summary.calls += 1,
+                Instr::Ret => summary.returns += 1,
+                Instr::Lw { .. } => summary.loads += 1,
+                Instr::Sw { .. } => summary.stores += 1,
+                _ => summary.alu += 1,
+            }
+        }
+        summary
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Trace {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Instruction-mix statistics for a trace (input to the paper's Table 2).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TraceSummary {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Computed jumps executed.
+    pub computed_jumps: u64,
+    /// Direct unconditional jumps executed.
+    pub jumps: u64,
+    /// Calls executed (direct and indirect).
+    pub calls: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Word loads executed.
+    pub loads: u64,
+    /// Word stores executed.
+    pub stores: u64,
+    /// All remaining (ALU and immediate) instructions.
+    pub alu: u64,
+}
+
+impl TraceSummary {
+    /// Average dynamic instructions between conditional branches — the
+    /// right-hand column of the paper's Table 2.
+    pub fn instrs_between_branches(&self) -> f64 {
+        if self.cond_branches == 0 {
+            self.total as f64
+        } else {
+            self.total as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_isa::assemble;
+
+    #[test]
+    fn summary_counts_classes() {
+        let program = assemble(
+            r#"
+            .text
+            main:
+                li r8, 1
+                beq r8, r0, skip
+                lw r9, 0x1000(r0)
+                sw r9, 0x1004(r0)
+            skip:
+                halt
+            "#,
+        )
+        .unwrap();
+        let events = vec![
+            TraceEvent { pc: 0, mem_addr: 0, taken: false },
+            TraceEvent { pc: 1, mem_addr: 0, taken: false },
+            TraceEvent { pc: 2, mem_addr: 0x1000, taken: false },
+            TraceEvent { pc: 3, mem_addr: 0x1004, taken: false },
+            TraceEvent { pc: 4, mem_addr: 0, taken: false },
+        ];
+        let trace = Trace::from_events(events);
+        let summary = trace.summarize(&program);
+        assert_eq!(summary.total, 5);
+        assert_eq!(summary.cond_branches, 1);
+        assert_eq!(summary.loads, 1);
+        assert_eq!(summary.stores, 1);
+        assert_eq!(summary.alu, 2); // li + halt both count as "other"
+    }
+
+    #[test]
+    fn instrs_between_branches() {
+        let summary = TraceSummary {
+            total: 60,
+            cond_branches: 10,
+            ..TraceSummary::default()
+        };
+        assert!((summary.instrs_between_branches() - 6.0).abs() < 1e-12);
+        let no_branches = TraceSummary {
+            total: 42,
+            ..TraceSummary::default()
+        };
+        assert!((no_branches.instrs_between_branches() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_collects_from_iterator() {
+        let trace: Trace = (0..3)
+            .map(|pc| TraceEvent { pc, mem_addr: 0, taken: false })
+            .collect();
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.iter().count(), 3);
+    }
+}

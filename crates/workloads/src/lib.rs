@@ -1,0 +1,240 @@
+//! # clfp-workloads
+//!
+//! The benchmark suite of the reproduction, mirroring the paper's Table 1.
+//!
+//! The original study traced ten SPEC-era programs. Those binaries and
+//! inputs are not reproducible today, so this crate provides ten MiniC
+//! programs chosen to match each original's *algorithmic character* — the
+//! property the study's conclusions actually depend on (branch density,
+//! predictability, recursion, pointer chasing, data-dependent vs
+//! data-independent control flow):
+//!
+//! | ours | paper | character |
+//! |------|-------|-----------|
+//! | `scan`     | awk        | text scanning, hash tables |
+//! | `parse`    | ccom       | recursive descent, AST pointer chasing |
+//! | `qsort`    | eqntott    | quicksort + truth tables, few data deps |
+//! | `logic`    | espresso   | cube merging, worst-case prediction |
+//! | `dataflow` | gcc (cc1)  | worklist bit-vector analysis over graphs |
+//! | `eventsim` | irsim      | event wheel, function-pointer dispatch |
+//! | `fmt`      | latex      | line breaking, pagination |
+//! | `matmul`   | matrix300  | dense kernels, data-independent control |
+//! | `sparse`   | spice2g6   | numeric but data-dependent control |
+//! | `stencil`  | tomcatv    | mesh relaxation, data-independent control |
+//!
+//! All programs are self-contained (inputs come from a seeded LCG) and
+//! deterministic, and every run returns a checksum so correctness is
+//! testable on both the VM and the reference interpreter.
+//!
+//! ## Example
+//!
+//! ```
+//! let suite = clfp_workloads::suite();
+//! assert_eq!(suite.len(), 10);
+//! let qsort = clfp_workloads::by_name("qsort").unwrap();
+//! let program = qsort.compile()?;
+//! assert!(program.text.len() > 100);
+//! # Ok::<(), clfp_lang::LangError>(())
+//! ```
+
+use clfp_isa::Program;
+use clfp_lang::LangError;
+
+/// The paper's benchmark grouping: Table 3 reports the harmonic mean over
+/// the non-numeric programs only.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadClass {
+    /// The C-program group (awk … latex).
+    NonNumeric,
+    /// The FORTRAN group (matrix300, spice2g6, tomcatv).
+    Numeric,
+}
+
+/// One benchmark program.
+#[derive(Copy, Clone, Debug)]
+pub struct Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// The paper benchmark this mirrors.
+    pub paper_analog: &'static str,
+    /// One-line description (Table 1 style).
+    pub description: &'static str,
+    /// Numeric vs non-numeric group.
+    pub class: WorkloadClass,
+    /// Whether the program's control flow is data dependent — the paper's
+    /// Section 5.3 predictor of parallelism.
+    pub data_dependent_control: bool,
+    source: &'static str,
+}
+
+impl Workload {
+    /// The MiniC source text.
+    pub fn source(&self) -> &'static str {
+        self.source
+    }
+
+    /// Compiles the workload to a linked program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] — which would indicate a bug, since the
+    /// suite is tested.
+    pub fn compile(&self) -> Result<Program, LangError> {
+        clfp_lang::compile(self.source)
+    }
+
+    /// Compiles the workload with explicit codegen options (used by the
+    /// guarded-instruction ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Workload::compile`].
+    pub fn compile_with(
+        &self,
+        options: clfp_lang::CodegenOptions,
+    ) -> Result<Program, LangError> {
+        clfp_lang::compile_with_options(self.source, options)
+    }
+}
+
+/// The full ten-program suite, in Table 1 order.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "scan",
+            paper_analog: "awk",
+            description: "pattern scanning and word counting",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/scan.mc"),
+        },
+        Workload {
+            name: "parse",
+            paper_analog: "ccom",
+            description: "expression compiler front end",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/parse.mc"),
+        },
+        Workload {
+            name: "qsort",
+            paper_analog: "eqntott",
+            description: "quicksort and truth table generation",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/qsort.mc"),
+        },
+        Workload {
+            name: "logic",
+            paper_analog: "espresso",
+            description: "two-level logic minimization",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/logic.mc"),
+        },
+        Workload {
+            name: "dataflow",
+            paper_analog: "gcc (cc1)",
+            description: "iterative data-flow analysis over CFGs",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/dataflow.mc"),
+        },
+        Workload {
+            name: "eventsim",
+            paper_analog: "irsim",
+            description: "event-driven logic simulation",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/eventsim.mc"),
+        },
+        Workload {
+            name: "fmt",
+            paper_analog: "latex",
+            description: "paragraph filling and pagination",
+            class: WorkloadClass::NonNumeric,
+            data_dependent_control: true,
+            source: include_str!("programs/fmt.mc"),
+        },
+        Workload {
+            name: "matmul",
+            paper_analog: "matrix300",
+            description: "dense matrix multiplication",
+            class: WorkloadClass::Numeric,
+            data_dependent_control: false,
+            source: include_str!("programs/matmul.mc"),
+        },
+        Workload {
+            name: "sparse",
+            paper_analog: "spice2g6",
+            description: "sparse iterative circuit solver",
+            class: WorkloadClass::Numeric,
+            data_dependent_control: true,
+            source: include_str!("programs/sparse.mc"),
+        },
+        Workload {
+            name: "stencil",
+            paper_analog: "tomcatv",
+            description: "mesh relaxation",
+            class: WorkloadClass::Numeric,
+            data_dependent_control: false,
+            source: include_str!("programs/stencil.mc"),
+        },
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_unique_workloads() {
+        let suite = suite();
+        assert_eq!(suite.len(), 10);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn grouping_matches_paper() {
+        let suite = suite();
+        let non_numeric = suite
+            .iter()
+            .filter(|w| w.class == WorkloadClass::NonNumeric)
+            .count();
+        assert_eq!(non_numeric, 7);
+        // spice's analogue is numeric *and* data dependent — the paper's
+        // Section 5.3 point.
+        let sparse = by_name("sparse").unwrap();
+        assert_eq!(sparse.class, WorkloadClass::Numeric);
+        assert!(sparse.data_dependent_control);
+        assert!(!by_name("matmul").unwrap().data_dependent_control);
+    }
+
+    #[test]
+    fn all_workloads_compile() {
+        for workload in suite() {
+            let program = workload
+                .compile()
+                .unwrap_or_else(|err| panic!("{} failed to compile: {err}", workload.name));
+            assert!(
+                program.text.len() > 50,
+                "{} suspiciously small",
+                workload.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("qsort").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

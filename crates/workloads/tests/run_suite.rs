@@ -1,0 +1,52 @@
+//! Executes every workload on the VM, checks it halts with a nonzero
+//! checksum, and differentially validates each against the reference AST
+//! interpreter.
+
+use clfp_isa::Reg;
+use clfp_lang::interpret_source;
+use clfp_vm::{Vm, VmOptions};
+use clfp_workloads::suite;
+
+#[test]
+fn workloads_halt_with_checksums() {
+    for workload in suite() {
+        let program = workload.compile().unwrap();
+        let mut vm = Vm::new(&program, VmOptions::default());
+        let outcome = vm
+            .run(100_000_000)
+            .unwrap_or_else(|err| panic!("{} faulted: {err}", workload.name));
+        assert_eq!(
+            outcome,
+            clfp_vm::ExecOutcome::Halted,
+            "{} did not halt",
+            workload.name
+        );
+        let checksum = vm.reg(Reg::V0);
+        assert_ne!(checksum, 0, "{} returned zero checksum", workload.name);
+        // Traces must be substantial enough for stable limit statistics.
+        assert!(
+            vm.executed() > 50_000,
+            "{} executed only {} instructions",
+            workload.name,
+            vm.executed()
+        );
+    }
+}
+
+#[test]
+fn workloads_match_reference_interpreter() {
+    for workload in suite() {
+        let program = workload.compile().unwrap();
+        let mut vm = Vm::new(&program, VmOptions::default());
+        vm.run(100_000_000).unwrap();
+        let compiled = vm.reg(Reg::V0);
+        let interpreted = interpret_source(workload.source(), 2_000_000_000)
+            .unwrap_or_else(|err| panic!("{} interp failed: {err}", workload.name))
+            .result;
+        assert_eq!(
+            compiled, interpreted,
+            "{}: compiled {compiled} != interpreted {interpreted}",
+            workload.name
+        );
+    }
+}

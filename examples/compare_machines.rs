@@ -1,0 +1,43 @@
+//! Compare the seven machine models across contrasting workloads: one
+//! data-dependent non-numeric program (the paper's awk/espresso class) and
+//! one data-independent numeric program (the matrix300/tomcatv class).
+//!
+//! ```text
+//! cargo run --release --example compare_machines
+//! ```
+
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = AnalysisConfig {
+        max_instrs: 500_000,
+        ..AnalysisConfig::default()
+    };
+
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "workload", "BASE", "CD", "CD-MF", "SP", "SP-CD", "SP-CD-MF", "ORACLE"
+    );
+    for name in ["logic", "qsort", "stencil"] {
+        let workload = by_name(name).expect("known workload");
+        let program = workload.compile()?;
+        let report = Analyzer::new(&program, config.clone())?.run()?;
+        print!("{:10}", workload.name);
+        for kind in MachineKind::ALL {
+            print!(" {:>8.2}", report.parallelism(kind));
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the rows: `logic` (espresso-like, data-dependent control)\n\
+         gains little until speculation + control dependence combine;\n\
+         `qsort` (eqntott-like) has few data dependences, so removing\n\
+         control constraints uncovers large parallelism; `stencil`\n\
+         (tomcatv-like, data-independent control) is already huge at CD-MF —\n\
+         control dependence alone exposes its loop-level parallelism, the\n\
+         paper's key distinction between control-flow classes."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! End-to-end tour of the toolchain on a user-supplied kernel: compile
+//! MiniC, inspect the generated assembly and static analyses (control
+//! dependences, loops, induction variables), then measure the limits.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use clfp::cfg::StaticInfo;
+use clfp::lang::compile_with_listing;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A histogram kernel: data-dependent stores, predictable loop.
+    let source = r#"
+        var input: int[2048];
+        var hist: int[64];
+        fn rnd(k: int) -> int {
+            var v: int = k * 2654435761 + 1013904223;
+            v = v ^ ((v >> 16) & 65535);
+            return v & 1073741823;
+        }
+        fn main() -> int {
+            for (var i: int = 0; i < 2048; i = i + 1) {
+                input[i] = rnd(i);
+            }
+            for (var i: int = 0; i < 2048; i = i + 1) {
+                var bucket: int = input[i] % 64;
+                hist[bucket] = hist[bucket] + 1;
+            }
+            var peak: int = 0;
+            for (var b: int = 0; b < 64; b = b + 1) {
+                if (hist[b] > peak) { peak = hist[b]; }
+            }
+            return peak;
+        }
+    "#;
+
+    let (program, listing) = compile_with_listing(source)?;
+    println!("== generated assembly (first 40 lines) ==");
+    for line in listing.lines().take(40) {
+        println!("{line}");
+    }
+    println!("  ... ({} instructions total)\n", program.text.len());
+
+    // Static analyses the analyzer runs under the hood.
+    let info = StaticInfo::analyze(&program);
+    println!(
+        "== static analysis ==\n{} basic blocks, {} procedures, {} natural loops",
+        info.cfg.blocks().len(),
+        info.cfg.procs().len(),
+        info.loops.loops().len()
+    );
+    for (i, l) in info.loops.loops().iter().enumerate() {
+        let regs: Vec<String> = info.induction.induction_regs()[i]
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        println!(
+            "  loop {} (header block {:?}, {} blocks): induction regs [{}]",
+            i,
+            l.header,
+            l.blocks.len(),
+            regs.join(", ")
+        );
+    }
+    let removed = (0..program.text.len() as u32)
+        .filter(|&pc| info.masks.ignored(pc, true))
+        .count();
+    println!(
+        "perfect inlining + unrolling removes {removed} of {} static instructions\n",
+        program.text.len()
+    );
+
+    // Limit analysis.
+    let report = Analyzer::new(&program, AnalysisConfig::default())?.run()?;
+    println!("== parallelism limits ==");
+    for kind in MachineKind::ALL {
+        println!(
+            "  {:9} {:>8.2}",
+            kind.name(),
+            report.parallelism(kind)
+        );
+    }
+    println!(
+        "\nNote the histogram loop: `hist[bucket] = hist[bucket] + 1` creates\n\
+         true memory dependences only when buckets collide, so even ORACLE\n\
+         parallelism is bounded by the hottest bucket's chain."
+    );
+    Ok(())
+}

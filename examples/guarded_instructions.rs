@@ -1,0 +1,60 @@
+//! Guarded instructions (the paper's Section 6 concluding proposal):
+//! compile the same workloads twice — once with conventional branches,
+//! once with if-conversion to conditional moves — and compare the SP-family
+//! limits.
+//!
+//! The paper: "Guarded instructions are particularly interesting when
+//! combined with support for speculative execution, since they help
+//! increase the distance between mispredicted branches."
+//!
+//! ```text
+//! cargo run --release -p clfp --example guarded_instructions
+//! ```
+
+use clfp::lang::CodegenOptions;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for name in ["scan", "logic", "fmt"] {
+        let workload = by_name(name).expect("known workload");
+        println!("== {name} ==");
+        println!(
+            "{:10} {:>10} {:>9} {:>11} {:>8} {:>8} {:>10}",
+            "codegen", "branches", "pred%", "<=100 dist", "SP", "SP-CD", "SP-CD-MF"
+        );
+        for (label, if_conversion) in [("branches", false), ("guarded", true)] {
+            let program = workload.compile_with(CodegenOptions { if_conversion, ..CodegenOptions::default() })?;
+            let config = AnalysisConfig {
+                max_instrs: 600_000,
+                machines: vec![MachineKind::Sp, MachineKind::SpCd, MachineKind::SpCdMf],
+                ..AnalysisConfig::default()
+            };
+            let report = Analyzer::new(&program, config)?.run()?;
+            let within = report
+                .mispred_stats
+                .as_ref()
+                .map(|s| s.fraction_within(100) * 100.0)
+                .unwrap_or(100.0);
+            println!(
+                "{:10} {:>10} {:>8.2}% {:>10.0}% {:>8.2} {:>8.2} {:>10.2}",
+                label,
+                report.branches.cond_branches,
+                report.branches.prediction_rate(),
+                within,
+                report.parallelism(MachineKind::Sp),
+                report.parallelism(MachineKind::SpCd),
+                report.parallelism(MachineKind::SpCdMf),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Guarding removes the poorly-predicted data-dependent branches\n\
+         entirely, so the surviving branch mix predicts better and segments\n\
+         between mispredictions grow — the SP machine gains. The price is a\n\
+         new data dependence (each cmov reads its destination), visible\n\
+         where SP-CD-MF loses a little."
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! IPC profiles: where does the parallelism live? For each machine model,
+//! the distribution of instructions issued per cycle — a handful of very
+//! wide "burst" cycles vs sustained width. Useful for interpreting the
+//! paper's big SP-CD-MF and ORACLE numbers: most of that parallelism sits
+//! in enormous bursts a real machine would need enormous width to catch.
+//!
+//! ```text
+//! cargo run --release -p clfp --example ipc_profile [workload]
+//! ```
+
+use clfp::limits::{AnalysisConfig, Analyzer, IpcProfile, MachineKind};
+use clfp::vm::{Vm, VmOptions};
+use clfp::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "qsort".into());
+    let workload = by_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let program = workload.compile()?;
+
+    let config = AnalysisConfig {
+        max_instrs: 300_000,
+        ..AnalysisConfig::default()
+    };
+    let analyzer = Analyzer::new(&program, config.clone())?;
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(config.max_instrs)?;
+
+    println!(
+        "{name}: {} dynamic instructions\n",
+        trace.len()
+    );
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>22}",
+        "machine", "IPC", "peak", "cycles", "% instrs in cycles>=32"
+    );
+    for kind in MachineKind::ALL {
+        let schedule = analyzer.schedule(&trace, kind);
+        let profile = IpcProfile::from_schedule(&schedule);
+        println!(
+            "{:10} {:>8.2} {:>8} {:>8} {:>21.1}%",
+            kind.name(),
+            profile.mean(),
+            profile.peak(),
+            profile.cycles(),
+            profile.fraction_in_wide_cycles(32) * 100.0
+        );
+    }
+
+    println!("\nWidth histogram for SP-CD-MF (cycles per issue-width bucket):");
+    let schedule = analyzer.schedule(&trace, MachineKind::SpCdMf);
+    let profile = IpcProfile::from_schedule(&schedule);
+    for (bucket, cycles) in profile.width_histogram() {
+        let bar = "#".repeat(((cycles as f64).log2().max(0.0) * 3.0) as usize);
+        println!("  width {bucket:>6}+ : {cycles:>8} cycles  {bar}");
+    }
+    Ok(())
+}

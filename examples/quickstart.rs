@@ -1,0 +1,72 @@
+//! Quickstart: compile a MiniC program and measure its parallelism limits
+//! under all seven abstract machine models.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clfp::lang::compile;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small program with data-dependent control flow: count Collatz
+    // steps for many seeds.
+    let source = r#"
+        var steps: int[512];
+        fn collatz(n: int) -> int {
+            var count: int = 0;
+            while (n != 1 && count < 500) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                count = count + 1;
+            }
+            return count;
+        }
+        fn main() -> int {
+            var total: int = 0;
+            for (var i: int = 0; i < 512; i = i + 1) {
+                steps[i] = collatz(i + 2);
+                total = total + steps[i];
+            }
+            return total;
+        }
+    "#;
+
+    let program = compile(source)?;
+    println!(
+        "compiled: {} instructions, {} data words\n",
+        program.text.len(),
+        program.data.len()
+    );
+
+    let analyzer = Analyzer::new(&program, AnalysisConfig::default())?;
+    let report = analyzer.run()?;
+
+    println!(
+        "trace: {} dynamic instructions ({} after perfect inlining/unrolling)",
+        report.raw_instrs, report.seq_instrs
+    );
+    println!(
+        "branches: {} conditional, {:.1}% predicted correctly\n",
+        report.branches.cond_branches,
+        report.branches.prediction_rate()
+    );
+
+    println!("{:10} {:>12} {:>12}", "machine", "cycles", "parallelism");
+    for kind in MachineKind::ALL {
+        let result = report.result(kind).expect("all machines analyzed");
+        println!(
+            "{:10} {:>12} {:>12.2}",
+            kind.name(),
+            result.cycles,
+            result.parallelism
+        );
+    }
+
+    println!(
+        "\nThe ordering BASE ≤ CD ≤ CD-MF ≤ ORACLE and BASE ≤ SP ≤ SP-CD ≤ \
+         SP-CD-MF ≤ ORACLE always holds; the gaps show how much each\n\
+         control-flow technique (control dependence, multiple flows, \
+         speculation) buys on this program."
+    );
+    Ok(())
+}

@@ -1,0 +1,275 @@
+//! The `clfp` command-line tool: compile, run, disassemble, and analyze
+//! MiniC programs or clfp assembly with the limit analyzer.
+//!
+//! ```text
+//! clfp compile prog.mc            # print generated assembly
+//! clfp disasm prog.mc             # print linked disassembly
+//! clfp run prog.mc                # execute, print main's result
+//! clfp analyze prog.mc            # parallelism for all 7 machines
+//! clfp analyze --workload qsort --max-instr 500000
+//! clfp analyze prog.s --no-unroll --predictor bimodal --fetch 8
+//! clfp workloads                  # list the benchmark suite
+//! ```
+//!
+//! Files ending in `.mc` are treated as MiniC; anything else is assembled
+//! as clfp assembly.
+
+use std::process::ExitCode;
+
+use clfp::isa::{Program, Reg};
+use clfp::lang::CodegenOptions;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice};
+use clfp::vm::{Vm, VmOptions};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("clfp: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compile" => compile_cmd(rest),
+        "disasm" => disasm_cmd(rest),
+        "run" => run_cmd(rest),
+        "trace" => trace_cmd(rest),
+        "analyze" => analyze_cmd(rest),
+        "workloads" => {
+            for w in clfp::workloads::suite() {
+                println!(
+                    "{:10} ({}; {})",
+                    w.name, w.paper_analog, w.description
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `clfp help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: clfp <command> [options]\n\n\
+         commands:\n\
+         \u{20} compile <file.mc> [--if-convert] [--optimize]\n\
+         \u{20}                                    print generated assembly\n\
+         \u{20} disasm  <file>                     print linked disassembly\n\
+         \u{20} run     <file> [--max-instr N]     execute and print the result\n\
+         \u{20} trace   <file> -o out.trc          capture a trace to a file\n\
+         \u{20} analyze <file | --workload NAME>   parallelism limits (all machines)\n\
+         \u{20}         [--max-instr N] [--no-unroll] [--no-inline]\n\
+         \u{20}         [--predictor profile|btfn|taken|bimodal|gshare|two-level]\n\
+         \u{20}         [--fetch W] [--if-convert] [--trace file.trc]\n\
+         \u{20} workloads                          list the benchmark suite\n\n\
+         Files ending in .mc are MiniC; anything else is clfp assembly."
+    );
+}
+
+fn load_program(path: &str, options: CodegenOptions) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+    if path.ends_with(".mc") {
+        clfp::lang::compile_with_options(&source, options).map_err(|err| err.to_string())
+    } else {
+        clfp::isa::assemble(&source).map_err(|err| err.to_string())
+    }
+}
+
+fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|at| args.get(at + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if let Some(flag) = arg.strip_prefix("--") {
+            skip_next = matches!(
+                flag,
+                "max-instr" | "predictor" | "fetch" | "workload" | "trace"
+            );
+            continue;
+        }
+        if arg == "-o" {
+            skip_next = true;
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+fn codegen_options(args: &[String]) -> CodegenOptions {
+    CodegenOptions {
+        if_conversion: has_flag(args, "--if-convert"),
+        optimize: has_flag(args, "--optimize"),
+    }
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("compile needs a .mc file")?;
+    if !path.ends_with(".mc") {
+        return Err("compile takes a MiniC (.mc) file".into());
+    }
+    let source =
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+    let options = codegen_options(args);
+    let mut module = clfp::lang::parse(&source).map_err(|err| err.to_string())?;
+    clfp::lang::check(&module).map_err(|err| err.to_string())?;
+    if options.optimize {
+        module = clfp::lang::optimize(&module);
+    }
+    let listing =
+        clfp::lang::generate_asm_with(&module, options).map_err(|err| err.to_string())?;
+    print!("{listing}");
+    Ok(())
+}
+
+fn disasm_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("disasm needs a file")?;
+    let program = load_program(path, codegen_options(args))?;
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("run needs a file")?;
+    let limit: u64 = parse_flag_value(args, "--max-instr")
+        .map(|v| v.parse().map_err(|_| format!("bad --max-instr `{v}`")))
+        .transpose()?
+        .unwrap_or(1_000_000_000);
+    let program = load_program(path, codegen_options(args))?;
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let outcome = vm.run(limit).map_err(|err| err.to_string())?;
+    println!(
+        "{outcome:?} after {} instructions; result (v0) = {}",
+        vm.executed(),
+        vm.reg(Reg::V0)
+    );
+    Ok(())
+}
+
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("trace needs a file")?;
+    let out = parse_flag_value(args, "-o").ok_or("trace needs `-o output.trc`")?;
+    let limit: u64 = parse_flag_value(args, "--max-instr")
+        .map(|v| v.parse().map_err(|_| format!("bad --max-instr `{v}`")))
+        .transpose()?
+        .unwrap_or(2_000_000);
+    let program = load_program(path, codegen_options(args))?;
+    let mut vm = Vm::new(&program, VmOptions::default());
+    let trace = vm.trace(limit).map_err(|err| err.to_string())?;
+    trace
+        .save(&program, out)
+        .map_err(|err| format!("cannot write `{out}`: {err}"))?;
+    println!("wrote {} events to {out}", trace.len());
+    Ok(())
+}
+
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let program = if let Some(name) = parse_flag_value(args, "--workload") {
+        let workload = clfp::workloads::by_name(name)
+            .ok_or_else(|| format!("unknown workload `{name}`; see `clfp workloads`"))?;
+        workload
+            .compile_with(codegen_options(args))
+            .map_err(|err| err.to_string())?
+    } else {
+        let path = positional(args).ok_or("analyze needs a file or --workload NAME")?;
+        load_program(path, codegen_options(args))?
+    };
+
+    let mut config = AnalysisConfig::default();
+    if let Some(v) = parse_flag_value(args, "--max-instr") {
+        config.max_instrs = v.parse().map_err(|_| format!("bad --max-instr `{v}`"))?;
+    }
+    if has_flag(args, "--no-unroll") {
+        config.unrolling = false;
+    }
+    if has_flag(args, "--no-inline") {
+        config.inlining = false;
+    }
+    if let Some(v) = parse_flag_value(args, "--fetch") {
+        config.fetch_bandwidth =
+            Some(v.parse().map_err(|_| format!("bad --fetch `{v}`"))?);
+    }
+    if let Some(v) = parse_flag_value(args, "--predictor") {
+        config.predictor = match v {
+            "profile" => PredictorChoice::Profile,
+            "btfn" => PredictorChoice::Btfn,
+            "taken" | "always-taken" => PredictorChoice::AlwaysTaken,
+            "bimodal" => PredictorChoice::Bimodal { entries: 4096 },
+            "gshare" => PredictorChoice::Gshare {
+                entries: 4096,
+                history_bits: 8,
+            },
+            "two-level" | "twolevel" | "pag" => PredictorChoice::TwoLevel {
+                entries: 4096,
+                history_bits: 10,
+            },
+            other => return Err(format!("unknown predictor `{other}`")),
+        };
+    }
+
+    let analyzer = Analyzer::new(&program, config).map_err(|err| err.to_string())?;
+    let report = if let Some(trace_path) = parse_flag_value(args, "--trace") {
+        let trace = clfp::vm::Trace::load(&program, trace_path)
+            .map_err(|err| format!("cannot load `{trace_path}`: {err}"))?;
+        analyzer.run_on_trace(&trace)
+    } else {
+        analyzer.run().map_err(|err| err.to_string())?
+    };
+
+    println!(
+        "trace: {} instructions ({} after inlining/unrolling)",
+        report.raw_instrs, report.seq_instrs
+    );
+    println!(
+        "branches: {} conditional ({:.2}% predicted), {} computed jumps\n",
+        report.branches.cond_branches,
+        report.branches.prediction_rate(),
+        report.branches.computed_jumps
+    );
+    println!("{:10} {:>12} {:>12}", "machine", "cycles", "parallelism");
+    for kind in MachineKind::ALL {
+        if let Some(result) = report.result(kind) {
+            println!(
+                "{:10} {:>12} {:>12.2}",
+                kind.name(),
+                result.cycles,
+                result.parallelism
+            );
+        }
+    }
+    if let Some(stats) = &report.mispred_stats {
+        println!(
+            "\nmispredictions: {} segments, {:.0}% within 100 instructions",
+            stats.total_segments(),
+            stats.fraction_within(100) * 100.0
+        );
+    }
+    Ok(())
+}

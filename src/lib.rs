@@ -1,0 +1,42 @@
+//! # clfp — Limits of Control Flow on Parallelism
+//!
+//! Facade crate re-exporting the whole `clfp` workspace: a reproduction of
+//! Lam & Wilson, *Limits of Control Flow on Parallelism* (ISCA 1992).
+//!
+//! The workspace members, in dependency order:
+//!
+//! * [`isa`] — the MIPS-like instruction set, assembler, and program format.
+//! * [`vm`] — the tracing interpreter (the study's `pixie` equivalent).
+//! * [`cfg`](mod@cfg) — control-flow graphs, dominance, control dependence, loop and
+//!   induction-variable analysis.
+//! * [`predict`] — profile-based static branch prediction (the paper's
+//!   predictor) plus ablation predictors.
+//! * [`lang`] — the MiniC compiler used to build workloads with realistic
+//!   control flow.
+//! * [`limits`] — the paper's contribution: seven abstract machine models
+//!   and the trace-driven parallelism limit analyzer.
+//! * [`workloads`] — the benchmark suite mirroring the paper's Table 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clfp::lang::compile;
+//! use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+//!
+//! let program = compile(
+//!     "fn main() -> int { var s: int = 0; for (var i: int = 0; i < 50; i = i + 1) { if (i % 3 == 0) { s = s + i; } } return s; }",
+//! )?;
+//! let report = Analyzer::new(&program, AnalysisConfig::default())?.run()?;
+//! let oracle = report.parallelism(MachineKind::Oracle);
+//! let base = report.parallelism(MachineKind::Base);
+//! assert!(oracle >= base);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use clfp_cfg as cfg;
+pub use clfp_isa as isa;
+pub use clfp_lang as lang;
+pub use clfp_limits as limits;
+pub use clfp_predict as predict;
+pub use clfp_vm as vm;
+pub use clfp_workloads as workloads;

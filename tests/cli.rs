@@ -1,0 +1,174 @@
+//! Integration tests for the `clfp` command-line binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn clfp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clfp"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("clfp-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut file = std::fs::File::create(&path).unwrap();
+    file.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = r#"
+fn main() -> int {
+    var s: int = 0;
+    for (var i: int = 0; i < 100; i = i + 1) {
+        if (i % 3 == 0) { s = s + i; }
+    }
+    return s;
+}
+"#;
+
+#[test]
+fn help_lists_commands() {
+    let output = clfp().arg("help").output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for command in ["compile", "disasm", "run", "trace", "analyze", "workloads"] {
+        assert!(text.contains(command), "help missing `{command}`");
+    }
+}
+
+#[test]
+fn run_prints_result() {
+    let path = write_temp("run.mc", PROGRAM);
+    let output = clfp().arg("run").arg(&path).output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    // sum of multiples of 3 below 100 = 1683.
+    assert!(text.contains("result (v0) = 1683"), "{text}");
+    assert!(text.contains("Halted"));
+}
+
+#[test]
+fn compile_emits_assembly() {
+    let path = write_temp("compile.mc", PROGRAM);
+    let output = clfp().arg("compile").arg(&path).output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("mc_main:"));
+    assert!(text.contains("addi sp, sp, -"));
+}
+
+#[test]
+fn compile_with_if_conversion_emits_cmov() {
+    let path = write_temp("ifc.mc", PROGRAM);
+    let output = clfp()
+        .args(["compile", "--if-convert"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("cmovn"), "expected guarded move in:\n{text}");
+}
+
+#[test]
+fn analyze_reports_all_machines() {
+    let path = write_temp("analyze.mc", PROGRAM);
+    let output = clfp()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--max-instr", "50000"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for machine in ["BASE", "CD-MF", "SP-CD-MF", "ORACLE"] {
+        assert!(text.contains(machine), "missing {machine} in:\n{text}");
+    }
+    assert!(text.contains("mispredictions"));
+}
+
+#[test]
+fn analyze_by_workload_name() {
+    let output = clfp()
+        .args(["analyze", "--workload", "qsort", "--max-instr", "30000"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("ORACLE"));
+}
+
+#[test]
+fn trace_roundtrip_via_files() {
+    let path = write_temp("trace.mc", PROGRAM);
+    let trc = path.with_extension("trc");
+    let output = clfp()
+        .arg("trace")
+        .arg(&path)
+        .arg("-o")
+        .arg(&trc)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("wrote"), "{text}");
+
+    let output = clfp()
+        .arg("analyze")
+        .arg(&path)
+        .arg("--trace")
+        .arg(&trc)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    // A different program must reject the trace.
+    let other = write_temp("other.mc", "fn main() -> int { return 1; }");
+    let output = clfp()
+        .arg("analyze")
+        .arg(&other)
+        .arg("--trace")
+        .arg(&trc)
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let text = String::from_utf8(output.stderr).unwrap();
+    assert!(text.contains("different program"), "{text}");
+}
+
+#[test]
+fn workloads_lists_the_suite() {
+    let output = clfp().arg("workloads").output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for name in ["scan", "qsort", "stencil"] {
+        assert!(text.contains(name));
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let output = clfp().arg("analyze").arg("/nonexistent.mc").output().unwrap();
+    assert!(!output.status.success());
+    let text = String::from_utf8(output.stderr).unwrap();
+    assert!(text.contains("cannot read"));
+
+    let bad = write_temp("bad.mc", "fn main( { return 0; }");
+    let output = clfp().arg("compile").arg(&bad).output().unwrap();
+    assert!(!output.status.success());
+    let text = String::from_utf8(output.stderr).unwrap();
+    assert!(text.contains("minic error"), "{text}");
+
+    let output = clfp().arg("frobnicate").output().unwrap();
+    assert!(!output.status.success());
+}
+
+#[test]
+fn disasm_shows_labels() {
+    let path = write_temp("disasm.mc", PROGRAM);
+    let output = clfp().arg("disasm").arg(&path).output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("__start:"));
+    assert!(text.contains("mc_main:"));
+}

@@ -1,0 +1,266 @@
+//! Shared test support: a proptest generator of random — but always
+//! terminating and well-formed — MiniC programs.
+//!
+//! The generated programs exercise scalars, a global array, a global
+//! scalar, arithmetic/logical/comparison operators, nested `if`/`for`/
+//! `while`, helper calls, and bounded recursion. Array indices are always
+//! masked to the array size, loops always have fixed small bounds, and
+//! recursion depth is capped, so every generated program halts on both the
+//! VM and the reference interpreter.
+
+use std::fmt::Write as _;
+
+use proptest::prelude::*;
+
+/// Binary operators the generator emits.
+const BIN_OPS: [&str; 15] = [
+    "+", "-", "*", "/", "%", "<<", ">>", "<", "<=", ">", ">=", "==", "!=", "&", "|",
+];
+
+/// A generated expression over the fixed variable environment.
+#[derive(Clone, Debug)]
+pub enum GenExpr {
+    Lit(i32),
+    /// One of the six pre-declared scalars `v0..v5`.
+    Var(u8),
+    /// The global scalar `gs`.
+    Global,
+    /// `g0[(e) & 15]`.
+    Elem(Box<GenExpr>),
+    Bin(usize, Box<GenExpr>, Box<GenExpr>),
+    Neg(Box<GenExpr>),
+    Not(Box<GenExpr>),
+    /// `h1(e)`.
+    H1(Box<GenExpr>),
+    /// `h2(e, e)`.
+    H2(Box<GenExpr>, Box<GenExpr>),
+    /// `rec((e) & 7)` — bounded recursion.
+    Rec(Box<GenExpr>),
+    /// `e && e` / `e || e` (short-circuit).
+    Logic(bool, Box<GenExpr>, Box<GenExpr>),
+}
+
+/// A generated statement.
+#[derive(Clone, Debug)]
+pub enum GenStmt {
+    AssignVar(u8, GenExpr),
+    AssignElem(GenExpr, GenExpr),
+    AssignGlobal(GenExpr),
+    If(GenExpr, Vec<GenStmt>, Vec<GenStmt>),
+    /// `for` with a fixed bound 1..=5.
+    For(u8, Vec<GenStmt>),
+    /// `while` over a generated countdown, bound 1..=5.
+    While(u8, Vec<GenStmt>),
+}
+
+pub fn arb_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-20i32..100).prop_map(GenExpr::Lit),
+        (0u8..6).prop_map(GenExpr::Var),
+        Just(GenExpr::Global),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| GenExpr::Elem(Box::new(e))),
+            (0..BIN_OPS.len(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| GenExpr::Bin(op, Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|e| GenExpr::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| GenExpr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| GenExpr::H1(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::H2(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| GenExpr::Rec(Box::new(e))),
+            (any::<bool>(), inner.clone(), inner)
+                .prop_map(|(and, l, r)| GenExpr::Logic(and, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+pub fn arb_stmt() -> impl Strategy<Value = GenStmt> {
+    let simple = prop_oneof![
+        (0u8..6, arb_expr()).prop_map(|(v, e)| GenStmt::AssignVar(v, e)),
+        (arb_expr(), arb_expr()).prop_map(|(i, e)| GenStmt::AssignElem(i, e)),
+        arb_expr().prop_map(GenStmt::AssignGlobal),
+    ];
+    simple.prop_recursive(3, 16, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 1..4);
+        prop_oneof![
+            (arb_expr(), block.clone(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
+            (1u8..6, block.clone()).prop_map(|(n, b)| GenStmt::For(n, b)),
+            (1u8..6, block).prop_map(|(n, b)| GenStmt::While(n, b)),
+        ]
+    })
+}
+
+/// A whole random program.
+pub fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_stmt(), 1..8).prop_map(render_program)
+}
+
+fn render_expr(expr: &GenExpr, out: &mut String) {
+    match expr {
+        GenExpr::Lit(v) => {
+            if *v < 0 {
+                let _ = write!(out, "(0 - {})", -v);
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        GenExpr::Var(v) => {
+            let _ = write!(out, "v{v}");
+        }
+        GenExpr::Global => out.push_str("gs"),
+        GenExpr::Elem(index) => {
+            out.push_str("g0[(");
+            render_expr(index, out);
+            out.push_str(") & 15]");
+        }
+        GenExpr::Bin(op, lhs, rhs) => {
+            out.push('(');
+            render_expr(lhs, out);
+            let _ = write!(out, " {} ", BIN_OPS[*op]);
+            // Mask shift amounts so both the VM (`& 31`) and a strict
+            // reading agree.
+            if BIN_OPS[*op] == "<<" || BIN_OPS[*op] == ">>" {
+                out.push('(');
+                render_expr(rhs, out);
+                out.push_str(") & 15");
+            } else {
+                render_expr(rhs, out);
+            }
+            out.push(')');
+        }
+        GenExpr::Neg(e) => {
+            out.push_str("(0 - (");
+            render_expr(e, out);
+            out.push_str("))");
+        }
+        GenExpr::Not(e) => {
+            out.push_str("(!(");
+            render_expr(e, out);
+            out.push_str("))");
+        }
+        GenExpr::H1(e) => {
+            out.push_str("h1(");
+            render_expr(e, out);
+            out.push(')');
+        }
+        GenExpr::H2(a, b) => {
+            out.push_str("h2(");
+            render_expr(a, out);
+            out.push_str(", ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GenExpr::Rec(e) => {
+            out.push_str("rec((");
+            render_expr(e, out);
+            out.push_str(") & 7)");
+        }
+        GenExpr::Logic(and, lhs, rhs) => {
+            out.push('(');
+            render_expr(lhs, out);
+            out.push_str(if *and { " && " } else { " || " });
+            render_expr(rhs, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmt(stmt: &GenStmt, out: &mut String, indent: usize, fresh: &mut u32) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        GenStmt::AssignVar(v, e) => {
+            let _ = write!(out, "{pad}v{v} = ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        GenStmt::AssignElem(index, e) => {
+            let _ = write!(out, "{pad}g0[(");
+            render_expr(index, out);
+            out.push_str(") & 15] = ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        GenStmt::AssignGlobal(e) => {
+            let _ = write!(out, "{pad}gs = ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        GenStmt::If(cond, then_blk, else_blk) => {
+            let _ = write!(out, "{pad}if (");
+            render_expr(cond, out);
+            out.push_str(") {\n");
+            for s in then_blk {
+                render_stmt(s, out, indent + 1, fresh);
+            }
+            if else_blk.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_blk {
+                    render_stmt(s, out, indent + 1, fresh);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        GenStmt::For(bound, body) => {
+            let loop_var = *fresh;
+            *fresh += 1;
+            let _ = writeln!(
+                out,
+                "{pad}for (var L{loop_var}: int = 0; L{loop_var} < {bound}; L{loop_var} = L{loop_var} + 1) {{"
+            );
+            for s in body {
+                render_stmt(s, out, indent + 1, fresh);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        GenStmt::While(bound, body) => {
+            let loop_var = *fresh;
+            *fresh += 1;
+            let _ = writeln!(out, "{pad}var W{loop_var}: int = {bound};");
+            let _ = writeln!(out, "{pad}while (W{loop_var} > 0) {{");
+            let _ = writeln!(out, "{pad}    W{loop_var} = W{loop_var} - 1;");
+            for s in body {
+                render_stmt(s, out, indent + 1, fresh);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+fn render_program(stmts: Vec<GenStmt>) -> String {
+    let mut out = String::from(
+        "var gs: int = 5;\n\
+         var g0: int[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};\n\
+         fn h1(x: int) -> int { return x * 3 - 7; }\n\
+         fn h2(x: int, y: int) -> int {\n\
+             if (x > y) { return x - y; }\n\
+             return y - x + g0[(x ^ y) & 15];\n\
+         }\n\
+         fn rec(n: int) -> int {\n\
+             if (n <= 0) { return 1; }\n\
+             return rec(n - 1) + n;\n\
+         }\n\
+         fn main() -> int {\n\
+             var v0: int = 1;\n\
+             var v1: int = 2;\n\
+             var v2: int = 3;\n\
+             var v3: int = 4;\n\
+             var v4: int = 5;\n\
+             var v5: int = 6;\n",
+    );
+    let mut fresh = 0;
+    for stmt in &stmts {
+        render_stmt(stmt, &mut out, 1, &mut fresh);
+    }
+    out.push_str(
+        "    var acc: int = v0 + v1 * 3 + v2 * 5 + v3 * 7 + v4 * 11 + v5 * 13 + gs;\n\
+         \u{20}   for (var k: int = 0; k < 16; k = k + 1) { acc = acc + g0[k] * (k + 1); }\n\
+         \u{20}   return acc;\n\
+         }\n",
+    );
+    out
+}

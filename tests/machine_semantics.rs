@@ -1,0 +1,277 @@
+//! Targeted golden tests for the subtlest machine-model semantics:
+//! mispredicted-branch ordering (SP-CD vs SP-CD-MF), interprocedural
+//! control-dependence inheritance through the call stack, and the paper's
+//! recursion cutoff (Section 4.4.1/4.4.2).
+
+use clfp::isa::assemble;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp::vm::{Trace, Vm, VmOptions};
+
+fn trace_of(program: &clfp::isa::Program) -> Trace {
+    let mut vm = Vm::new(program, VmOptions { mem_words: 1 << 16 });
+    vm.trace(100_000).unwrap()
+}
+
+/// Two *independent* data-dependent branches that both mispredict: SP-CD
+/// must resolve them one per cycle (single flow of control), SP-CD-MF in
+/// parallel (multiple flows).
+#[test]
+fn mispredicted_branch_ordering_distinguishes_mf() {
+    // flags arrays chosen so each branch alternates (profile accuracy 50%,
+    // ties predict taken, so not-taken instances mispredict).
+    let source = r#"
+        .data
+    fa: .word 1, 0, 1, 0, 1, 0, 1, 0
+    fb: .word 0, 1, 0, 1, 0, 1, 0, 1
+        .text
+    main:
+        li r8, 0
+        li r9, 8
+        li r10, 4096        # fa
+        li r11, 4128        # fb
+        li r12, 0
+        li r13, 0
+    loop:
+        lw r14, 0(r10)
+        beq r14, r0, s1     # independent mispredicting branch A
+        addi r12, r12, 1
+    s1:
+        lw r15, 0(r11)
+        beq r15, r0, s2     # independent mispredicting branch B
+        addi r13, r13, 1
+    s2:
+        addi r10, r10, 4
+        addi r11, r11, 4
+        addi r8, r8, 1
+        blt r8, r9, loop
+        halt
+    "#;
+    let program = assemble(source).unwrap();
+    let trace = trace_of(&program);
+    let analyzer = Analyzer::new(&program, AnalysisConfig::default()).unwrap();
+
+    let spcd = analyzer.schedule(&trace, MachineKind::SpCd);
+    let spcdmf = analyzer.schedule(&trace, MachineKind::SpCdMf);
+
+    // Collect execution times of the two branch kinds (pcs 7 and 10).
+    let branch_a_pc = 7;
+    let branch_b_pc = 10;
+    let times = |schedule: &[u64], pc: u32| -> Vec<u64> {
+        trace
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.pc == pc)
+            .map(|(i, _)| schedule[i])
+            .collect()
+    };
+    // Under SP-CD, ALL mispredicted branches are totally ordered: the
+    // merged sorted time sequence must be strictly increasing.
+    let mut spcd_all: Vec<u64> = times(&spcd, branch_a_pc);
+    spcd_all.extend(times(&spcd, branch_b_pc));
+    spcd_all.sort_unstable();
+    // Mispredictions are half of each branch's instances (alternating).
+    // Their times must be pairwise distinct under SP-CD ordering.
+    let distinct = {
+        let mut v = spcd_all.clone();
+        v.dedup();
+        v.len()
+    };
+    // With 8 correctly-predicted (free) and 8 mispredicted instances,
+    // at least the mispredicted ones are distinct: >= 8 distinct times.
+    assert!(distinct >= 8, "SP-CD branch times too clustered: {spcd_all:?}");
+
+    // SP-CD-MF finishes strictly faster overall.
+    let spcd_max = spcd.iter().max().unwrap();
+    let spcdmf_max = spcdmf.iter().max().unwrap();
+    assert!(
+        spcdmf_max < spcd_max,
+        "SP-CD-MF ({spcdmf_max}) must beat SP-CD ({spcd_max}) when independent \
+         branches mispredict"
+    );
+}
+
+/// Interprocedural control dependence: a call inside a conditional makes
+/// the *callee's* instructions control dependent on the caller's branch
+/// (inherited through the stack).
+#[test]
+fn callee_inherits_call_site_control_dependence() {
+    let source = r#"
+        .data
+    flag: .word 5
+        .text
+    main:
+        li r8, 1
+        lw r9, 0x1000(r0)    # data load the branch depends on (nonzero)
+        beq r9, r0, skip     # pc 2: the controlling branch (not taken)
+        call work            # pc 3
+    skip:
+        halt                 # pc 4
+    work:
+        li r10, 7            # pc 5: control dependent on pc 2, inherited
+        ret                  # pc 6
+    "#;
+    let program = assemble(source).unwrap();
+    let trace = trace_of(&program);
+    let analyzer = Analyzer::new(&program, AnalysisConfig::default()).unwrap();
+    let cd = analyzer.schedule(&trace, MachineKind::CdMf);
+    let oracle = analyzer.schedule(&trace, MachineKind::Oracle);
+
+    // Find the callee's `li r10, 7` event.
+    let li_event = trace.iter().position(|e| e.pc == 5).expect("work executed");
+    let branch_event = trace.iter().position(|e| e.pc == 2).unwrap();
+    // Under CD-MF the callee instruction waits for the branch (+1); under
+    // ORACLE it executes at cycle 1.
+    assert_eq!(oracle[li_event], 1);
+    assert_eq!(
+        cd[li_event],
+        cd[branch_event] + 1,
+        "callee must inherit the call site's control dependence"
+    );
+    // The branch itself waits on the load chain: lw at 1, beq at 2.
+    assert_eq!(cd[branch_event], 2);
+}
+
+/// The recursion cutoff: when a branch instance in the reverse dominance
+/// frontier comes from a *newer* invocation (recursion), the paper drops
+/// the control dependence — the analysis stays an upper bound and must
+/// never deadlock or over-constrain.
+#[test]
+fn recursion_cutoff_is_upper_bound() {
+    let source = r#"
+        .text
+    main:
+        li a0, 6
+        call fact
+        halt
+    fact:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        sw a0, 4(sp)
+        li v0, 1
+        ble a0, r0, base     # the branch in fact's RDF
+        addi a0, a0, -1
+        call fact            # recursive: newer instance of the same branch
+        lw a0, 4(sp)
+        mul v0, v0, a0
+    base:
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        ret
+    "#;
+    let program = assemble(source).unwrap();
+    let trace = trace_of(&program);
+    let analyzer = Analyzer::new(&program, AnalysisConfig::default()).unwrap();
+    let report = analyzer.run().unwrap();
+    // All machines terminate with sane results and the hierarchy holds.
+    for kind in MachineKind::ALL {
+        let result = report.result(kind).unwrap();
+        assert!(result.cycles >= 1);
+        for &weaker in kind.dominates() {
+            assert!(
+                report.parallelism(weaker) <= report.parallelism(kind) + 1e-9,
+                "{weaker} > {kind} on recursive factorial"
+            );
+        }
+    }
+    // The multiply chain is real: ORACLE cannot collapse factorial below
+    // its data-dependence depth (6 multiplies in sequence).
+    let oracle_cycles = report.result(MachineKind::Oracle).unwrap().cycles;
+    assert!(oracle_cycles >= 6, "factorial chain too short: {oracle_cycles}");
+}
+
+/// Perfect unrolling deletes a loop branch, but instructions control
+/// dependent on it must *inherit the deleted branch's own constraint*
+/// (the pass-through rule) — not become unconstrained, and not wait for a
+/// nonexistent instruction.
+#[test]
+fn unrolled_branch_passes_its_constraint_through() {
+    // The outer branch is data dependent (survives); the inner loop branch
+    // is induction-based (deleted by unrolling). The loop body's CD chain
+    // is body -> inner branch (deleted) -> pass-through -> outer branch.
+    let source = r#"
+        .data
+    flag: .word 3
+        .text
+    main:
+        lw r9, 0x1000(r0)    # pc 0
+        beq r9, r0, done     # pc 1: surviving data branch (not taken)
+        li r8, 0             # pc 2
+        li r10, 4            # pc 3
+    loop:
+        add r11, r11, r9     # pc 4: loop body (variable increment, kept —
+                             #       a constant one would itself be an
+                             #       induction update and get deleted)
+        addi r8, r8, 1       # pc 5: induction (deleted)
+        blt r8, r10, loop    # pc 6: loop branch (deleted)
+    done:
+        halt                 # pc 7
+    "#;
+    let program = assemble(source).unwrap();
+    let trace = trace_of(&program);
+    let analyzer = Analyzer::new(&program, AnalysisConfig::default()).unwrap();
+    let cd = analyzer.schedule(&trace, MachineKind::CdMf);
+
+    let outer_branch = trace.iter().position(|e| e.pc == 1).unwrap();
+    assert_eq!(cd[outer_branch], 2, "beq waits for its load");
+    // Every loop-body instance: the first iteration is control dependent
+    // on the outer branch directly; later iterations' immediate CD is the
+    // *deleted* loop branch, whose pass-through constraint is... also the
+    // outer branch. So all bodies wait exactly for beq + 1 (their r11
+    // chain dominates afterwards).
+    let body_times: Vec<u64> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.pc == 4)
+        .map(|(i, _)| cd[i])
+        .collect();
+    assert_eq!(body_times.len(), 4);
+    // First body: max(ctl = beq+1 = 3, data: li r11? r11 starts at 0 -> 1)
+    assert_eq!(body_times[0], 3);
+    // Later bodies chain on r11 data (one apart), NOT on any branch.
+    assert_eq!(body_times, vec![3, 4, 5, 6]);
+    // And the deleted instructions never execute.
+    for (i, event) in trace.iter().enumerate() {
+        if event.pc == 5 || event.pc == 6 {
+            assert_eq!(cd[i], 0, "deleted instruction scheduled at event {i}");
+        }
+    }
+}
+
+/// Correctly predicted branches are free under SP — even when the machine
+/// is otherwise constrained — but still constrain BASE.
+#[test]
+fn correct_predictions_cost_nothing_under_sp() {
+    let source = r#"
+        .text
+    main:
+        li r8, 16
+    loop:
+        addi r8, r8, -1
+        bgt r8, r0, loop    # taken 15/16: profile predicts taken
+        halt
+    "#;
+    let program = assemble(source).unwrap();
+    let trace = trace_of(&program);
+    // Unrolling would delete this counted loop entirely; the point here is
+    // the branches themselves, so turn it off.
+    let config = AnalysisConfig::default().with_unrolling(false);
+    let analyzer = Analyzer::new(&program, config).unwrap();
+    let sp = analyzer.schedule(&trace, MachineKind::Sp);
+    let base = analyzer.schedule(&trace, MachineKind::Base);
+    // The final not-taken instance mispredicts; every taken instance is
+    // free. Under SP, the halt waits only for that one misprediction.
+    let halt_event = trace.iter().position(|e| {
+        matches!(
+            program.text[e.pc as usize],
+            clfp::isa::Instr::Halt
+        )
+    })
+    .unwrap();
+    // Branch exec times: data chain addi_k at k+1, branch_k at k+2... the
+    // mispredicted final branch resolves at ~17; halt right after.
+    assert!(sp[halt_event] <= 19, "sp halt at {}", sp[halt_event]);
+    assert!(
+        base[halt_event] > sp[halt_event],
+        "BASE must serialize behind every branch"
+    );
+}

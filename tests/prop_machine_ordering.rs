@@ -1,0 +1,92 @@
+//! Property test: the paper's machine hierarchy holds on every program.
+//!
+//! For any trace, adding a capability can only help:
+//! `BASE ≤ CD ≤ CD-MF ≤ ORACLE`, `BASE ≤ SP ≤ SP-CD ≤ SP-CD-MF ≤ ORACLE`,
+//! `CD ≤ SP-CD`, and `CD-MF ≤ SP-CD-MF` — measured as parallelism, i.e.
+//! cycles may only shrink. Also checked: the sequential instruction count
+//! is machine independent, and ORACLE cycles are at least the data-depth
+//! lower bound of 1.
+
+mod common;
+
+use clfp::lang::compile;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use common::arb_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hierarchy_holds_on_random_programs(source in arb_program()) {
+        let program = compile(&source)
+            .unwrap_or_else(|err| panic!("compile failed: {err}\n{source}"));
+        let config = AnalysisConfig {
+            max_instrs: 300_000,
+            mem_words: 1 << 20,
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config)
+            .unwrap_or_else(|err| panic!("analyzer failed: {err}\n{source}"));
+        let report = analyzer.run()
+            .unwrap_or_else(|err| panic!("analysis failed: {err}\n{source}"));
+
+        for kind in MachineKind::ALL {
+            let stronger = report.result(kind).expect("analyzed");
+            prop_assert!(stronger.cycles >= 1);
+            for &weaker in kind.dominates() {
+                let weaker_result = report.result(weaker).expect("analyzed");
+                prop_assert!(
+                    weaker_result.cycles >= stronger.cycles,
+                    "{} finished in {} cycles but stronger {} took {} on:\n{}",
+                    weaker,
+                    weaker_result.cycles,
+                    kind,
+                    stronger.cycles,
+                    source
+                );
+            }
+        }
+        // Parallelism is count/cycles with a shared count, so the same
+        // ordering holds for the reported parallelism values.
+        let oracle = report.parallelism(MachineKind::Oracle);
+        for kind in MachineKind::ALL {
+            prop_assert!(report.parallelism(kind) <= oracle + 1e-9);
+            prop_assert!(report.parallelism(kind) >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn unrolling_never_slows_the_critical_path(source in arb_program()) {
+        let program = compile(&source)
+            .unwrap_or_else(|err| panic!("compile failed: {err}\n{source}"));
+        let base = AnalysisConfig {
+            max_instrs: 200_000,
+            mem_words: 1 << 20,
+            machines: vec![MachineKind::Oracle, MachineKind::CdMf],
+            ..AnalysisConfig::default()
+        };
+        let on = Analyzer::new(&program, base.clone().with_unrolling(true))
+            .unwrap().run().unwrap();
+        let off = Analyzer::new(&program, base.with_unrolling(false))
+            .unwrap().run().unwrap();
+        // The paper: "our simulation of perfect loop unrolling always
+        // decreases the program execution times" (parallelism may go either
+        // way, but the critical path cannot grow: unrolling only removes
+        // constraints and instructions).
+        for kind in [MachineKind::Oracle, MachineKind::CdMf] {
+            let cycles_on = on.result(kind).unwrap().cycles;
+            let cycles_off = off.result(kind).unwrap().cycles;
+            prop_assert!(
+                cycles_on <= cycles_off,
+                "{}: unrolling grew the critical path {} -> {} on:\n{}",
+                kind, cycles_off, cycles_on, source
+            );
+        }
+        prop_assert!(on.seq_instrs <= off.seq_instrs);
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end integration of the full pipeline on real workloads:
+//! compile → trace → static analysis → all seven machine models, with
+//! assertions on the qualitative results the paper reports.
+
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice, Report};
+use clfp::workloads::{by_name, suite, WorkloadClass};
+
+fn analyze(name: &str, config: AnalysisConfig) -> Report {
+    let workload = by_name(name).expect("known workload");
+    let program = workload.compile().expect("suite compiles");
+    Analyzer::new(&program, config)
+        .expect("analyzer")
+        .run()
+        .expect("analysis")
+}
+
+fn quick() -> AnalysisConfig {
+    AnalysisConfig {
+        max_instrs: 150_000,
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn hierarchy_holds_for_every_workload() {
+    for workload in suite() {
+        let report = analyze(workload.name, quick());
+        for kind in MachineKind::ALL {
+            for &weaker in kind.dominates() {
+                assert!(
+                    report.parallelism(weaker) <= report.parallelism(kind) + 1e-9,
+                    "{}: {} ({:.2}) > {} ({:.2})",
+                    workload.name,
+                    weaker,
+                    report.parallelism(weaker),
+                    kind,
+                    report.parallelism(kind)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn base_machine_parallelism_is_modest_on_non_numeric() {
+    // The paper's BASE harmonic mean is 2.14: branch-bound code clusters
+    // in the low single digits.
+    for workload in suite() {
+        if workload.class != WorkloadClass::NonNumeric {
+            continue;
+        }
+        let report = analyze(
+            workload.name,
+            AnalysisConfig {
+                machines: vec![MachineKind::Base],
+                ..quick()
+            },
+        );
+        let base = report.parallelism(MachineKind::Base);
+        assert!(
+            (1.0..10.0).contains(&base),
+            "{}: BASE parallelism {base:.2} outside the expected band",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn cd_alone_is_a_small_win() {
+    // Paper Section 5.1: CD barely beats BASE because branches stay
+    // ordered. Full traces are needed — short prefixes sit in the input
+    // generators, which are unusually branch-light.
+    for name in ["scan", "logic", "qsort"] {
+        let report = analyze(
+            name,
+            AnalysisConfig {
+                machines: vec![MachineKind::Base, MachineKind::Cd],
+                max_instrs: 1_500_000,
+                ..AnalysisConfig::default()
+            },
+        );
+        let ratio =
+            report.parallelism(MachineKind::Cd) / report.parallelism(MachineKind::Base);
+        assert!(
+            (1.0..4.0).contains(&ratio),
+            "{name}: CD/BASE ratio {ratio:.2} outside the paper's band"
+        );
+    }
+}
+
+#[test]
+fn data_independent_control_flow_is_the_predictor_of_parallelism() {
+    // Paper Section 5.3: matmul/stencil (data-independent control) show
+    // orders of magnitude more CD-MF parallelism than the data-dependent
+    // programs; the spice analogue behaves like the non-numeric group in
+    // its BASE..SP columns.
+    let stencil = analyze("stencil", quick());
+    let logic = analyze("logic", quick());
+    assert!(
+        stencil.parallelism(MachineKind::CdMf) > 20.0 * logic.parallelism(MachineKind::CdMf),
+        "stencil CD-MF {:.1} should dwarf logic CD-MF {:.1}",
+        stencil.parallelism(MachineKind::CdMf),
+        logic.parallelism(MachineKind::CdMf)
+    );
+    let sparse = analyze("sparse", quick());
+    assert!(
+        sparse.parallelism(MachineKind::Base) < 8.0,
+        "sparse (spice-like) BASE should look non-numeric, got {:.2}",
+        sparse.parallelism(MachineKind::Base)
+    );
+}
+
+#[test]
+fn speculation_is_needed_on_data_dependent_control() {
+    // Paper Section 5.2/conclusion: without speculation (CD-MF ceiling),
+    // data-dependent programs are far from ORACLE; speculation (SP-CD-MF)
+    // closes most of the gap.
+    let report = analyze("logic", quick());
+    let cdmf = report.parallelism(MachineKind::CdMf);
+    let spcdmf = report.parallelism(MachineKind::SpCdMf);
+    let oracle = report.parallelism(MachineKind::Oracle);
+    assert!(
+        spcdmf > 3.0 * cdmf,
+        "speculation should multiply logic's parallelism: CD-MF {cdmf:.1} vs SP-CD-MF {spcdmf:.1}"
+    );
+    assert!(spcdmf <= oracle + 1e-9);
+}
+
+#[test]
+fn better_predictors_help_sp_machines() {
+    let config = |predictor| AnalysisConfig {
+        machines: vec![MachineKind::Sp],
+        predictor,
+        max_instrs: 1_000_000,
+        ..AnalysisConfig::default()
+    };
+    let profile = analyze("logic", config(PredictorChoice::Profile));
+    let naive = analyze("logic", config(PredictorChoice::AlwaysTaken));
+    assert!(
+        profile.branches.prediction_rate() > naive.branches.prediction_rate(),
+        "profile accuracy {:.1}% should beat always-taken {:.1}%",
+        profile.branches.prediction_rate(),
+        naive.branches.prediction_rate()
+    );
+    assert!(
+        profile.parallelism(MachineKind::Sp) > naive.parallelism(MachineKind::Sp),
+        "profile {:.2} should beat always-taken {:.2}",
+        profile.parallelism(MachineKind::Sp),
+        naive.parallelism(MachineKind::Sp)
+    );
+}
+
+#[test]
+fn oracle_is_insensitive_to_the_predictor() {
+    for predictor in [PredictorChoice::Profile, PredictorChoice::AlwaysTaken] {
+        let report = analyze(
+            "qsort",
+            AnalysisConfig {
+                machines: vec![MachineKind::Oracle, MachineKind::Base, MachineKind::CdMf],
+                predictor,
+                ..quick()
+            },
+        );
+        // Non-speculative machines and ORACLE never consult the predictor;
+        // pin the exact cycle counts so predictor leakage would show up.
+        let oracle = report.result(MachineKind::Oracle).unwrap().cycles;
+        let base = report.result(MachineKind::Base).unwrap().cycles;
+        let reference = analyze(
+            "qsort",
+            AnalysisConfig {
+                machines: vec![MachineKind::Oracle, MachineKind::Base, MachineKind::CdMf],
+                ..quick()
+            },
+        );
+        assert_eq!(oracle, reference.result(MachineKind::Oracle).unwrap().cycles);
+        assert_eq!(base, reference.result(MachineKind::Base).unwrap().cycles);
+    }
+}
+
+#[test]
+fn misprediction_distances_are_short_on_non_numeric() {
+    // Paper Figure 6: over 80% of mispredictions within 100 instructions.
+    for name in ["scan", "logic", "qsort"] {
+        let report = analyze(name, quick());
+        let stats = report.mispred_stats.expect("SP ran");
+        assert!(
+            stats.fraction_within(100) > 0.6,
+            "{name}: only {:.0}% of mispredictions within 100 instrs",
+            stats.fraction_within(100) * 100.0
+        );
+    }
+}
+
+#[test]
+fn longer_segments_carry_more_parallelism() {
+    // Paper Figure 7: harmonic-mean parallelism grows with misprediction
+    // distance. Compare the small-distance and large-distance halves.
+    let report = analyze("qsort", quick());
+    let stats = report.mispred_stats.expect("SP ran");
+    let buckets = stats.parallelism_by_distance();
+    assert!(buckets.len() >= 3, "need several distance buckets");
+    let first = buckets.first().unwrap();
+    let last_meaningful = buckets
+        .iter()
+        .rev()
+        .find(|&&(_, _, count)| count >= 10)
+        .unwrap();
+    assert!(
+        last_meaningful.1 > first.1,
+        "parallelism should grow with distance: {buckets:?}"
+    );
+}
+
+#[test]
+fn seq_instrs_shrink_under_unrolling_on_loop_code() {
+    // The full trace is needed to reach the dense multiply kernel.
+    let full = AnalysisConfig {
+        max_instrs: 2_000_000,
+        ..AnalysisConfig::default()
+    };
+    let on = analyze("matmul", full.clone().with_unrolling(true));
+    let off = analyze("matmul", full.with_unrolling(false));
+    assert!(on.seq_instrs < off.seq_instrs);
+    // matmul's Table 4 signature: unrolling multiplies BASE parallelism.
+    assert!(
+        on.parallelism(MachineKind::Base) > 3.0 * off.parallelism(MachineKind::Base),
+        "unrolled BASE {:.1} vs rolled {:.1}",
+        on.parallelism(MachineKind::Base),
+        off.parallelism(MachineKind::Base)
+    );
+}
