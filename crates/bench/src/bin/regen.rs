@@ -6,13 +6,15 @@
 //! regen --figure 6           # only Figure 6
 //! regen --max-instr 500000   # cap traces at 500k instructions
 //! regen --out results/       # also write each section as markdown
+//! regen --timing             # time fused vs reference pipeline,
+//!                            # write BENCH_suite.json
 //! ```
 
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_suite, static_inventory, table1, table2, table3,
-    table4,
+    figure4, figure5, figure6, figure7, run_suite, run_suite_timed, static_inventory, table1,
+    table2, table3, table4,
 };
 use clfp_limits::AnalysisConfig;
 
@@ -21,6 +23,7 @@ struct Args {
     figure: Option<u32>,
     max_instrs: u64,
     out: Option<std::path::PathBuf>,
+    timing: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         figure: None,
         max_instrs: 2_000_000,
         out: None,
+        timing: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -51,11 +55,17 @@ fn parse_args() -> Result<Args, String> {
                 let value = iter.next().ok_or("--out needs a directory")?;
                 args.out = Some(value.into());
             }
+            "--timing" => {
+                args.timing = true;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR]\n\
+                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR] [--timing]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
-                     --out, also writes each as a markdown file under DIR."
+                     --out, also writes each as a markdown file under DIR. With\n\
+                     --timing, instead times the full-suite regeneration (fused\n\
+                     analyzer vs the reference pipeline, per-stage wall times) and\n\
+                     writes BENCH_suite.json to DIR (or the current directory)."
                 );
                 std::process::exit(0);
             }
@@ -85,6 +95,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.timing {
+        let config = AnalysisConfig {
+            max_instrs: args.max_instrs,
+            ..AnalysisConfig::default()
+        };
+        eprintln!(
+            "timing full-suite regen, fused vs reference pipeline (trace cap {})...",
+            args.max_instrs
+        );
+        let timing = match run_suite_timed(&config) {
+            Ok(timing) => timing,
+            Err(err) => {
+                eprintln!("regen: timing suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", timing.summary());
+        let path = args
+            .out
+            .as_deref()
+            .unwrap_or(std::path::Path::new("."))
+            .join("BENCH_suite.json");
+        if let Some(dir) = args.out.as_deref() {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("regen: cannot create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = std::fs::write(&path, timing.to_json()) {
+            eprintln!("regen: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
 
     let wants = |kind: &str, n: u32| -> bool {
         match (kind, args.table, args.figure) {

@@ -10,12 +10,21 @@
 //! cargo run --release -p clfp-bench --bin regen -- --figure 6 --max-instr 500000
 //! ```
 //!
-//! Criterion micro-benchmarks for the analyzer itself live in `benches/`.
+//! `regen --timing` times every pipeline stage (compile, trace, analysis)
+//! for both the fused analyzer and the seed-equivalent reference pipeline,
+//! writing the comparison to `BENCH_suite.json` — the perf record for the
+//! fused-pass optimization. Criterion micro-benchmarks live in `benches/`
+//! (parked; see the crate manifest).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use clfp_limits::{
     harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, MachineKind, MispredictionStats,
     Report,
 };
+use clfp_predict::BranchProfile;
 use clfp_workloads::{suite, Workload, WorkloadClass};
 
 /// Analysis results for one workload, with and without perfect unrolling.
@@ -28,30 +37,54 @@ pub struct WorkloadReport {
     pub rolled: Report,
 }
 
+/// Runs every suite workload through `analyze`, fanning out over a worker
+/// pool bounded by the host's available parallelism — workloads are
+/// independent, but oversubscribing the cores just makes their multi-MB
+/// trace working sets thrash each other's caches.
+fn analyze_suite<F>(analyze: F) -> Result<Vec<WorkloadReport>, AnalyzeError>
+where
+    F: Fn(Workload) -> Result<WorkloadReport, AnalyzeError> + Sync,
+{
+    let workloads = suite();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(workloads.len());
+    if workers <= 1 {
+        return workloads.into_iter().map(analyze).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<WorkloadReport, AnalyzeError>>>> =
+        Mutex::new((0..workloads.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let result = analyze(workloads[i]);
+                results.lock().unwrap()[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|result| result.expect("every workload index was claimed"))
+        .collect()
+}
+
 /// Runs the whole suite under `config`, producing both unrolling settings
-/// from a single trace per workload. Workloads are analyzed on parallel
-/// threads (they are completely independent).
+/// from a single trace and a single preparation walk per workload.
+/// Workloads fan out over a worker pool sized to the host's cores.
 ///
 /// # Errors
 ///
 /// Propagates the first analyzer error (a faulting workload would be a
 /// bug).
 pub fn run_suite(config: &AnalysisConfig) -> Result<Vec<WorkloadReport>, AnalyzeError> {
-    let workloads = suite();
-    let results: Vec<Result<WorkloadReport, AnalyzeError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .into_iter()
-            .map(|workload| {
-                let config = config.clone();
-                scope.spawn(move || analyze_workload(workload, &config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("workload analysis panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
+    analyze_suite(|workload| analyze_workload(workload, config))
 }
 
 fn analyze_workload(
@@ -61,11 +94,7 @@ fn analyze_workload(
     let program = workload
         .compile()
         .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
-    let unrolled_config = AnalysisConfig {
-        unrolling: true,
-        ..config.clone()
-    };
-    let analyzer = Analyzer::new(&program, unrolled_config)?;
+    let analyzer = Analyzer::new(&program, config.clone())?;
     let mut vm = clfp_vm::Vm::new(
         &program,
         clfp_vm::VmOptions {
@@ -73,20 +102,261 @@ fn analyze_workload(
         },
     );
     let trace = vm.trace(config.max_instrs)?;
-    let unrolled = analyzer.run_on_trace(&trace);
-
-    let rolled_config = AnalysisConfig {
-        unrolling: false,
-        ..config.clone()
-    };
-    let analyzer = Analyzer::new(&program, rolled_config)?;
-    let rolled = analyzer.run_on_trace(&trace);
+    let prepared = analyzer.prepare(&trace);
+    let unrolled = prepared.report_with_unrolling(true);
+    let rolled = prepared.report_with_unrolling(false);
 
     Ok(WorkloadReport {
         workload,
         unrolled,
         rolled,
     })
+}
+
+/// Runs the whole suite through the seed-equivalent reference pipeline:
+/// one profiling execution per unroll setting (what the pre-fused
+/// `Analyzer::new` always ran), one measured trace, then the
+/// one-machine-at-a-time reference passes. Exists for the wall-time
+/// comparison in [`run_suite_timed`] and as an end-to-end oracle; results
+/// must be identical to [`run_suite`].
+///
+/// # Errors
+///
+/// Propagates the first analyzer error.
+pub fn run_suite_reference(config: &AnalysisConfig) -> Result<Vec<WorkloadReport>, AnalyzeError> {
+    analyze_suite(|workload| analyze_workload_reference(workload, config))
+}
+
+fn analyze_workload_reference(
+    workload: Workload,
+    config: &AnalysisConfig,
+) -> Result<WorkloadReport, AnalyzeError> {
+    let program = workload
+        .compile()
+        .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+    let options = clfp_vm::VmOptions {
+        mem_words: config.mem_words,
+    };
+    // The seed constructed one analyzer per unroll setting, each running
+    // its own profiling execution before the measured trace.
+    let _profile_unrolled = BranchProfile::collect_with(&program, config.max_instrs, options)?;
+    let _profile_rolled = BranchProfile::collect_with(&program, config.max_instrs, options)?;
+    let mut vm = clfp_vm::Vm::new(&program, options);
+    let trace = vm.trace(config.max_instrs)?;
+
+    let unrolled_config = AnalysisConfig {
+        unrolling: true,
+        ..config.clone()
+    };
+    let unrolled = Analyzer::new(&program, unrolled_config)?.run_on_trace_reference(&trace);
+    let rolled_config = AnalysisConfig {
+        unrolling: false,
+        ..config.clone()
+    };
+    let rolled = Analyzer::new(&program, rolled_config)?.run_on_trace_reference(&trace);
+
+    Ok(WorkloadReport {
+        workload,
+        unrolled,
+        rolled,
+    })
+}
+
+/// Per-workload wall times for each pipeline stage, in milliseconds.
+#[derive(Clone, Debug)]
+pub struct WorkloadTiming {
+    /// Workload name.
+    pub name: &'static str,
+    /// MiniC compilation.
+    pub compile_ms: f64,
+    /// The two profiling executions the seed pipeline ran (eliminated by
+    /// deriving the profile from the measured trace).
+    pub profiling_ms: f64,
+    /// The measured trace execution (shared by both pipelines).
+    pub trace_ms: f64,
+    /// Fused analysis: shared preparation walk + fused machine passes,
+    /// both unroll settings.
+    pub fused_analysis_ms: f64,
+    /// Reference analysis: one-machine-at-a-time passes, both unroll
+    /// settings.
+    pub reference_analysis_ms: f64,
+    /// Raw dynamic instructions in the measured trace.
+    pub raw_instrs: u64,
+}
+
+/// Wall-time comparison of the fused suite against the seed-equivalent
+/// reference pipeline, as produced by [`run_suite_timed`].
+#[derive(Clone, Debug)]
+pub struct SuiteTiming {
+    /// Trace cap used.
+    pub max_instrs: u64,
+    /// Worker threads available to the suite.
+    pub threads: usize,
+    /// End-to-end wall time of the fused [`run_suite`] (the `regen` path).
+    pub fused_wall_ms: f64,
+    /// End-to-end wall time of [`run_suite_reference`].
+    pub reference_wall_ms: f64,
+    /// `reference_wall_ms / fused_wall_ms`.
+    pub speedup: f64,
+    /// Whether both pipelines produced identical Tables 2-4.
+    pub reports_match: bool,
+    /// Per-workload, per-stage breakdown (measured sequentially).
+    pub workloads: Vec<WorkloadTiming>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times the full-suite regeneration end to end, fused vs the
+/// seed-equivalent reference pipeline, then attributes time to stages
+/// workload by workload. Also cross-checks that both pipelines emit
+/// identical tables.
+///
+/// # Errors
+///
+/// Propagates the first analyzer error from either pipeline.
+pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeError> {
+    let start = Instant::now();
+    let fused_reports = run_suite(config)?;
+    let fused_wall_ms = ms(start);
+
+    let start = Instant::now();
+    let reference_reports = run_suite_reference(config)?;
+    let reference_wall_ms = ms(start);
+
+    let reports_match = table2(&fused_reports) == table2(&reference_reports)
+        && table3(&fused_reports) == table3(&reference_reports)
+        && table4(&fused_reports) == table4(&reference_reports);
+
+    let mut workloads = Vec::new();
+    for workload in suite() {
+        let options = clfp_vm::VmOptions {
+            mem_words: config.mem_words,
+        };
+        let start = Instant::now();
+        let program = workload
+            .compile()
+            .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+        let compile_ms = ms(start);
+
+        let start = Instant::now();
+        let _p1 = BranchProfile::collect_with(&program, config.max_instrs, options)?;
+        let _p2 = BranchProfile::collect_with(&program, config.max_instrs, options)?;
+        let profiling_ms = ms(start);
+
+        let start = Instant::now();
+        let mut vm = clfp_vm::Vm::new(&program, options);
+        let trace = vm.trace(config.max_instrs)?;
+        let trace_ms = ms(start);
+
+        let unrolled_config = AnalysisConfig {
+            unrolling: true,
+            ..config.clone()
+        };
+        let rolled_config = AnalysisConfig {
+            unrolling: false,
+            ..config.clone()
+        };
+        let unrolled = Analyzer::new(&program, unrolled_config)?;
+        let rolled = Analyzer::new(&program, rolled_config)?;
+
+        let start = Instant::now();
+        let prepared = unrolled.prepare(&trace);
+        let _ = prepared.report_with_unrolling(true);
+        let _ = prepared.report_with_unrolling(false);
+        let fused_analysis_ms = ms(start);
+
+        let start = Instant::now();
+        let _ = unrolled.run_on_trace_reference(&trace);
+        let _ = rolled.run_on_trace_reference(&trace);
+        let reference_analysis_ms = ms(start);
+
+        workloads.push(WorkloadTiming {
+            name: workload.name,
+            compile_ms,
+            profiling_ms,
+            trace_ms,
+            fused_analysis_ms,
+            reference_analysis_ms,
+            raw_instrs: trace.len() as u64,
+        });
+    }
+
+    Ok(SuiteTiming {
+        max_instrs: config.max_instrs,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        fused_wall_ms,
+        reference_wall_ms,
+        speedup: reference_wall_ms / fused_wall_ms.max(f64::MIN_POSITIVE),
+        reports_match,
+        workloads,
+    })
+}
+
+impl SuiteTiming {
+    /// Serializes the comparison as JSON (`BENCH_suite.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"suite\": \"full-suite regen, fused vs reference pipeline\",\n");
+        out.push_str(&format!("  \"max_instrs\": {},\n", self.max_instrs));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"fused_wall_ms\": {:.1},\n", self.fused_wall_ms));
+        out.push_str(&format!(
+            "  \"reference_wall_ms\": {:.1},\n",
+            self.reference_wall_ms
+        ));
+        out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup));
+        out.push_str(&format!("  \"reports_match\": {},\n", self.reports_match));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"raw_instrs\": {}, \"compile_ms\": {:.1}, \
+                 \"profiling_ms\": {:.1}, \"trace_ms\": {:.1}, \
+                 \"fused_analysis_ms\": {:.1}, \"reference_analysis_ms\": {:.1}}}{}\n",
+                w.name,
+                w.raw_instrs,
+                w.compile_ms,
+                w.profiling_ms,
+                w.trace_ms,
+                w.fused_analysis_ms,
+                w.reference_analysis_ms,
+                if i + 1 == self.workloads.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn summary(&self) -> String {
+        let mut out = String::from(
+            "## Suite Timing: fused vs reference pipeline\n\n\
+             | workload | raw instrs | compile | profiling (ref only) | trace | fused analysis | reference analysis |\n\
+             |----------|------------|---------|----------------------|-------|----------------|--------------------|\n",
+        );
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
+                w.name,
+                w.raw_instrs,
+                w.compile_ms,
+                w.profiling_ms,
+                w.trace_ms,
+                w.fused_analysis_ms,
+                w.reference_analysis_ms,
+            ));
+        }
+        out.push_str(&format!(
+            "\nfull-suite wall time: fused {:.2}s vs reference {:.2}s -> {:.2}x speedup \
+             (tables identical: {})\n",
+            self.fused_wall_ms / 1e3,
+            self.reference_wall_ms / 1e3,
+            self.speedup,
+            self.reports_match,
+        ));
+        out
+    }
 }
 
 fn fmt_parallelism(p: f64) -> String {
@@ -369,6 +639,26 @@ mod tests {
             assert!(table.contains(w.name));
             assert!(table.contains(w.paper_analog));
         }
+    }
+
+    #[test]
+    fn timed_suite_compares_pipelines() {
+        let config = AnalysisConfig {
+            max_instrs: 8_000,
+            ..tiny_config()
+        };
+        let timing = run_suite_timed(&config).unwrap();
+        assert_eq!(timing.workloads.len(), 10);
+        assert!(timing.reports_match, "pipelines diverged");
+        assert!(timing.fused_wall_ms > 0.0);
+        assert!(timing.reference_wall_ms > 0.0);
+        let json = timing.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"reports_match\": true"));
+        assert!(json.trim_end().ends_with('}'));
+        let summary = timing.summary();
+        assert!(summary.contains("speedup"));
+        assert!(summary.contains("scan"));
     }
 
     #[test]

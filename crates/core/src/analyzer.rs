@@ -1,10 +1,11 @@
 use clfp_cfg::StaticInfo;
 use clfp_isa::Program;
-use clfp_predict::BranchProfile;
 use clfp_vm::{Trace, Vm, VmOptions};
 
-use crate::pass::{run_pass, Prepared};
-use crate::stats::{BranchReport, MispredictionStats};
+use crate::fused::run_fused;
+use crate::meta::{EventClass, ProgramMeta, TraceMeta};
+use crate::pass::{run_pass, PassConfig, PassResult, Prepared};
+use crate::stats::MispredictionStats;
 use crate::{AnalysisConfig, AnalyzeError, MachineKind};
 
 /// Parallelism result for one machine.
@@ -29,7 +30,7 @@ pub struct Report {
     /// Per-machine results, in the order requested.
     pub results: Vec<MachineResult>,
     /// Branch and prediction statistics (Table 2).
-    pub branches: BranchReport,
+    pub branches: crate::stats::BranchReport,
     /// Misprediction-distance statistics from the SP machine
     /// (Figures 6, 7); present when `SP` was among the analyzed machines.
     pub mispred_stats: Option<MispredictionStats>,
@@ -56,24 +57,37 @@ impl Report {
 /// The trace-driven limit analyzer.
 ///
 /// Construction runs the static analyses (CFG, control dependence, loops,
-/// induction variables) and a profiling execution for the branch
-/// predictor; [`Analyzer::run`] then captures the measured trace and
-/// simulates every configured machine model over it.
+/// induction variables) and pre-decodes the per-PC metadata table;
+/// [`Analyzer::run`] then captures the measured trace and simulates every
+/// configured machine model over it in one fused pass. The paper's
+/// profile-based branch predictor is trained on the measured trace itself
+/// (the paper profiles "with the same inputs used in the simulations"), so
+/// no separate profiling execution is needed.
 #[derive(Debug)]
 pub struct Analyzer<'a> {
     program: &'a Program,
     info: StaticInfo,
-    profile: BranchProfile,
+    meta: ProgramMeta,
     config: AnalysisConfig,
 }
 
+/// A trace plus everything machine-independent derived from it in a
+/// single shared walk: event classification, branch statistics, decoded
+/// operands, and resolved control-dependence sources. Produced by
+/// [`Analyzer::prepare`]; [`PreparedTrace::report`] runs the machine
+/// models over it.
+#[derive(Debug)]
+pub struct PreparedTrace<'a, 'b> {
+    analyzer: &'b Analyzer<'a>,
+    meta: TraceMeta,
+}
+
 impl<'a> Analyzer<'a> {
-    /// Prepares an analyzer: static analysis plus the profiling run.
+    /// Prepares an analyzer: static analysis and per-PC metadata decode.
     ///
     /// # Errors
     ///
-    /// Returns [`AnalyzeError`] if the program is empty or the profiling
-    /// execution faults.
+    /// Returns [`AnalyzeError`] if the program is structurally unusable.
     pub fn new(program: &'a Program, config: AnalysisConfig) -> Result<Analyzer<'a>, AnalyzeError> {
         if program.text.is_empty() {
             return Err(AnalyzeError::BadProgram("empty text segment".into()));
@@ -84,17 +98,11 @@ impl<'a> Analyzer<'a> {
             ));
         }
         let info = StaticInfo::analyze(program);
-        let profile = BranchProfile::collect_with(
-            program,
-            config.max_instrs,
-            VmOptions {
-                mem_words: config.mem_words,
-            },
-        )?;
+        let meta = ProgramMeta::build(program, &info, &PassConfig::from_analysis(&config));
         Ok(Analyzer {
             program,
             info,
-            profile,
+            meta,
             config,
         })
     }
@@ -103,11 +111,6 @@ impl<'a> Analyzer<'a> {
     /// inspect control dependences or loops).
     pub fn static_info(&self) -> &StaticInfo {
         &self.info
-    }
-
-    /// The branch profile collected for prediction.
-    pub fn profile(&self) -> &BranchProfile {
-        &self.profile
     }
 
     /// Captures the trace and runs every configured machine model.
@@ -126,80 +129,96 @@ impl<'a> Analyzer<'a> {
         Ok(self.run_on_trace(&trace))
     }
 
+    /// Runs the machine-independent preparation walk over a trace:
+    /// branch-outcome profiling, prediction, inlining/unrolling
+    /// classification, operand decode, and dynamic control-dependence
+    /// resolution — shared by every machine model and (via
+    /// [`PreparedTrace::report_with_unrolling`]) by both unroll settings.
+    pub fn prepare<'b>(&'b self, trace: &Trace) -> PreparedTrace<'a, 'b> {
+        PreparedTrace {
+            analyzer: self,
+            meta: TraceMeta::build(self.program, &self.info, &self.meta, &self.config, trace),
+        }
+    }
+
+    /// Runs every configured machine model over an existing trace (one
+    /// preparation walk, then the fused per-machine passes).
+    pub fn run_on_trace(&self, trace: &Trace) -> Report {
+        self.prepare(trace).report()
+    }
+
+    /// Reference implementation of [`Analyzer::run_on_trace`]: the
+    /// original one-machine-at-a-time pass over the raw trace, kept as the
+    /// test oracle for the fused path (the `fused_equivalence` suite
+    /// asserts bit-for-bit equal reports) and for wall-time comparisons
+    /// (`regen --timing`).
+    pub fn run_on_trace_reference(&self, trace: &Trace) -> Report {
+        let prepared = self.prepare(trace);
+        let class = prepared.meta.class(self.config.unrolling);
+        let reference = Prepared {
+            program: self.program,
+            info: &self.info,
+            events: trace.events(),
+            class,
+            pass_config: PassConfig::from_analysis(&self.config),
+        };
+        let passes = self
+            .config
+            .machines
+            .iter()
+            .map(|&kind| run_pass(&reference, kind))
+            .collect();
+        prepared.assemble(class, passes)
+    }
+
     /// Computes the per-instruction schedule for one machine over a trace:
     /// the cycle at which each dynamic instruction executes (0 for
     /// instructions removed by perfect inlining/unrolling). This is the
     /// paper's Figure 3 view of a machine model.
     pub fn schedule(&self, trace: &Trace, kind: MachineKind) -> Vec<u64> {
-        let (mispred, ignored, _) = self.classify(trace);
-        let prepared = Prepared {
+        let prepared = self.prepare(trace);
+        let reference = Prepared {
             program: self.program,
             info: &self.info,
             events: trace.events(),
-            mispred: &mispred,
-            ignored: &ignored,
-            pass_config: crate::pass::PassConfig::from_analysis(&self.config),
+            class: prepared.meta.class(self.config.unrolling),
+            pass_config: PassConfig::from_analysis(&self.config),
         };
         let mut schedule = Vec::with_capacity(trace.len());
-        crate::pass::run_pass_with_schedule(&prepared, kind, Some(&mut schedule));
+        crate::pass::run_pass_with_schedule(&reference, kind, Some(&mut schedule));
         schedule
     }
+}
 
-    /// Classifies every trace event: misprediction flag, ignored flag, and
-    /// the aggregate branch report.
-    fn classify(&self, trace: &Trace) -> (Vec<bool>, Vec<bool>, BranchReport) {
-        let text = &self.program.text;
-        let mut predictor = self.config.predictor.build(self.program, &self.profile);
-        let mut branches = BranchReport {
-            raw_instrs: trace.len() as u64,
-            ..BranchReport::default()
-        };
-        let mut mispred = Vec::with_capacity(trace.len());
-        let mut ignored = Vec::with_capacity(trace.len());
-        for event in trace.iter() {
-            let instr = text[event.pc as usize];
-            let miss = if instr.is_cond_branch() {
-                branches.cond_branches += 1;
-                if event.taken {
-                    branches.taken += 1;
-                }
-                let prediction = predictor.predict_and_update(event.pc, event.taken);
-                let correct = prediction == event.taken;
-                if correct {
-                    branches.predicted_correctly += 1;
-                }
-                !correct
-            } else if instr.is_computed_jump() {
-                branches.computed_jumps += 1;
-                true
-            } else {
-                false
-            };
-            mispred.push(miss);
-            let skip = (self.config.inlining && self.info.masks.inline_ignored(event.pc))
-                || (self.config.unrolling && self.info.masks.unroll_ignored(event.pc));
-            ignored.push(skip);
-        }
-        (mispred, ignored, branches)
+impl PreparedTrace<'_, '_> {
+    /// Runs every configured machine model over the prepared trace.
+    pub fn report(&self) -> Report {
+        self.report_with_unrolling(self.analyzer.config.unrolling)
     }
 
-    /// Runs every configured machine model over an existing trace.
-    pub fn run_on_trace(&self, trace: &Trace) -> Report {
-        let (mispred, ignored, branches) = self.classify(trace);
-        let prepared = Prepared {
-            program: self.program,
-            info: &self.info,
-            events: trace.events(),
-            mispred: &mispred,
-            ignored: &ignored,
-            pass_config: crate::pass::PassConfig::from_analysis(&self.config),
-        };
+    /// Like [`PreparedTrace::report`], but overriding the unrolling
+    /// setting. The preparation walk records the ignore classification for
+    /// both settings (everything else it computes is unroll-independent),
+    /// so Table 4's with/without comparison needs only one prepared trace.
+    pub fn report_with_unrolling(&self, unrolling: bool) -> Report {
+        let analyzer = self.analyzer;
+        let class = self.meta.class(unrolling);
+        let passes = run_fused(
+            &analyzer.meta,
+            &self.meta.events,
+            class,
+            &PassConfig::from_analysis(&analyzer.config),
+            &analyzer.config.machines,
+        );
+        self.assemble(class, passes)
+    }
 
-        let mut results = Vec::with_capacity(self.config.machines.len());
+    /// Folds per-machine pass results into a [`Report`].
+    fn assemble(&self, class: &EventClass, passes: Vec<PassResult>) -> Report {
+        let mut results = Vec::with_capacity(passes.len());
         let mut mispred_stats = None;
-        let mut seq_instrs = ignored.iter().filter(|&&skip| !skip).count() as u64;
-        for &kind in &self.config.machines {
-            let pass = run_pass(&prepared, kind);
+        let mut seq_instrs = class.not_ignored();
+        for (&kind, pass) in self.analyzer.config.machines.iter().zip(passes) {
             seq_instrs = pass.count;
             let parallelism = if pass.cycles == 0 {
                 1.0
@@ -218,9 +237,9 @@ impl<'a> Analyzer<'a> {
 
         Report {
             seq_instrs,
-            raw_instrs: trace.len() as u64,
+            raw_instrs: class.len() as u64,
             results,
-            branches,
+            branches: self.meta.branches,
             mispred_stats,
         }
     }
@@ -452,5 +471,30 @@ mod tests {
             AnalysisConfig::quick().with_machines(&[MachineKind::Base]),
         );
         assert!(restricted.result(MachineKind::Oracle).is_none());
+    }
+
+    #[test]
+    fn reference_path_matches_fused_run() {
+        let program = compile(LOOPY).unwrap();
+        let config = AnalysisConfig::quick();
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let fused = analyzer.run_on_trace(&trace);
+        let reference = analyzer.run_on_trace_reference(&trace);
+        assert_eq!(fused.seq_instrs, reference.seq_instrs);
+        assert_eq!(fused.raw_instrs, reference.raw_instrs);
+        assert_eq!(fused.branches, reference.branches);
+        assert_eq!(fused.mispred_stats, reference.mispred_stats);
+        for (f, r) in fused.results.iter().zip(&reference.results) {
+            assert_eq!(f.kind, r.kind);
+            assert_eq!(f.cycles, r.cycles);
+            assert!((f.parallelism - r.parallelism).abs() < 1e-12);
+        }
     }
 }

@@ -50,6 +50,14 @@ impl LastWriteTable {
         self.len == 0
     }
 
+    /// Removes every entry while keeping the allocation, so fused and
+    /// threaded passes can reuse one table across machine models instead
+    /// of reallocating per machine.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
     #[inline]
     fn slot(&self, key: u32) -> usize {
         // Fibonacci hashing spreads sequential word addresses well.
@@ -99,16 +107,23 @@ impl LastWriteTable {
     }
 
     fn grow(&mut self) {
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
+        let old_keys = std::mem::take(&mut self.keys);
         let old_values = std::mem::take(&mut self.values);
         let new_slots = (old_keys.len() * 2).max(32);
         self.keys = vec![EMPTY; new_slots];
         self.values = vec![0; new_slots];
         self.mask = new_slots - 1;
-        self.len = 0;
+        // Reinsert directly: the doubled table cannot hit the load factor
+        // again, so skip `set()`'s check, and every key is distinct, so
+        // probing can stop at the first empty slot.
         for (key, value) in old_keys.into_iter().zip(old_values) {
             if key != EMPTY {
-                self.set(key, value);
+                let mut slot = self.slot(key);
+                while self.keys[slot] != EMPTY {
+                    slot = (slot + 1) & self.mask;
+                }
+                self.keys[slot] = key;
+                self.values[slot] = value;
             }
         }
     }
@@ -179,6 +194,26 @@ mod tests {
             }
         }
         assert_eq!(table.len(), reference.len());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut table = LastWriteTable::with_capacity(16);
+        for i in 0..1000u32 {
+            table.set(i, i as u64 + 1);
+        }
+        let slots = table.keys.len();
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.keys.len(), slots, "clear must keep the allocation");
+        for i in 0..1000u32 {
+            assert_eq!(table.get(i), 0);
+        }
+        // Reusable after clearing.
+        table.set(7, 42);
+        assert_eq!(table.get(7), 42);
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

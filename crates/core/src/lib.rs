@@ -48,12 +48,14 @@
 mod analyzer;
 mod config;
 mod error;
+mod fused;
 mod lastwrite;
 mod machine;
+mod meta;
 mod pass;
 mod stats;
 
-pub use analyzer::{Analyzer, MachineResult, Report};
+pub use analyzer::{Analyzer, MachineResult, PreparedTrace, Report};
 pub use config::{AnalysisConfig, Latencies, PredictorChoice};
 pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;

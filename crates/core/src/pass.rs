@@ -24,6 +24,7 @@ use clfp_cfg::StaticInfo;
 use clfp_isa::{Instr, Program};
 use clfp_vm::TraceEvent;
 
+use crate::meta::EventClass;
 use crate::stats::MispredictionStats;
 use crate::{LastWriteTable, MachineKind};
 
@@ -32,12 +33,10 @@ pub(crate) struct Prepared<'a> {
     pub program: &'a Program,
     pub info: &'a StaticInfo,
     pub events: &'a [TraceEvent],
-    /// Parallel to `events`: branch was mispredicted (computed jumps are
-    /// always "mispredicted" — the paper does not predict them).
-    pub mispred: &'a [bool],
-    /// Parallel to `events`: instruction removed by perfect
-    /// inlining/unrolling.
-    pub ignored: &'a [bool],
+    /// Parallel to `events`: the packed misprediction/ignored bits
+    /// (computed jumps are always "mispredicted" — the paper does not
+    /// predict them; ignored = removed by perfect inlining/unrolling).
+    pub class: &'a EventClass,
     /// Idealization knobs (all at the paper's setting by default).
     pub pass_config: PassConfig,
 }
@@ -79,7 +78,7 @@ impl PassConfig {
     }
 
     /// Completion latency of an instruction under this model.
-    fn latency_of(&self, instr: Instr) -> u64 {
+    pub(crate) fn latency_of(&self, instr: Instr) -> u64 {
         use clfp_isa::AluOp;
         match instr {
             Instr::Lw { .. } => self.latency.load,
@@ -181,9 +180,9 @@ pub(crate) fn run_pass_with_schedule(
         if pc == cfg.block(block).start {
             seq += 1;
         }
-        let ignored = prepared.ignored[i];
+        let ignored = prepared.class.ignored(i);
         let is_branch = instr.is_cond_branch() || instr.is_computed_jump();
-        let mispredicted = is_branch && prepared.mispred[i];
+        let mispredicted = is_branch && prepared.class.mispred(i);
 
         // Resolve control dependence (needed for CD machines, and for the
         // stack inheritance at calls even on non-CD machines it is cheap to
@@ -407,12 +406,12 @@ mod tests {
             .iter()
             .map(|e| info.masks.ignored(e.pc, false))
             .collect();
+        let class = EventClass::from_slices(&mispred, &ignored);
         let prepared = Prepared {
             program: &program,
             info: &info,
             events: trace.events(),
-            mispred: &mispred,
-            ignored: &ignored,
+            class: &class,
             pass_config: PassConfig::default(),
         };
         run_pass(&prepared, kind)
@@ -643,13 +642,14 @@ mod tests {
         let mispred = vec![false; trace.len()];
         let with_unroll: Vec<bool> = trace.iter().map(|e| info.masks.ignored(e.pc, true)).collect();
         let without: Vec<bool> = trace.iter().map(|e| info.masks.ignored(e.pc, false)).collect();
+        let unroll_class = EventClass::from_slices(&mispred, &with_unroll);
+        let plain_class = EventClass::from_slices(&mispred, &without);
         let on = run_pass(
             &Prepared {
                 program: &program,
                 info: &info,
                 events: trace.events(),
-                mispred: &mispred,
-                ignored: &with_unroll,
+                class: &unroll_class,
                 pass_config: PassConfig::default(),
             },
             MachineKind::CdMf,
@@ -659,8 +659,7 @@ mod tests {
                 program: &program,
                 info: &info,
                 events: trace.events(),
-                mispred: &mispred,
-                ignored: &without,
+                class: &plain_class,
                 pass_config: PassConfig::default(),
             },
             MachineKind::CdMf,

@@ -45,7 +45,7 @@ impl BranchReport {
 /// consecutive mispredicted branches; its *distance* is its length and its
 /// *parallelism* is length divided by the cycles the SP machine needed for
 /// it.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct MispredictionStats {
     /// distance -> number of segments with that distance.
     histogram: BTreeMap<u32, u64>,

@@ -189,58 +189,52 @@ pub fn decode(word: u64) -> Result<Instr, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..32).prop_map(Reg::new)
+    /// Stateless mix of an index into pseudo-random bits (splitmix64), the
+    /// same std-only idiom the workload input generators use — no external
+    /// `rand` dependency in the offline build.
+    fn rnd(i: u64) -> u64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-        prop::sample::select(AluOp::ALL.to_vec())
+    fn reg(bits: u64) -> Reg {
+        Reg::new((bits % 32) as u8)
     }
 
-    fn arb_cond() -> impl Strategy<Value = BranchCond> {
-        prop::sample::select(BranchCond::ALL.to_vec())
+    fn gen_instr(i: u64) -> Instr {
+        let r = |lane: u64| reg(rnd(i ^ lane.wrapping_mul(0x1234_5678_9ABC)));
+        let imm = rnd(i ^ 0xABCD) as i32;
+        let target = rnd(i ^ 0x5A5A) as u32;
+        let op = AluOp::ALL[(rnd(i ^ 0x0F0F) as usize) % AluOp::ALL.len()];
+        let cond = BranchCond::ALL[(rnd(i ^ 0xF0F0) as usize) % BranchCond::ALL.len()];
+        match rnd(i) % 15 {
+            0 => Instr::Alu { op, rd: r(1), rs: r(2), rt: r(3) },
+            1 => Instr::AluI { op, rd: r(1), rs: r(2), imm },
+            2 => Instr::Li { rd: r(1), imm },
+            3 => Instr::Lw { rd: r(1), base: r(2), offset: imm },
+            4 => Instr::Sw { rs: r(1), base: r(2), offset: imm },
+            5 => Instr::Branch { cond, rs: r(1), rt: r(2), target },
+            6 => Instr::Jump { target },
+            7 => Instr::JumpR { rs: r(1) },
+            8 => Instr::Call { target },
+            9 => Instr::CallR { rs: r(1) },
+            10 => Instr::Ret,
+            11 => Instr::Halt,
+            12 => Instr::Nop,
+            13 => Instr::CMovN { rd: r(1), rs: r(2), rt: r(3) },
+            _ => Instr::CMovZ { rd: r(1), rs: r(2), rt: r(3) },
+        }
     }
 
-    fn arb_instr() -> impl Strategy<Value = Instr> {
-        prop_oneof![
-            (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
-            (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(op, rd, rs, imm)| Instr::AluI { op, rd, rs, imm }),
-            (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rd, base, offset)| Instr::Lw { rd, base, offset }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rs, base, offset)| Instr::Sw { rs, base, offset }),
-            (arb_cond(), arb_reg(), arb_reg(), any::<u32>()).prop_map(|(cond, rs, rt, target)| {
-                Instr::Branch {
-                    cond,
-                    rs,
-                    rt,
-                    target,
-                }
-            }),
-            any::<u32>().prop_map(|target| Instr::Jump { target }),
-            arb_reg().prop_map(|rs| Instr::JumpR { rs }),
-            any::<u32>().prop_map(|target| Instr::Call { target }),
-            arb_reg().prop_map(|rs| Instr::CallR { rs }),
-            Just(Instr::Ret),
-            Just(Instr::Halt),
-            Just(Instr::Nop),
-            (arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(rd, rs, rt)| Instr::CMovN { rd, rs, rt }),
-            (arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(rd, rs, rt)| Instr::CMovZ { rd, rs, rt }),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn roundtrip(instr in arb_instr()) {
+    #[test]
+    fn roundtrip_random_instructions() {
+        for i in 0..20_000u64 {
+            let instr = gen_instr(i);
             let word = encode(instr);
-            prop_assert_eq!(decode(word).unwrap(), instr);
+            assert_eq!(decode(word).unwrap(), instr, "case {i}: {instr:?}");
         }
     }
 

@@ -159,7 +159,6 @@ fn recursion_cutoff_is_upper_bound() {
         ret
     "#;
     let program = assemble(source).unwrap();
-    let trace = trace_of(&program);
     let analyzer = Analyzer::new(&program, AnalysisConfig::default()).unwrap();
     let report = analyzer.run().unwrap();
     // All machines terminate with sane results and the hierarchy holds.
