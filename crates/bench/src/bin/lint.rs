@@ -1,0 +1,123 @@
+//! Lints the workload suite and cross-checks every trace against the
+//! static model, for both unroll settings.
+//!
+//! ```text
+//! lint                                 # full suite, default trace cap
+//! lint --max-instr 500000              # cap traces at 500k instructions
+//! lint --out results/lint_suite.json   # where to write the JSON record
+//! lint --verbose                       # print waived diagnostics too
+//! ```
+//!
+//! Exits nonzero when any diagnostic is outstanding — i.e. not covered by
+//! a standing waiver in [`clfp_bench::SUITE_WAIVERS`]. Error-severity
+//! findings (static/dynamic disagreements) can never be waived.
+
+use std::process::ExitCode;
+
+use clfp_bench::run_lint_suite;
+use clfp_limits::AnalysisConfig;
+
+struct Args {
+    max_instrs: u64,
+    out: std::path::PathBuf,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        max_instrs: 2_000_000,
+        out: "results/lint_suite.json".into(),
+        verbose: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-instr" | "--max-instrs" => {
+                let value = iter.next().ok_or("--max-instr needs a number")?;
+                args.max_instrs = value
+                    .parse()
+                    .map_err(|_| format!("bad instruction cap `{value}`"))?;
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a file path")?;
+                args.out = value.into();
+            }
+            "--verbose" | "-v" => {
+                args.verbose = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lint [--max-instr N] [--out FILE] [--verbose]\n\
+                     Runs the static lint pass and the static/dynamic\n\
+                     cross-checker over every suite workload (both unroll\n\
+                     settings), writes FILE (default results/lint_suite.json),\n\
+                     and exits nonzero on any unwaived diagnostic."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("lint: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = AnalysisConfig {
+        max_instrs: args.max_instrs,
+        ..AnalysisConfig::default()
+    };
+    eprintln!(
+        "linting 10 workloads x 2 unroll settings (trace cap {})...",
+        args.max_instrs
+    );
+    let start = std::time::Instant::now();
+    let suite = match run_lint_suite(&config) {
+        Ok(suite) => suite,
+        Err(err) => {
+            eprintln!("lint: suite failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("suite checked in {:.1}s\n", start.elapsed().as_secs_f64());
+
+    println!("{}", suite.summary());
+    if args.verbose {
+        for report in &suite.reports {
+            for finding in &report.findings {
+                if let Some(reason) = finding.waived_reason {
+                    println!("waived  {}: {}", report.name, finding.diagnostic);
+                    println!("        reason: {reason}");
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("lint: cannot create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(err) = std::fs::write(&args.out, suite.to_json()) {
+        eprintln!("lint: cannot write {}: {err}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out.display());
+
+    if suite.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: outstanding diagnostics (see above)");
+        ExitCode::FAILURE
+    }
+}

@@ -8,13 +8,15 @@
 //! regen --out results/       # also write each section as markdown
 //! regen --timing             # time fused vs reference pipeline,
 //!                            # write BENCH_suite.json
+//! regen --lint               # lint + cross-check the suite, write
+//!                            # results/lint_suite.json, fail on findings
 //! ```
 
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_suite, run_suite_timed, static_inventory, table1,
-    table2, table3, table4,
+    figure4, figure5, figure6, figure7, run_lint_suite, run_suite, run_suite_timed,
+    static_inventory, table1, table2, table3, table4,
 };
 use clfp_limits::AnalysisConfig;
 
@@ -24,6 +26,7 @@ struct Args {
     max_instrs: u64,
     out: Option<std::path::PathBuf>,
     timing: bool,
+    lint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         max_instrs: 2_000_000,
         out: None,
         timing: false,
+        lint: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -58,14 +62,20 @@ fn parse_args() -> Result<Args, String> {
             "--timing" => {
                 args.timing = true;
             }
+            "--lint" => {
+                args.lint = true;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR] [--timing]\n\
+                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR] [--timing] [--lint]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR. With\n\
                      --timing, instead times the full-suite regeneration (fused\n\
                      analyzer vs the reference pipeline, per-stage wall times) and\n\
-                     writes BENCH_suite.json to DIR (or the current directory)."
+                     writes BENCH_suite.json to DIR (or the current directory).\n\
+                     With --lint, instead lints + cross-checks the suite, writes\n\
+                     lint_suite.json to DIR (default results/), and fails on any\n\
+                     unwaived diagnostic."
                 );
                 std::process::exit(0);
             }
@@ -95,6 +105,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.lint {
+        let config = AnalysisConfig {
+            max_instrs: args.max_instrs,
+            ..AnalysisConfig::default()
+        };
+        eprintln!(
+            "linting 10 workloads x 2 unroll settings (trace cap {})...",
+            args.max_instrs
+        );
+        let suite = match run_lint_suite(&config) {
+            Ok(suite) => suite,
+            Err(err) => {
+                eprintln!("regen: lint suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", suite.summary());
+        let dir = args
+            .out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        let path = dir.join("lint_suite.json");
+        if let Err(err) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, suite.to_json()))
+        {
+            eprintln!("regen: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return if suite.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("regen: outstanding lint diagnostics");
+            ExitCode::FAILURE
+        };
+    }
 
     if args.timing {
         let config = AnalysisConfig {

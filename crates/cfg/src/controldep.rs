@@ -1,7 +1,45 @@
+use std::fmt;
+
 use clfp_isa::Instr;
 
 use crate::dom::{Digraph, DomTree};
 use crate::{BlockId, Cfg};
+
+/// Why a reported control dependence fails the structural invariant.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CdViolationReason {
+    /// The dependence pc is not the terminator of its block.
+    NotBlockTerminator,
+    /// The dependence pc is not a conditional branch instruction.
+    NotCondBranch,
+}
+
+/// A control-dependence entry that violates the structural invariant:
+/// every reported dependence must be a block-terminating conditional
+/// branch. Produced by [`ControlDeps::check_detailed`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CdViolation {
+    /// The block whose dependence list contains the offending entry.
+    pub block: BlockId,
+    /// The offending branch pc.
+    pub branch_pc: u32,
+    /// What is wrong with it.
+    pub reason: CdViolationReason,
+}
+
+impl fmt::Display for CdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.reason {
+            CdViolationReason::NotBlockTerminator => "is not its block's terminator",
+            CdViolationReason::NotCondBranch => "is not a conditional branch",
+        };
+        write!(
+            f,
+            "control dependence of block b{} on pc {} {what}",
+            self.block.0, self.branch_pc
+        )
+    }
+}
 
 /// Control-dependence information for every basic block, computed per
 /// procedure as the *reverse dominance frontier* (Section 4.4.1 of the
@@ -109,12 +147,36 @@ impl ControlDeps {
 
     /// Checks the structural invariant that every reported dependence is a
     /// block-terminating conditional branch. Used by tests and debug
-    /// assertions.
+    /// assertions; [`ControlDeps::check_detailed`] reports *which* entry
+    /// disagrees.
     pub fn check(&self, cfg: &Cfg, text: &[Instr]) -> bool {
-        self.rdf_branches.iter().flatten().all(|&pc| {
-            let block = cfg.block_of_instr(pc);
-            cfg.block(block).terminator() == pc && text[pc as usize].is_cond_branch()
-        })
+        self.check_detailed(cfg, text).is_ok()
+    }
+
+    /// Like [`ControlDeps::check`], but on failure reports the first
+    /// offending block/branch pair and the reason it is invalid.
+    pub fn check_detailed(&self, cfg: &Cfg, text: &[Instr]) -> Result<(), CdViolation> {
+        for (index, branches) in self.rdf_branches.iter().enumerate() {
+            let block = BlockId(index as u32);
+            for &pc in branches {
+                let branch_block = cfg.block_of_instr(pc);
+                if cfg.block(branch_block).terminator() != pc {
+                    return Err(CdViolation {
+                        block,
+                        branch_pc: pc,
+                        reason: CdViolationReason::NotBlockTerminator,
+                    });
+                }
+                if !text[pc as usize].is_cond_branch() {
+                    return Err(CdViolation {
+                        block,
+                        branch_pc: pc,
+                        reason: CdViolationReason::NotCondBranch,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -205,6 +267,41 @@ mod tests {
         assert_eq!(deps.rdf_branches(cond), &[4]);
         // bar (after the loop) is independent of everything in the loop.
         assert!(deps.rdf_branches(cfg.block_of_instr(5)).is_empty());
+    }
+
+    #[test]
+    fn check_detailed_reports_offending_entry() {
+        let (program, cfg, deps) = deps(
+            r#"
+            .text
+            main:
+                li r8, 10          # pc 0
+            loop:
+                addi r8, r8, -1    # pc 1
+                bgt r8, r0, loop   # pc 2
+                halt               # pc 3
+            "#,
+        );
+        assert_eq!(deps.check_detailed(&cfg, &program.text), Ok(()));
+        // Forge corrupted dependence tables to exercise both failure modes.
+        let blocks = cfg.blocks().len();
+        // pc 0 (`li`) terminates its single-instruction block but is no
+        // conditional branch.
+        let bad = ControlDeps {
+            rdf_branches: vec![vec![0]; blocks],
+        };
+        let violation = bad.check_detailed(&cfg, &program.text).unwrap_err();
+        assert_eq!(violation.block, BlockId(0));
+        assert_eq!(violation.branch_pc, 0);
+        assert_eq!(violation.reason, CdViolationReason::NotCondBranch);
+        assert!(!bad.check(&cfg, &program.text));
+        // pc 1 (`addi`) sits mid-block: not a terminator.
+        let bad = ControlDeps {
+            rdf_branches: vec![vec![1]; blocks],
+        };
+        let violation = bad.check_detailed(&cfg, &program.text).unwrap_err();
+        assert_eq!(violation.reason, CdViolationReason::NotBlockTerminator);
+        assert!(violation.to_string().contains("terminator"));
     }
 
     #[test]

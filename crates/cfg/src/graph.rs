@@ -317,9 +317,39 @@ impl Cfg {
         self.proc_of_block(self.block_of_instr(pc))
     }
 
+    /// Builds `proc`'s intra-procedural flow graph in a local index space
+    /// (positions within `proc.blocks`), returning the graph and the
+    /// block-to-local-index map. Successor edges leaving the procedure
+    /// (possible only from unreachable orphan blocks) are dropped.
+    pub fn proc_digraph(
+        &self,
+        proc: &Proc,
+    ) -> (crate::dom::Digraph, std::collections::HashMap<BlockId, usize>) {
+        let mut local_of_block = std::collections::HashMap::new();
+        for (local, &block) in proc.blocks.iter().enumerate() {
+            local_of_block.insert(block, local);
+        }
+        let mut graph = crate::dom::Digraph::new(proc.blocks.len());
+        for (local, &block) in proc.blocks.iter().enumerate() {
+            for succ in &self.block(block).succs {
+                if let Some(&succ_local) = local_of_block.get(succ) {
+                    graph.add_edge(local, succ_local);
+                }
+            }
+        }
+        (graph, local_of_block)
+    }
+
     /// Renders the CFG in Graphviz DOT format: one cluster per procedure,
     /// one node per basic block labeled with its instruction range.
     pub fn to_dot(&self, program: &Program) -> String {
+        self.to_dot_with(program, None)
+    }
+
+    /// Like [`Cfg::to_dot`], optionally overlaying control dependences as
+    /// dashed gray edges from each controlling branch's block to the
+    /// dependent block — useful for visualizing `clfp-verify` findings.
+    pub fn to_dot_with(&self, program: &Program, deps: Option<&crate::ControlDeps>) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
         for (pi, proc) in self.procs.iter().enumerate() {
@@ -339,6 +369,18 @@ impl Cfg {
         for (bi, block) in self.blocks.iter().enumerate() {
             for succ in &block.succs {
                 let _ = writeln!(out, "  b{bi} -> b{};", succ.0);
+            }
+        }
+        if let Some(deps) = deps {
+            for bi in 0..self.blocks.len() {
+                for &branch_pc in deps.rdf_branches(BlockId(bi as u32)) {
+                    let from = self.block_of_instr(branch_pc);
+                    let _ = writeln!(
+                        out,
+                        "  b{} -> b{bi} [style=dashed, color=gray, constraint=false];",
+                        from.0
+                    );
+                }
             }
         }
         out.push_str("}\n");
@@ -495,6 +537,22 @@ mod tests {
         assert!(dot.contains("label=\"main\""));
         assert!(dot.contains("b1 -> b1;"), "missing back edge in:\n{dot}");
         assert!(dot.contains("bgt"));
+    }
+
+    #[test]
+    fn dot_overlay_draws_dashed_control_deps() {
+        let (program, cfg) = build(
+            ".text\nmain: li r8, 3\nloop: addi r8, r8, -1\n bgt r8, r0, loop\n halt",
+        );
+        let deps = crate::ControlDeps::compute(&cfg);
+        let plain = cfg.to_dot(&program);
+        assert!(!plain.contains("style=dashed"));
+        let overlay = cfg.to_dot_with(&program, Some(&deps));
+        // The loop body depends on its own branch: a dashed self-edge.
+        assert!(
+            overlay.contains("b1 -> b1 [style=dashed, color=gray, constraint=false];"),
+            "missing overlay edge in:\n{overlay}"
+        );
     }
 
     #[test]

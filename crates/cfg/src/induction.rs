@@ -24,11 +24,13 @@ use std::collections::HashMap;
 
 use clfp_isa::{AluOp, Instr, Program, Reg};
 
-use crate::dom::{Digraph, DomTree};
+use crate::dom::DomTree;
 use crate::{BlockId, Cfg, LoopForest, ProcId};
 
 /// Registers a call may redefine from the caller's perspective.
-const CALL_DEFS: [Reg; 7] = [
+/// Allocatable registers are callee-saved by the MiniC compiler and
+/// survive calls; everything else the caller must assume clobbered.
+pub const CALL_DEFS: [Reg; 7] = [
     Reg::V0,
     Reg::V1,
     Reg::A0,
@@ -61,18 +63,7 @@ impl InductionInfo {
             let proc_id = cfg.proc_of_block(l.header);
             let (dom, local_of_block) = dom_cache.entry(proc_id).or_insert_with(|| {
                 let proc = cfg.proc(proc_id);
-                let mut local_of_block = HashMap::new();
-                for (local, &block) in proc.blocks.iter().enumerate() {
-                    local_of_block.insert(block, local);
-                }
-                let mut graph = Digraph::new(proc.blocks.len());
-                for (local, &block) in proc.blocks.iter().enumerate() {
-                    for succ in &cfg.block(block).succs {
-                        if let Some(&succ_local) = local_of_block.get(succ) {
-                            graph.add_edge(local, succ_local);
-                        }
-                    }
-                }
+                let (graph, local_of_block) = cfg.proc_digraph(proc);
                 (DomTree::compute(&graph, local_of_block[&proc.entry]), local_of_block)
             });
 

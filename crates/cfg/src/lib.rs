@@ -19,6 +19,10 @@
 //! * **Ignore masks** ([`IgnoreMasks`]): the per-instruction sets removed
 //!   from traces by perfect inlining (calls, returns, stack-pointer
 //!   arithmetic) and by perfect unrolling.
+//! * **Iterative dataflow** ([`dataflow`]): a generic gen/kill worklist
+//!   solver with bitset lattices, plus reaching definitions, register
+//!   liveness, and maybe-uninitialized-read client analyses used by the
+//!   `clfp-verify` lint pass.
 //!
 //! ## Example
 //!
@@ -39,13 +43,15 @@
 //! ```
 
 mod controldep;
+pub mod dataflow;
 pub mod dom;
 mod graph;
 pub mod induction;
 pub mod loops;
 mod mask;
 
-pub use controldep::ControlDeps;
+pub use controldep::{CdViolation, CdViolationReason, ControlDeps};
+pub use dataflow::{BitSet, DefSite, Liveness, MaybeUninit, ReachingDefs, UninitRead};
 pub use graph::{Block, BlockId, Cfg, Proc, ProcId};
 pub use induction::InductionInfo;
 pub use loops::{Loop, LoopForest};

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::dom::{Digraph, DomTree};
+use crate::dom::DomTree;
 use crate::{BlockId, Cfg};
 
 /// One natural loop.
@@ -50,20 +50,7 @@ impl LoopForest {
         let mut loops: Vec<Loop> = Vec::new();
 
         for proc in cfg.procs() {
-            let mut local_of_block = HashMap::new();
-            for (local, &block) in proc.blocks.iter().enumerate() {
-                local_of_block.insert(block, local);
-            }
-            let mut graph = Digraph::new(proc.blocks.len());
-            for (local, &block) in proc.blocks.iter().enumerate() {
-                for succ in &cfg.block(block).succs {
-                    // Cross-procedure successors (orphan blocks) are not
-                    // loop edges.
-                    if let Some(&succ_local) = local_of_block.get(succ) {
-                        graph.add_edge(local, succ_local);
-                    }
-                }
-            }
+            let (graph, local_of_block) = cfg.proc_digraph(proc);
             let entry = local_of_block[&proc.entry];
             let dom = DomTree::compute(&graph, entry);
 

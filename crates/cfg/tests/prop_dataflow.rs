@@ -1,0 +1,148 @@
+//! Property tests for the iterative dataflow solver: on randomly generated
+//! programs (straight-line and arbitrarily branchy, including irreducible
+//! loops), the converged [`Liveness`] and [`ReachingDefs`] solutions must
+//! satisfy their defining per-block equations, and solving must be
+//! deterministic.
+//!
+//! The per-block recomputation here is an independent reimplementation of
+//! the gen/kill transfer from the public `Instr::def`/`Instr::uses`
+//! surface, so a solver bug and a test bug would have to coincide exactly
+//! to slip through.
+
+// Requires the external `proptest` crate: gated off by default so the
+// workspace builds and tests fully offline. Enable with
+// `--features external-tests` after restoring the proptest dev-dependency.
+#![cfg(feature = "external-tests")]
+
+use std::collections::BTreeSet;
+
+use clfp_cfg::{Cfg, DefSite, Liveness, ReachingDefs};
+use clfp_isa::{assemble, Program, Reg};
+use proptest::prelude::*;
+
+/// A small register pool keeps collisions (kills) frequent.
+const POOL: [u8; 5] = [8, 9, 10, 11, 12];
+
+#[derive(Clone, Debug)]
+enum Line {
+    /// `add rd, rs, rt` over the pool.
+    Alu(u8, u8, u8),
+    /// `addi rd, rs, imm` over the pool.
+    AluI(u8, u8, i32),
+    /// `beq rs, rt, L<target>` — any target, forward or backward.
+    Branch(u8, u8, usize),
+}
+
+fn arb_line(lines: usize) -> impl Strategy<Value = Line> {
+    let reg = || proptest::sample::select(POOL.to_vec());
+    prop_oneof![
+        3 => (reg(), reg(), reg()).prop_map(|(d, s, t)| Line::Alu(d, s, t)),
+        3 => (reg(), reg(), -8i32..8).prop_map(|(d, s, i)| Line::AluI(d, s, i)),
+        2 => (reg(), reg(), 0..lines).prop_map(|(s, t, k)| Line::Branch(s, t, k)),
+    ]
+}
+
+/// Renders lines as labelled assembly: every instruction gets a label so
+/// branches can target any pc, giving arbitrary (even irreducible) CFGs.
+fn render(lines: &[Line]) -> String {
+    let mut out = String::from(".text\nmain:\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(&format!("L{i}:\n"));
+        match *line {
+            Line::Alu(d, s, t) => out.push_str(&format!("    add r{d}, r{s}, r{t}\n")),
+            Line::AluI(d, s, imm) => out.push_str(&format!("    addi r{d}, r{s}, {imm}\n")),
+            Line::Branch(s, t, target) => {
+                out.push_str(&format!("    beq r{s}, r{t}, L{target}\n"))
+            }
+        }
+    }
+    out.push_str(&format!("L{}:\n    halt\n", lines.len()));
+    out
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..24)
+        .prop_flat_map(|n| proptest::collection::vec(arb_line(n + 1), n))
+        .prop_map(|lines| assemble(&render(&lines)).expect("generated assembly is valid"))
+}
+
+fn reg_set(regs: impl Iterator<Item = Reg>) -> BTreeSet<Reg> {
+    regs.collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// The converged liveness solution satisfies the backward per-block
+    /// equation `live_in = gen ∪ (live_out \ kill)`, recomputed here by an
+    /// independent backward walk over `Instr::def`/`Instr::uses`.
+    #[test]
+    fn liveness_satisfies_block_equations(program in arb_program()) {
+        let cfg = Cfg::build(&program);
+        let live = Liveness::compute(&program, &cfg);
+        for (index, block) in cfg.blocks().iter().enumerate() {
+            let id = clfp_cfg::BlockId(index as u32);
+            let mut expect = reg_set(live.live_out(id));
+            for pc in (block.start..block.end).rev() {
+                let instr = program.text[pc as usize];
+                if let Some(def) = instr.def() {
+                    expect.remove(&def);
+                }
+                for reg in instr.uses() {
+                    expect.insert(reg);
+                }
+            }
+            prop_assert_eq!(reg_set(live.live_in(id)), expect, "block b{}", index);
+        }
+    }
+
+    /// The converged reaching-definitions solution satisfies the forward
+    /// per-block equation `reach_out = gen ∪ (reach_in \ kill)`.
+    #[test]
+    fn reaching_defs_satisfy_block_equations(program in arb_program()) {
+        let cfg = Cfg::build(&program);
+        let reach = ReachingDefs::compute(&program, &cfg);
+        for (index, block) in cfg.blocks().iter().enumerate() {
+            let id = clfp_cfg::BlockId(index as u32);
+            let mut expect: BTreeSet<DefSite> =
+                reach.reaching_in(id).collect();
+            for pc in block.start..block.end {
+                let instr = program.text[pc as usize];
+                let Some(def) = instr.def() else { continue };
+                expect.retain(|site| site.reg != def);
+                expect.insert(DefSite { pc, reg: def });
+            }
+            let got: BTreeSet<DefSite> = reach.reaching_out(id).collect();
+            prop_assert_eq!(got, expect, "block b{}", index);
+        }
+    }
+
+    /// Every reaching definition is a real definition site, and solving is
+    /// deterministic.
+    #[test]
+    fn reaching_defs_are_sound_and_deterministic(program in arb_program()) {
+        let cfg = Cfg::build(&program);
+        let reach = ReachingDefs::compute(&program, &cfg);
+        let sites: BTreeSet<DefSite> = reach.sites().iter().copied().collect();
+        for (index, _) in cfg.blocks().iter().enumerate() {
+            let id = clfp_cfg::BlockId(index as u32);
+            for site in reach.reaching_in(id) {
+                prop_assert!(sites.contains(&site));
+                prop_assert_eq!(
+                    program.text[site.pc as usize].def(),
+                    Some(site.reg)
+                );
+            }
+        }
+        let again = ReachingDefs::compute(&program, &cfg);
+        for (index, _) in cfg.blocks().iter().enumerate() {
+            let id = clfp_cfg::BlockId(index as u32);
+            let a: Vec<DefSite> = reach.reaching_in(id).collect();
+            let b: Vec<DefSite> = again.reaching_in(id).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -3,10 +3,30 @@ use clfp_isa::Program;
 use clfp_vm::{Trace, Vm, VmOptions};
 
 use crate::fused::run_fused;
-use crate::meta::{EventClass, ProgramMeta, TraceMeta};
+use crate::meta::{EventClass, ProgramMeta, TraceMeta, CD_INHERIT, CD_NONE};
 use crate::pass::{run_pass, PassConfig, PassResult, Prepared};
 use crate::stats::MispredictionStats;
 use crate::{AnalysisConfig, AnalyzeError, MachineKind};
+
+/// The control-dependence source the preparation walk resolved for one
+/// dynamic instruction (Section 4.4.1): which controlling-branch instance
+/// the CD-honoring machines serialize the instruction after.
+///
+/// Exposed for the `clfp-verify` static/dynamic cross-checker, which
+/// asserts every [`CdSource::Branch`] pc lies in the executed
+/// instruction's static reverse-dominance-frontier set.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CdSource {
+    /// No controlling branch: control independent within its procedure
+    /// invocation at top level, or dropped by the recursion cutoff.
+    None,
+    /// Inherited from the calling procedure's invocation (the event's
+    /// procedure depends on the call site's own control dependence).
+    Inherit,
+    /// The latest executed instance of this static conditional-branch or
+    /// computed-jump pc.
+    Branch(u32),
+}
 
 /// Parallelism result for one machine.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -194,6 +214,17 @@ impl PreparedTrace<'_, '_> {
     /// Runs every configured machine model over the prepared trace.
     pub fn report(&self) -> Report {
         self.report_with_unrolling(self.analyzer.config.unrolling)
+    }
+
+    /// The resolved control-dependence source of every dynamic
+    /// instruction, in trace order (machine-independent; see
+    /// [`CdSource`]).
+    pub fn cd_sources(&self) -> impl Iterator<Item = CdSource> + '_ {
+        self.meta.events.iter().map(|event| match event.cd {
+            CD_NONE => CdSource::None,
+            CD_INHERIT => CdSource::Inherit,
+            pc => CdSource::Branch(pc),
+        })
     }
 
     /// Like [`PreparedTrace::report`], but overriding the unrolling
@@ -471,6 +502,31 @@ mod tests {
             AnalysisConfig::quick().with_machines(&[MachineKind::Base]),
         );
         assert!(restricted.result(MachineKind::Oracle).is_none());
+    }
+
+    #[test]
+    fn cd_sources_cover_every_event() {
+        let program = compile(LOOPY).unwrap();
+        let analyzer = Analyzer::new(&program, AnalysisConfig::quick()).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let prepared = analyzer.prepare(&trace);
+        let sources: Vec<CdSource> = prepared.cd_sources().collect();
+        assert_eq!(sources.len(), trace.len());
+        // The loopy program must resolve at least one in-procedure branch
+        // dependence, and every resolved pc must actually be a branch.
+        assert!(sources.iter().any(|s| matches!(s, CdSource::Branch(_))));
+        for source in &sources {
+            if let CdSource::Branch(pc) = source {
+                let instr = program.text[*pc as usize];
+                assert!(instr.is_cond_branch() || instr.is_computed_jump());
+            }
+        }
     }
 
     #[test]

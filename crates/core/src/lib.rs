@@ -55,7 +55,7 @@ mod meta;
 mod pass;
 mod stats;
 
-pub use analyzer::{Analyzer, MachineResult, PreparedTrace, Report};
+pub use analyzer::{Analyzer, CdSource, MachineResult, PreparedTrace, Report};
 pub use config::{AnalysisConfig, Latencies, PredictorChoice};
 pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;

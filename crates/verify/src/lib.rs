@@ -1,0 +1,981 @@
+//! Static lint diagnostics and static/dynamic consistency checks.
+//!
+//! The limit study leans on a tower of static analyses — CFG recovery,
+//! dominators, control dependence, natural loops, induction variables,
+//! inline/unroll ignore masks — and then *trusts* them while scheduling
+//! millions of dynamic instructions. This crate is the trust-but-verify
+//! layer. It has two halves:
+//!
+//! * [`lint_program`] — purely static diagnostics over a program and its
+//!   [`StaticInfo`]: control transfers that leave `.text`, violations of
+//!   the control-dependence structural invariant, unreachable blocks,
+//!   reads of maybe-uninitialized registers, and dead stores.
+//! * [`TraceChecks`] — a static/dynamic cross-checker that replays a
+//!   captured [`Trace`] against the static model and asserts:
+//!   1. every dynamic control transfer is an edge the static CFG predicts
+//!      ([`TraceChecks::check_edges`]),
+//!   2. every controlling branch selected by the analyzer's
+//!      control-dependence resolution lies in the executed instruction's
+//!      static reverse-dominance-frontier set
+//!      ([`TraceChecks::check_cd_sources`]),
+//!   3. every induction-variable increment deleted by the perfect-unrolling
+//!      mask really updates its register exactly once per observed loop
+//!      iteration ([`TraceChecks::check_unroll_masks`]), and
+//!   4. the analyzer's sequential instruction count matches an independent
+//!      recount of non-ignored trace events
+//!      ([`TraceChecks::check_seq_count`]).
+//!
+//! Every finding is a [`Diagnostic`] with a [`DiagnosticKind`] and a fixed
+//! [`Severity`]. Static-model/dynamic-behavior disagreements are always
+//! [`Severity::Error`]: they mean the limit numbers cannot be trusted.
+//! Code-quality findings (unreachable blocks, uninitialized reads, dead
+//! stores) are warnings or notes about the *measured program*, not the
+//! analyzer, and may be waived by a reporting layer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use clfp_cfg::{BlockId, CdViolation, Cfg, Liveness, MaybeUninit, StaticInfo};
+use clfp_isa::{AluOp, Instr, Program, Reg};
+use clfp_limits::{CdSource, PreparedTrace};
+use clfp_vm::Trace;
+
+/// How bad a diagnostic is.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational: worth a look, never blocks anything.
+    Info,
+    /// Suspicious code in the measured program; does not invalidate the
+    /// analysis.
+    Warning,
+    /// The static model and the dynamic behavior disagree, or the program
+    /// is structurally broken. Limit results are not trustworthy.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as printed in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a diagnostic is about. Each kind has a fixed [`Severity`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DiagnosticKind {
+    /// A branch, jump, or call targets an instruction outside `.text`.
+    BadBranchTarget,
+    /// A control-dependence entry is not a block-terminating conditional
+    /// branch (the [`clfp_cfg::ControlDeps`] structural invariant).
+    CdInvariant,
+    /// A basic block can never execute.
+    UnreachableBlock,
+    /// An instruction may read a register no path has written.
+    MaybeUninitRead,
+    /// An instruction defines a register that is never read afterwards.
+    DeadStore,
+    /// A dynamic control transfer is not an edge in the static CFG.
+    EdgeViolation,
+    /// A resolved control-dependence source is not in the executed
+    /// instruction's static RDF branch set.
+    CdResolutionViolation,
+    /// An induction increment deleted by perfect unrolling did not update
+    /// its register exactly once per observed loop iteration.
+    UnrollMaskViolation,
+    /// The analyzer's sequential instruction count disagrees with an
+    /// independent recount of non-ignored trace events.
+    SeqCountMismatch,
+}
+
+impl DiagnosticKind {
+    /// Every kind, in severity-then-declaration order.
+    pub const ALL: [DiagnosticKind; 9] = [
+        DiagnosticKind::BadBranchTarget,
+        DiagnosticKind::CdInvariant,
+        DiagnosticKind::UnreachableBlock,
+        DiagnosticKind::MaybeUninitRead,
+        DiagnosticKind::DeadStore,
+        DiagnosticKind::EdgeViolation,
+        DiagnosticKind::CdResolutionViolation,
+        DiagnosticKind::UnrollMaskViolation,
+        DiagnosticKind::SeqCountMismatch,
+    ];
+
+    /// The fixed severity of this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticKind::BadBranchTarget
+            | DiagnosticKind::CdInvariant
+            | DiagnosticKind::EdgeViolation
+            | DiagnosticKind::CdResolutionViolation
+            | DiagnosticKind::UnrollMaskViolation
+            | DiagnosticKind::SeqCountMismatch => Severity::Error,
+            DiagnosticKind::UnreachableBlock | DiagnosticKind::MaybeUninitRead => {
+                Severity::Warning
+            }
+            DiagnosticKind::DeadStore => Severity::Info,
+        }
+    }
+
+    /// Stable kebab-case name, used in reports and waiver tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::BadBranchTarget => "bad-branch-target",
+            DiagnosticKind::CdInvariant => "cd-invariant",
+            DiagnosticKind::UnreachableBlock => "unreachable-block",
+            DiagnosticKind::MaybeUninitRead => "maybe-uninit-read",
+            DiagnosticKind::DeadStore => "dead-store",
+            DiagnosticKind::EdgeViolation => "edge-violation",
+            DiagnosticKind::CdResolutionViolation => "cd-resolution-violation",
+            DiagnosticKind::UnrollMaskViolation => "unroll-mask-violation",
+            DiagnosticKind::SeqCountMismatch => "seq-count-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint or cross-check finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// What the finding is about.
+    pub kind: DiagnosticKind,
+    /// The static instruction it anchors to, when one exists.
+    pub pc: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(kind: DiagnosticKind, pc: Option<u32>, message: String) -> Diagnostic {
+        Diagnostic { kind, pc, message }
+    }
+
+    /// The severity of this diagnostic (fixed per kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.kind)?;
+        if let Some(pc) = self.pc {
+            write!(f, " at pc {pc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Whether any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity() == Severity::Error)
+}
+
+// ---------------------------------------------------------------------------
+// Static lint pass
+// ---------------------------------------------------------------------------
+
+/// Runs every static diagnostic over a program and its analyses.
+///
+/// Diagnostics come out grouped by kind in [`DiagnosticKind::ALL`] order,
+/// and by pc within a kind.
+pub fn lint_program(program: &Program, info: &StaticInfo) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_branch_targets(program, &mut out);
+    lint_control_deps(program, info, &mut out);
+    lint_unreachable(program, &info.cfg, &mut out);
+    lint_maybe_uninit(program, &info.cfg, &mut out);
+    lint_dead_stores(program, &info.cfg, &mut out);
+    out
+}
+
+/// Direct control transfers must stay inside `.text` (the same rule as
+/// [`Program::validate`], but reporting every offender, not just the
+/// first).
+fn lint_branch_targets(program: &Program, out: &mut Vec<Diagnostic>) {
+    let len = program.text.len() as u32;
+    for (pc, instr) in program.text.iter().enumerate() {
+        let target = match *instr {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                target
+            }
+            _ => continue,
+        };
+        if target >= len {
+            out.push(Diagnostic::new(
+                DiagnosticKind::BadBranchTarget,
+                Some(pc as u32),
+                format!("`{instr}` targets pc {target}, outside .text (length {len})"),
+            ));
+        }
+    }
+    if program.entry >= len && len > 0 {
+        out.push(Diagnostic::new(
+            DiagnosticKind::BadBranchTarget,
+            None,
+            format!("entry point {} is outside .text (length {len})", program.entry),
+        ));
+    }
+}
+
+fn lint_control_deps(program: &Program, info: &StaticInfo, out: &mut Vec<Diagnostic>) {
+    if let Err(violation) = info.deps.check_detailed(&info.cfg, &program.text) {
+        out.push(cd_diagnostic(violation));
+    }
+}
+
+/// Maps a [`CdViolation`] to a diagnostic. Split out so the mapping is
+/// testable without forging a `ControlDeps`.
+fn cd_diagnostic(violation: CdViolation) -> Diagnostic {
+    Diagnostic::new(
+        DiagnosticKind::CdInvariant,
+        Some(violation.branch_pc),
+        violation.to_string(),
+    )
+}
+
+/// Over-approximates the set of blocks reachable from the entry point by
+/// following CFG edges, direct call targets, and code addresses
+/// materialized by `li` (potential indirect-call targets — any immediate
+/// that happens to equal a code-symbol address counts, so reachability is
+/// conservative and unreachable reports are trustworthy).
+fn reachable_blocks(program: &Program, cfg: &Cfg) -> Vec<bool> {
+    let mut reached = vec![false; cfg.blocks().len()];
+    if program.text.is_empty() {
+        return reached;
+    }
+    let len = program.text.len();
+    let mut work = vec![cfg.block_of_instr(program.entry)];
+    while let Some(id) = work.pop() {
+        if std::mem::replace(&mut reached[id.index()], true) {
+            continue;
+        }
+        let block = cfg.block(id);
+        for pc in block.instrs() {
+            match program.text[pc as usize] {
+                Instr::Call { target } => work.push(cfg.block_of_instr(target)),
+                Instr::Li { imm, .. }
+                    if imm >= 0
+                        && (imm as usize) < len
+                        && program.symbols.code_symbols().any(|(_, at)| at == imm as u32) =>
+                {
+                    work.push(cfg.block_of_instr(imm as u32));
+                }
+                _ => {}
+            }
+        }
+        work.extend(block.succs.iter().copied());
+    }
+    reached
+}
+
+fn lint_unreachable(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let reached = reachable_blocks(program, cfg);
+    for (index, block) in cfg.blocks().iter().enumerate() {
+        if reached[index] {
+            continue;
+        }
+        let context = program
+            .symbols
+            .nearest_code_label(block.start)
+            .map(|(name, _)| format!(" (in `{name}`)"))
+            .unwrap_or_default();
+        out.push(Diagnostic::new(
+            DiagnosticKind::UnreachableBlock,
+            Some(block.start),
+            format!(
+                "block b{index} (pc {}..{}){context} is unreachable from the entry point",
+                block.start, block.end
+            ),
+        ));
+    }
+}
+
+fn lint_maybe_uninit(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let uninit = MaybeUninit::compute(program, cfg);
+    for read in uninit.reads() {
+        out.push(Diagnostic::new(
+            DiagnosticKind::MaybeUninitRead,
+            Some(read.pc),
+            format!(
+                "`{}` reads {}, which may be uninitialized on some path",
+                program.text[read.pc as usize], read.reg
+            ),
+        ));
+    }
+}
+
+fn lint_dead_stores(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let liveness = Liveness::compute(program, cfg);
+    for (pc, reg) in liveness.dead_defs(program, cfg) {
+        out.push(Diagnostic::new(
+            DiagnosticKind::DeadStore,
+            Some(pc),
+            format!(
+                "`{}` defines {reg}, but the value is never read",
+                program.text[pc as usize]
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static/dynamic cross-checker
+// ---------------------------------------------------------------------------
+
+/// Replays captured traces against the static model.
+///
+/// The `StaticInfo` must have been computed for the *same* program the
+/// trace was captured from (e.g. via
+/// [`clfp_limits::Analyzer::static_info`]).
+pub struct TraceChecks<'a> {
+    program: &'a Program,
+    info: &'a StaticInfo,
+}
+
+/// One induction increment watched by [`TraceChecks::check_unroll_masks`].
+struct Monitor {
+    loop_index: usize,
+    reg: Reg,
+    increment: u32,
+}
+
+impl<'a> TraceChecks<'a> {
+    /// Creates a checker over a program and its static analyses.
+    pub fn new(program: &'a Program, info: &'a StaticInfo) -> TraceChecks<'a> {
+        TraceChecks { program, info }
+    }
+
+    /// Asserts every dynamic control transfer is one the static CFG
+    /// predicts: branches go to their target or fall through, straight-line
+    /// code advances by one pc (crossing only recorded fall-through edges),
+    /// calls land on procedure entries and return to the instruction after
+    /// the call, computed jumps land on block leaders, and nothing follows
+    /// a halt.
+    pub fn check_edges(&self, trace: &Trace) -> Vec<Diagnostic> {
+        let cfg = &self.info.cfg;
+        let text = &self.program.text;
+        let mut out = Vec::new();
+        // Shadow return-address stack: calls push `pc + 1`, returns must
+        // come back to the matching push.
+        let mut shadow: Vec<u32> = Vec::new();
+        let mut violation = |pc: u32, message: String| {
+            out.push(Diagnostic::new(DiagnosticKind::EdgeViolation, Some(pc), message));
+        };
+        for (from, to) in trace.edges() {
+            let pc = from.pc;
+            let next = to.pc;
+            match text[pc as usize] {
+                Instr::Branch { target, .. } => {
+                    let expect = if from.taken { target } else { pc + 1 };
+                    if next != expect {
+                        violation(
+                            pc,
+                            format!(
+                                "branch ({}) continued at pc {next}, expected pc {expect}",
+                                if from.taken { "taken" } else { "not taken" }
+                            ),
+                        );
+                    } else if !self.is_static_edge(pc, next) {
+                        violation(
+                            pc,
+                            format!("branch edge to pc {next} is missing from the static CFG"),
+                        );
+                    }
+                }
+                Instr::Jump { target } => {
+                    if next != target {
+                        violation(pc, format!("jump continued at pc {next}, expected pc {target}"));
+                    } else if !self.is_static_edge(pc, next) {
+                        violation(
+                            pc,
+                            format!("jump edge to pc {next} is missing from the static CFG"),
+                        );
+                    }
+                }
+                Instr::Call { target } => {
+                    if next != target {
+                        violation(pc, format!("call continued at pc {next}, expected pc {target}"));
+                    } else if !self.is_proc_entry(next) {
+                        violation(
+                            pc,
+                            format!("call target pc {next} is not a static procedure entry"),
+                        );
+                    }
+                    shadow.push(pc + 1);
+                }
+                Instr::CallR { .. } => {
+                    // The target is only known dynamically; it must still be
+                    // a procedure entry the CFG discovered.
+                    if !self.is_proc_entry(next) {
+                        violation(
+                            pc,
+                            format!(
+                                "indirect call landed at pc {next}, which is not a static \
+                                 procedure entry"
+                            ),
+                        );
+                    }
+                    shadow.push(pc + 1);
+                }
+                Instr::Ret => {
+                    // An unmatched return (empty shadow stack) can only
+                    // happen on a trace that starts mid-call; skip it.
+                    if let Some(expect) = shadow.pop() {
+                        if next != expect {
+                            violation(
+                                pc,
+                                format!("return continued at pc {next}, expected pc {expect}"),
+                            );
+                        }
+                    }
+                }
+                Instr::JumpR { .. } => {
+                    // Computed jumps are static procedure exits with no
+                    // recorded successors; the weakest sane claim is that
+                    // they land on a block leader.
+                    let block = cfg.block_of_instr(next);
+                    if cfg.block(block).start != next {
+                        violation(
+                            pc,
+                            format!("computed jump landed mid-block at pc {next}"),
+                        );
+                    }
+                }
+                Instr::Halt => {
+                    violation(pc, format!("halt was followed by an event at pc {next}"));
+                }
+                _ => {
+                    if next != pc + 1 {
+                        violation(
+                            pc,
+                            format!(
+                                "straight-line instruction continued at pc {next}, expected \
+                                 pc {}",
+                                pc + 1
+                            ),
+                        );
+                    } else {
+                        let bf = cfg.block_of_instr(pc);
+                        let bt = cfg.block_of_instr(next);
+                        if bf != bt && !cfg.block(bf).succs.contains(&bt) {
+                            violation(
+                                pc,
+                                format!(
+                                    "fall-through edge to pc {next} is missing from the \
+                                     static CFG"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Asserts every control-dependence source the analyzer resolved to a
+    /// concrete branch instance lies in the executed instruction's static
+    /// RDF branch set. `sources` is the stream from
+    /// [`PreparedTrace::cd_sources`], aligned with `trace`.
+    pub fn check_cd_sources(
+        &self,
+        trace: &Trace,
+        sources: impl IntoIterator<Item = CdSource>,
+    ) -> Vec<Diagnostic> {
+        let sources: Vec<CdSource> = sources.into_iter().collect();
+        let mut out = Vec::new();
+        if sources.len() != trace.len() {
+            out.push(Diagnostic::new(
+                DiagnosticKind::CdResolutionViolation,
+                None,
+                format!(
+                    "control-dependence stream has {} entries for {} trace events",
+                    sources.len(),
+                    trace.len()
+                ),
+            ));
+        }
+        for (event, source) in trace.iter().zip(&sources) {
+            if let CdSource::Branch(branch_pc) = *source {
+                let block = self.info.cfg.block_of_instr(event.pc);
+                if !self.info.deps.rdf_branches(block).contains(&branch_pc) {
+                    out.push(Diagnostic::new(
+                        DiagnosticKind::CdResolutionViolation,
+                        Some(event.pc),
+                        format!(
+                            "control dependence resolved to branch pc {branch_pc}, which is \
+                             not in the RDF of block b{}",
+                            block.index()
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Asserts every induction increment deleted by the perfect-unrolling
+    /// mask really updated its register exactly once per observed loop
+    /// iteration.
+    ///
+    /// Iteration boundaries are observed at latch-to-header transfers; a
+    /// header entered any other way starts a fresh counting window (so a
+    /// trailing partial iteration, or a loop whose latch is a call block,
+    /// is conservatively not checked). Counters are keyed by call depth so
+    /// a loop re-entered through recursion is counted per invocation.
+    pub fn check_unroll_masks(&self, trace: &Trace) -> Vec<Diagnostic> {
+        let info = self.info;
+        let cfg = &info.cfg;
+        let text = &self.program.text;
+
+        // One monitor per (loop, induction register): the unique in-loop
+        // increment `addi/subi r, r, c` the unroll mask deletes.
+        let mut monitors: Vec<Monitor> = Vec::new();
+        let mut by_increment: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_header: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        let mut out = Vec::new();
+        for (loop_index, l) in info.loops.loops().iter().enumerate() {
+            for &reg in &info.induction.induction_regs()[loop_index] {
+                let mut increment = None;
+                for &b in &l.blocks {
+                    for pc in cfg.block(b).instrs() {
+                        if let Instr::AluI { op: AluOp::Add | AluOp::Sub, rd, rs, imm } =
+                            text[pc as usize]
+                        {
+                            if rd == reg && rs == reg && imm != 0 {
+                                increment = Some(pc);
+                            }
+                        }
+                    }
+                }
+                let Some(increment) = increment else { continue };
+                if !info.masks.unroll_ignored(increment) {
+                    out.push(Diagnostic::new(
+                        DiagnosticKind::UnrollMaskViolation,
+                        Some(increment),
+                        format!(
+                            "induction increment `{}` of the loop at b{} is not in the \
+                             unroll ignore mask",
+                            text[increment as usize],
+                            l.header.index()
+                        ),
+                    ));
+                    continue;
+                }
+                let index = monitors.len();
+                monitors.push(Monitor { loop_index, reg, increment });
+                by_increment.entry(increment).or_default().push(index);
+                by_header.entry(l.header).or_default().push(index);
+            }
+        }
+        if monitors.is_empty() {
+            return out;
+        }
+
+        // Replay: count increment executions per (monitor, call depth),
+        // checking the count at every latch-to-header back edge.
+        let mut counters: HashMap<(usize, usize), u32> = HashMap::new();
+        let mut depth = 0usize;
+        let mut prev: Option<u32> = None;
+        for event in trace.iter() {
+            let pc = event.pc;
+            let block = cfg.block_of_instr(pc);
+            if cfg.block(block).start == pc {
+                if let Some(watchers) = by_header.get(&block) {
+                    for &index in watchers {
+                        let monitor = &monitors[index];
+                        let l = &info.loops.loops()[monitor.loop_index];
+                        let from_latch = prev.is_some_and(|p| {
+                            let pb = cfg.block_of_instr(p);
+                            p == cfg.block(pb).terminator() && l.latches.contains(&pb)
+                        });
+                        let slot = counters.entry((index, depth)).or_insert(0);
+                        if from_latch && *slot != 1 {
+                            out.push(Diagnostic::new(
+                                DiagnosticKind::UnrollMaskViolation,
+                                Some(monitor.increment),
+                                format!(
+                                    "induction increment `{}` (pc {}) of {} in the loop at \
+                                     b{} ran {} times in one iteration, expected exactly once",
+                                    text[monitor.increment as usize],
+                                    monitor.increment,
+                                    monitor.reg,
+                                    l.header.index(),
+                                    slot
+                                ),
+                            ));
+                        }
+                        *slot = 0;
+                    }
+                }
+            }
+            if let Some(watchers) = by_increment.get(&pc) {
+                for &index in watchers {
+                    *counters.entry((index, depth)).or_insert(0) += 1;
+                }
+            }
+            match text[pc as usize] {
+                Instr::Call { .. } | Instr::CallR { .. } => depth += 1,
+                Instr::Ret => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            prev = Some(pc);
+        }
+        out
+    }
+
+    /// Asserts the analyzer's sequential instruction count for the given
+    /// unrolling setting equals an independent recount of trace events not
+    /// covered by the ignore masks. Assumes perfect inlining was enabled
+    /// (the paper's only configuration; the masks apply the inline set
+    /// unconditionally).
+    pub fn check_seq_count(
+        &self,
+        trace: &Trace,
+        unrolling: bool,
+        reported_seq: u64,
+    ) -> Vec<Diagnostic> {
+        let masks = &self.info.masks;
+        let counted = trace
+            .iter()
+            .filter(|event| !masks.ignored(event.pc, unrolling))
+            .count() as u64;
+        if counted == reported_seq {
+            return Vec::new();
+        }
+        vec![Diagnostic::new(
+            DiagnosticKind::SeqCountMismatch,
+            None,
+            format!(
+                "analyzer reported {reported_seq} sequential instructions with unrolling \
+                 {}, independent recount found {counted}",
+                if unrolling { "on" } else { "off" }
+            ),
+        )]
+    }
+
+    /// Runs every dynamic cross-check against a prepared trace: CFG edges,
+    /// control-dependence resolution, unroll-mask iteration counts, and
+    /// the sequential instruction count for both unrolling settings.
+    ///
+    /// Note this re-runs the configured machine passes once per unrolling
+    /// setting to obtain the reported counts; callers that already hold
+    /// reports should invoke the individual checks instead.
+    pub fn check_dynamic(&self, trace: &Trace, prepared: &PreparedTrace<'_, '_>) -> Vec<Diagnostic> {
+        let mut out = self.check_edges(trace);
+        out.extend(self.check_cd_sources(trace, prepared.cd_sources()));
+        out.extend(self.check_unroll_masks(trace));
+        for unrolling in [false, true] {
+            let report = prepared.report_with_unrolling(unrolling);
+            out.extend(self.check_seq_count(trace, unrolling, report.seq_instrs));
+        }
+        out
+    }
+
+    fn is_static_edge(&self, from_pc: u32, to_pc: u32) -> bool {
+        let cfg = &self.info.cfg;
+        let from = cfg.block_of_instr(from_pc);
+        let to = cfg.block_of_instr(to_pc);
+        cfg.block(to).start == to_pc && cfg.block(from).succs.contains(&to)
+    }
+
+    fn is_proc_entry(&self, pc: u32) -> bool {
+        let cfg = &self.info.cfg;
+        let block = cfg.block_of_instr(pc);
+        cfg.block(block).start == pc
+            && cfg.procs()[cfg.proc_of_block(block).index()].entry == block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clfp_cfg::CdViolationReason;
+    use clfp_isa::assemble;
+    use clfp_limits::{AnalysisConfig, Analyzer, MachineKind};
+    use clfp_vm::{TraceEvent, Vm, VmOptions};
+
+    const CLEAN: &str = r#"
+        .text
+        main:
+            li a0, 3
+            call f
+            halt
+        f:
+            add v0, a0, a0
+            ret
+    "#;
+
+    const LOOPY: &str = r#"
+        .text
+        main:
+            li r8, 0
+            li r9, 5
+        loop:
+            add r10, r8, r8    # pc 2: header body work
+            addi r8, r8, 1     # pc 3: induction increment
+            blt r8, r9, loop   # pc 4: latch branch
+            halt
+    "#;
+
+    fn setup(source: &str) -> (Program, StaticInfo) {
+        let program = assemble(source).unwrap();
+        let info = StaticInfo::analyze(&program);
+        (program, info)
+    }
+
+    fn trace_of(program: &Program) -> Trace {
+        let mut vm = Vm::new(program, VmOptions::default());
+        vm.trace(1_000_000).unwrap()
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<DiagnosticKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_lints_clean() {
+        let (program, info) = setup(CLEAN);
+        let diags = lint_program(&program, &info);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    }
+
+    #[test]
+    fn bad_branch_target_flagged() {
+        // Lint the mutated text against analyses of the valid program;
+        // the branch-target pass only reads the text.
+        let (mut program, info) = setup(CLEAN);
+        program.text[1] = Instr::Jump { target: 999 };
+        let diags = lint_program(&program, &info);
+        let bad: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::BadBranchTarget)
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].pc, Some(1));
+        assert_eq!(bad[0].severity(), Severity::Error);
+        assert!(bad[0].message.contains("999"));
+    }
+
+    #[test]
+    fn unreachable_block_warned() {
+        let (program, info) = setup(
+            r#"
+            .text
+            main:
+                li r8, 1
+                halt
+            orphan:
+                addi r8, r8, 1
+                halt
+            "#,
+        );
+        let diags = lint_program(&program, &info);
+        let dead: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::UnreachableBlock)
+            .collect();
+        assert!(!dead.is_empty());
+        assert_eq!(dead[0].severity(), Severity::Warning);
+        assert!(dead[0].message.contains("unreachable"));
+        assert!(dead[0].message.contains("orphan"), "{}", dead[0].message);
+    }
+
+    #[test]
+    fn maybe_uninit_read_warned() {
+        let (program, info) = setup(
+            r#"
+            .text
+            main:
+                add r9, r8, r8
+                halt
+            "#,
+        );
+        let diags = lint_program(&program, &info);
+        let reads: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::MaybeUninitRead)
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].pc, Some(0));
+        assert_eq!(reads[0].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn dead_store_noted() {
+        let (program, info) = setup(
+            r#"
+            .text
+            main:
+                li r8, 1
+                li r8, 2
+                halt
+            "#,
+        );
+        let diags = lint_program(&program, &info);
+        let dead: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::DeadStore)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pc, Some(0));
+        assert_eq!(dead[0].severity(), Severity::Info);
+    }
+
+    #[test]
+    fn cd_violation_maps_to_error_diagnostic() {
+        let violation = CdViolation {
+            block: BlockId(3),
+            branch_pc: 7,
+            reason: CdViolationReason::NotCondBranch,
+        };
+        let diag = cd_diagnostic(violation);
+        assert_eq!(diag.kind, DiagnosticKind::CdInvariant);
+        assert_eq!(diag.pc, Some(7));
+        assert_eq!(diag.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn edge_checks_accept_real_traces() {
+        let (program, info) = setup(
+            r#"
+            .text
+            main:
+                li r8, 0
+                li r9, 5
+            loop:
+                addi r8, r8, 1
+                call bump
+                blt r8, r9, loop
+                halt
+            bump:
+                add r10, r8, r0
+                ret
+            "#,
+        );
+        let trace = trace_of(&program);
+        let checks = TraceChecks::new(&program, &info);
+        assert_eq!(checks.check_edges(&trace), Vec::new());
+        assert_eq!(checks.check_unroll_masks(&trace), Vec::new());
+    }
+
+    #[test]
+    fn edge_checks_flag_corrupted_trace() {
+        let (program, info) = setup(CLEAN);
+        let trace = trace_of(&program);
+        let mut events: Vec<TraceEvent> = trace.events().to_vec();
+        // Event 1 should be the straight-line successor of event 0.
+        events[1].pc += 1;
+        let corrupted = Trace::from_events(events);
+        let checks = TraceChecks::new(&program, &info);
+        let diags = checks.check_edges(&corrupted);
+        assert!(kinds(&diags).contains(&DiagnosticKind::EdgeViolation), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn cd_resolution_cross_check() {
+        let (program, info) = setup(LOOPY);
+        let config = AnalysisConfig {
+            max_instrs: 10_000,
+            machines: vec![MachineKind::Base],
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let trace = trace_of(&program);
+        let prepared = analyzer.prepare(&trace);
+        let checks = TraceChecks::new(&program, &info);
+
+        // The analyzer's own resolution is consistent with the static RDF.
+        assert_eq!(checks.check_cd_sources(&trace, prepared.cd_sources()), Vec::new());
+
+        // A stream pinning everything on a non-RDF pc is flagged.
+        let bogus = vec![CdSource::Branch(0); trace.len()];
+        let diags = checks.check_cd_sources(&trace, bogus);
+        assert!(kinds(&diags).contains(&DiagnosticKind::CdResolutionViolation));
+
+        // A mis-aligned stream is flagged even when its entries are benign.
+        let short = checks.check_cd_sources(&trace, Vec::new());
+        assert_eq!(short.len(), 1);
+        assert_eq!(short[0].kind, DiagnosticKind::CdResolutionViolation);
+    }
+
+    #[test]
+    fn unroll_mask_counts_induction_updates() {
+        let (program, info) = setup(LOOPY);
+        let trace = trace_of(&program);
+        let checks = TraceChecks::new(&program, &info);
+        assert_eq!(checks.check_unroll_masks(&trace), Vec::new());
+
+        // Duplicate the first execution of the increment (pc 3): the
+        // iteration now updates r8 twice, which unrolling must not hide.
+        let mut events: Vec<TraceEvent> = trace.events().to_vec();
+        let at = events.iter().position(|e| e.pc == 3).unwrap();
+        events.insert(at, events[at]);
+        let corrupted = Trace::from_events(events);
+        let diags = checks.check_unroll_masks(&corrupted);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::UnrollMaskViolation]);
+        assert_eq!(diags[0].pc, Some(3));
+        assert!(diags[0].message.contains("2 times"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn seq_count_cross_check() {
+        let (program, _) = setup(LOOPY);
+        let config = AnalysisConfig {
+            max_instrs: 10_000,
+            machines: vec![MachineKind::Base],
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let trace = trace_of(&program);
+        let prepared = analyzer.prepare(&trace);
+        let checks = TraceChecks::new(&program, analyzer.static_info());
+        for unrolling in [false, true] {
+            let seq = prepared.report_with_unrolling(unrolling).seq_instrs;
+            assert_eq!(checks.check_seq_count(&trace, unrolling, seq), Vec::new());
+            let diags = checks.check_seq_count(&trace, unrolling, seq + 1);
+            assert_eq!(kinds(&diags), vec![DiagnosticKind::SeqCountMismatch]);
+        }
+    }
+
+    #[test]
+    fn workload_is_clean_end_to_end() {
+        let workload = clfp_workloads::by_name("scan").unwrap();
+        let program = workload.compile().unwrap();
+        let config = AnalysisConfig {
+            max_instrs: 30_000,
+            machines: vec![MachineKind::Base],
+            ..AnalysisConfig::default()
+        };
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let mut vm = Vm::new(&program, VmOptions::default());
+        let trace = vm.trace(30_000).unwrap();
+        let prepared = analyzer.prepare(&trace);
+        let checks = TraceChecks::new(&program, analyzer.static_info());
+        let diags = checks.check_dynamic(&trace, &prepared);
+        assert!(diags.is_empty(), "cross-check violations: {diags:?}");
+
+        let static_diags = lint_program(&program, analyzer.static_info());
+        assert!(
+            !has_errors(&static_diags),
+            "static errors: {static_diags:?}"
+        );
+    }
+}

@@ -183,9 +183,41 @@ pub fn suite() -> Vec<Workload> {
     ]
 }
 
+/// Error returned by [`by_name`] for an unknown workload name; its
+/// `Display` lists every valid name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = suite().iter().map(|w| w.name).collect();
+        write!(
+            f,
+            "unknown workload `{}`; valid names: {}",
+            self.name,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
 /// Looks up a workload by name.
-pub fn by_name(name: &str) -> Option<Workload> {
-    suite().into_iter().find(|w| w.name == name)
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] (whose `Display` lists the valid names) if
+/// no workload matches.
+pub fn by_name(name: &str) -> Result<Workload, UnknownWorkload> {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| UnknownWorkload {
+            name: name.to_string(),
+        })
 }
 
 #[cfg(test)]
@@ -234,7 +266,14 @@ mod tests {
 
     #[test]
     fn by_name_lookup() {
-        assert!(by_name("qsort").is_some());
-        assert!(by_name("nope").is_none());
+        assert!(by_name("qsort").is_ok());
+        let err = by_name("nope").unwrap_err();
+        assert_eq!(err.name, "nope");
+        let message = err.to_string();
+        // The error names the culprit and lists every valid workload.
+        assert!(message.contains("nope"));
+        for workload in suite() {
+            assert!(message.contains(workload.name), "missing {}", workload.name);
+        }
     }
 }

@@ -11,8 +11,7 @@ use clfp::workloads::by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "qsort".into());
-    let workload = by_name(&name)
-        .ok_or_else(|| format!("unknown workload `{name}`; try qsort, logic, scan, ..."))?;
+    let workload = by_name(&name)?;
 
     let program = workload.compile()?;
     let config = AnalysisConfig {

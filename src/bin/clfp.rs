@@ -192,8 +192,7 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
 
 fn analyze_cmd(args: &[String]) -> Result<(), String> {
     let program = if let Some(name) = parse_flag_value(args, "--workload") {
-        let workload = clfp::workloads::by_name(name)
-            .ok_or_else(|| format!("unknown workload `{name}`; see `clfp workloads`"))?;
+        let workload = clfp::workloads::by_name(name).map_err(|err| err.to_string())?;
         workload
             .compile_with(codegen_options(args))
             .map_err(|err| err.to_string())?

@@ -16,6 +16,9 @@
 //! * [`limits`] — the paper's contribution: seven abstract machine models
 //!   and the trace-driven parallelism limit analyzer.
 //! * [`workloads`] — the benchmark suite mirroring the paper's Table 1.
+//! * [`verify`] — static lint diagnostics and the static/dynamic
+//!   cross-checker that validates the analyzer's model against captured
+//!   traces.
 //!
 //! ## Quickstart
 //!
@@ -38,5 +41,6 @@ pub use clfp_isa as isa;
 pub use clfp_lang as lang;
 pub use clfp_limits as limits;
 pub use clfp_predict as predict;
+pub use clfp_verify as verify;
 pub use clfp_vm as vm;
 pub use clfp_workloads as workloads;
