@@ -10,15 +10,25 @@
 //!                            # write BENCH_suite.json
 //! regen --lint               # lint + cross-check the suite, write
 //!                            # results/lint_suite.json, fail on findings
+//! regen --metrics            # per-machine execution metrics, write
+//!                            # results/metrics_suite.json + attribution.md
+//! regen --force              # overwrite results from a different config
 //! ```
+//!
+//! Every artifact regen writes is stamped with a [`RunManifest`] recording
+//! the exact configuration, git revision, and host that produced it.
+//! Overwriting a result that carries a *different* config hash (or none at
+//! all) is refused unless `--force` is given, so stale or mixed-provenance
+//! results cannot silently accumulate in `results/`.
 
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_lint_suite, run_suite, run_suite_timed,
-    static_inventory, table1, table2, table3, table4,
+    figure4, figure5, figure6, figure7, run_lint_suite, run_metrics_suite, run_suite,
+    run_suite_timed, static_inventory, suite_manifest, table1, table2, table3, table4,
 };
 use clfp_limits::AnalysisConfig;
+use clfp_metrics::RunManifest;
 
 struct Args {
     table: Option<u32>,
@@ -27,6 +37,8 @@ struct Args {
     out: Option<std::path::PathBuf>,
     timing: bool,
     lint: bool,
+    metrics: bool,
+    force: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         timing: false,
         lint: false,
+        metrics: false,
+        force: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -65,9 +79,16 @@ fn parse_args() -> Result<Args, String> {
             "--lint" => {
                 args.lint = true;
             }
+            "--metrics" => {
+                args.metrics = true;
+            }
+            "--force" => {
+                args.force = true;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR] [--timing] [--lint]\n\
+                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR]\n\
+                     \x20            [--timing] [--lint] [--metrics] [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR. With\n\
                      --timing, instead times the full-suite regeneration (fused\n\
@@ -75,7 +96,13 @@ fn parse_args() -> Result<Args, String> {
                      writes BENCH_suite.json to DIR (or the current directory).\n\
                      With --lint, instead lints + cross-checks the suite, writes\n\
                      lint_suite.json to DIR (default results/), and fails on any\n\
-                     unwaived diagnostic."
+                     unwaived diagnostic. With --metrics, instead collects\n\
+                     per-machine execution metrics (cycle occupancy, critical-path\n\
+                     attribution, binding-edge counters) and writes\n\
+                     metrics_suite.json + attribution.md to DIR (default results/).\n\
+                     Every artifact carries a run manifest; regen refuses to\n\
+                     overwrite a result produced under a different configuration\n\
+                     unless --force is given."
                 );
                 std::process::exit(0);
             }
@@ -85,16 +112,61 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Prints a section and, when `--out` is set, writes it to a file too.
-fn emit(out: &Option<std::path::PathBuf>, name: &str, content: &str) {
-    println!("{content}");
-    if let Some(dir) = out {
-        if let Err(err) = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join(format!("{name}.md")), content))
-        {
-            eprintln!("regen: cannot write {name}.md: {err}");
+/// Writes `contents` to `path` unless an existing file there was produced
+/// under a different (or unknown) configuration and `force` is off.
+/// Returns false when the write was refused or failed.
+fn write_guarded(
+    path: &std::path::Path,
+    contents: &str,
+    current_hash: &str,
+    force: bool,
+) -> bool {
+    if !force {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            match RunManifest::config_hash_of(&existing) {
+                Some(hash) if hash == current_hash => {}
+                Some(hash) => {
+                    eprintln!(
+                        "regen: refusing to overwrite {} (existing config hash {hash}, \
+                         this run is {current_hash}; pass --force to override)",
+                        path.display()
+                    );
+                    return false;
+                }
+                None => {
+                    eprintln!(
+                        "regen: refusing to overwrite {} (no run manifest — unknown \
+                         provenance; pass --force to override)",
+                        path.display()
+                    );
+                    return false;
+                }
+            }
         }
     }
+    if let Err(err) = std::fs::write(path, contents) {
+        eprintln!("regen: cannot write {}: {err}", path.display());
+        return false;
+    }
+    true
+}
+
+/// Prints a section and, when `--out` is set, writes it — stamped with the
+/// run manifest — under DIR. Returns false if the write was refused/failed.
+fn emit(args: &Args, manifest: &RunManifest, name: &str, content: &str) -> bool {
+    println!("{content}");
+    let Some(dir) = &args.out else { return true };
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("regen: cannot create {}: {err}", dir.display());
+        return false;
+    }
+    let stamped = format!("{}\n{content}", manifest.to_markdown_header());
+    write_guarded(
+        &dir.join(format!("{name}.md")),
+        &stamped,
+        &manifest.config_hash,
+        args.force,
+    )
 }
 
 fn main() -> ExitCode {
@@ -106,11 +178,54 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.lint {
-        let config = AnalysisConfig {
-            max_instrs: args.max_instrs,
-            ..AnalysisConfig::default()
+    let config = AnalysisConfig {
+        max_instrs: args.max_instrs,
+        ..AnalysisConfig::default()
+    };
+    let manifest = suite_manifest(&config);
+
+    if args.metrics {
+        eprintln!(
+            "collecting metrics: 10 workloads x 7 machines, recording sink (trace cap {})...",
+            args.max_instrs
+        );
+        let suite = match run_metrics_suite(&config) {
+            Ok(suite) => suite,
+            Err(err) => {
+                eprintln!("regen: metrics suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
         };
+        let dir = args
+            .out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("regen: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let attribution = format!(
+            "{}\n{}",
+            suite.manifest.to_markdown_header(),
+            suite.attribution_md()
+        );
+        println!("{}", suite.attribution_md());
+        let mut ok = true;
+        for (file, contents) in [
+            ("metrics_suite.json", suite.to_json()),
+            ("attribution.md", attribution),
+        ] {
+            let path = dir.join(file);
+            if write_guarded(&path, &contents, &manifest.config_hash, args.force) {
+                eprintln!("wrote {}", path.display());
+            } else {
+                ok = false;
+            }
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if args.lint {
         eprintln!(
             "linting 10 workloads x 2 unroll settings (trace cap {})...",
             args.max_instrs
@@ -128,10 +243,11 @@ fn main() -> ExitCode {
             .clone()
             .unwrap_or_else(|| std::path::PathBuf::from("results"));
         let path = dir.join("lint_suite.json");
-        if let Err(err) = std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::write(&path, suite.to_json()))
-        {
-            eprintln!("regen: cannot write {}: {err}", path.display());
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("regen: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        if !write_guarded(&path, &suite.to_json(), &manifest.config_hash, args.force) {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
@@ -144,10 +260,6 @@ fn main() -> ExitCode {
     }
 
     if args.timing {
-        let config = AnalysisConfig {
-            max_instrs: args.max_instrs,
-            ..AnalysisConfig::default()
-        };
         eprintln!(
             "timing full-suite regen, fused vs reference pipeline (trace cap {})...",
             args.max_instrs
@@ -171,8 +283,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if let Err(err) = std::fs::write(&path, timing.to_json()) {
-            eprintln!("regen: cannot write {}: {err}", path.display());
+        if !write_guarded(&path, &timing.to_json(), &manifest.config_hash, args.force) {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
@@ -188,9 +299,10 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut ok = true;
     if wants("table", 1) {
-        emit(&args.out, "table1", &table1());
-        emit(&args.out, "inventory", &static_inventory());
+        ok &= emit(&args, &manifest, "table1", &table1());
+        ok &= emit(&args, &manifest, "inventory", &static_inventory());
     }
 
     let needs_runs = wants("table", 2)
@@ -201,13 +313,9 @@ fn main() -> ExitCode {
         || wants("figure", 6)
         || wants("figure", 7);
     if !needs_runs {
-        return ExitCode::SUCCESS;
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
-    let config = AnalysisConfig {
-        max_instrs: args.max_instrs,
-        ..AnalysisConfig::default()
-    };
     eprintln!(
         "running 10 workloads x 7 machines x 2 unroll settings (trace cap {})...",
         args.max_instrs
@@ -232,25 +340,29 @@ fn main() -> ExitCode {
     eprintln!();
 
     if wants("table", 2) {
-        emit(&args.out, "table2", &table2(&reports));
+        ok &= emit(&args, &manifest, "table2", &table2(&reports));
     }
     if wants("table", 3) {
-        emit(&args.out, "table3", &table3(&reports));
+        ok &= emit(&args, &manifest, "table3", &table3(&reports));
     }
     if wants("table", 4) {
-        emit(&args.out, "table4", &table4(&reports));
+        ok &= emit(&args, &manifest, "table4", &table4(&reports));
     }
     if wants("figure", 4) {
-        emit(&args.out, "figure4", &figure4(&reports));
+        ok &= emit(&args, &manifest, "figure4", &figure4(&reports));
     }
     if wants("figure", 5) {
-        emit(&args.out, "figure5", &figure5(&reports));
+        ok &= emit(&args, &manifest, "figure5", &figure5(&reports));
     }
     if wants("figure", 6) {
-        emit(&args.out, "figure6", &figure6(&reports));
+        ok &= emit(&args, &manifest, "figure6", &figure6(&reports));
     }
     if wants("figure", 7) {
-        emit(&args.out, "figure7", &figure7(&reports));
+        ok &= emit(&args, &manifest, "figure7", &figure7(&reports));
     }
-    ExitCode::SUCCESS
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

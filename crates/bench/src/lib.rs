@@ -10,21 +10,32 @@
 //! cargo run --release -p clfp-bench --bin regen -- --figure 6 --max-instr 500000
 //! ```
 //!
-//! `regen --timing` times every pipeline stage (compile, trace, analysis)
-//! for both the fused analyzer and the seed-equivalent reference pipeline,
-//! writing the comparison to `BENCH_suite.json` — the perf record for the
-//! fused-pass optimization. Criterion micro-benchmarks live in `benches/`
-//! (parked; see the crate manifest).
+//! `regen --timing` times every pipeline stage (compile, trace,
+//! preparation, per-machine passes) for both the fused analyzer and the
+//! seed-equivalent reference pipeline, writing the comparison to
+//! `BENCH_suite.json` — the perf record for the fused-pass optimization.
+//! `regen --lint` gates the suite on the `clfp-verify` checks, and
+//! `regen --metrics` re-runs it with the `clfp-metrics` recording sink
+//! ([`run_metrics_suite`]), writing cycle-occupancy histograms and
+//! critical-path attribution (`results/metrics_suite.json`,
+//! `results/attribution.md`; see `docs/OBSERVABILITY.md`).
+//!
+//! Every artifact is stamped with a [`RunManifest`] ([`suite_manifest`]),
+//! and `regen` refuses to overwrite results whose recorded config hash
+//! differs from the current run's unless `--force` is given. Criterion
+//! micro-benchmarks live in `benches/` (parked; see the crate manifest).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use clfp_limits::{
-    harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, MachineKind, MispredictionStats,
-    Report,
+    harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, EdgeKind, MachineKind, MachineMetrics,
+    MispredictionStats, Report,
 };
+use clfp_metrics::RunManifest;
 use clfp_predict::BranchProfile;
+use clfp_vm::TraceSummary;
 use clfp_verify::{lint_program, Diagnostic, DiagnosticKind, Severity, TraceChecks};
 use clfp_workloads::{suite, Workload, WorkloadClass};
 
@@ -181,8 +192,13 @@ pub struct WorkloadTiming {
     pub profiling_ms: f64,
     /// The measured trace execution (shared by both pipelines).
     pub trace_ms: f64,
-    /// Fused analysis: shared preparation walk + fused machine passes,
-    /// both unroll settings.
+    /// The shared machine-independent preparation walk
+    /// (`Analyzer::prepare`: classification, memory keys, CD resolution).
+    pub prepare_ms: f64,
+    /// The fused per-machine passes over the prepared trace, both unroll
+    /// settings.
+    pub machines_ms: f64,
+    /// Fused analysis total: `prepare_ms + machines_ms`.
     pub fused_analysis_ms: f64,
     /// Reference analysis: one-machine-at-a-time passes, both unroll
     /// settings.
@@ -207,6 +223,8 @@ pub struct SuiteTiming {
     pub speedup: f64,
     /// Whether both pipelines produced identical Tables 2-4.
     pub reports_match: bool,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
     /// Per-workload, per-stage breakdown (measured sequentially).
     pub workloads: Vec<WorkloadTiming>,
 }
@@ -270,9 +288,12 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
 
         let start = Instant::now();
         let prepared = unrolled.prepare(&trace);
+        let prepare_ms = ms(start);
+        let start = Instant::now();
         let _ = prepared.report_with_unrolling(true);
         let _ = prepared.report_with_unrolling(false);
-        let fused_analysis_ms = ms(start);
+        let machines_ms = ms(start);
+        let fused_analysis_ms = prepare_ms + machines_ms;
 
         let start = Instant::now();
         let _ = unrolled.run_on_trace_reference(&trace);
@@ -284,6 +305,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             compile_ms,
             profiling_ms,
             trace_ms,
+            prepare_ms,
+            machines_ms,
             fused_analysis_ms,
             reference_analysis_ms,
             raw_instrs: trace.len() as u64,
@@ -297,8 +320,16 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         reference_wall_ms,
         speedup: reference_wall_ms / fused_wall_ms.max(f64::MIN_POSITIVE),
         reports_match,
+        manifest: suite_manifest(config),
         workloads,
     })
+}
+
+/// The provenance manifest for a suite run under `config` (see
+/// [`RunManifest`]): config hash, git describe, timestamp, host
+/// parallelism. Embedded in every generated artifact.
+pub fn suite_manifest(config: &AnalysisConfig) -> RunManifest {
+    RunManifest::capture(&config.fingerprint(), config.max_instrs, config.unrolling)
 }
 
 impl SuiteTiming {
@@ -315,17 +346,24 @@ impl SuiteTiming {
         ));
         out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup));
         out.push_str(&format!("  \"reports_match\": {},\n", self.reports_match));
+        out.push_str(&format!(
+            "  \"manifest\": {},\n",
+            self.manifest.to_json_object("  ")
+        ));
         out.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"raw_instrs\": {}, \"compile_ms\": {:.1}, \
                  \"profiling_ms\": {:.1}, \"trace_ms\": {:.1}, \
+                 \"prepare_ms\": {:.1}, \"machines_ms\": {:.1}, \
                  \"fused_analysis_ms\": {:.1}, \"reference_analysis_ms\": {:.1}}}{}\n",
                 w.name,
                 w.raw_instrs,
                 w.compile_ms,
                 w.profiling_ms,
                 w.trace_ms,
+                w.prepare_ms,
+                w.machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
                 if i + 1 == self.workloads.len() { "" } else { "," },
@@ -339,17 +377,19 @@ impl SuiteTiming {
     pub fn summary(&self) -> String {
         let mut out = String::from(
             "## Suite Timing: fused vs reference pipeline\n\n\
-             | workload | raw instrs | compile | profiling (ref only) | trace | fused analysis | reference analysis |\n\
-             |----------|------------|---------|----------------------|-------|----------------|--------------------|\n",
+             | workload | raw instrs | compile | profiling (ref only) | trace | prepare | machine passes | fused total | reference analysis |\n\
+             |----------|------------|---------|----------------------|-------|---------|----------------|-------------|--------------------|\n",
         );
         for w in &self.workloads {
             out.push_str(&format!(
-                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
+                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
                 w.name,
                 w.raw_instrs,
                 w.compile_ms,
                 w.profiling_ms,
                 w.trace_ms,
+                w.prepare_ms,
+                w.machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
             ));
@@ -461,6 +501,8 @@ impl LintReport {
 pub struct LintSuite {
     /// Trace cap used.
     pub max_instrs: u64,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
     /// Per-workload results, in suite order.
     pub reports: Vec<LintReport>,
 }
@@ -530,6 +572,7 @@ pub fn lint_workload(
 pub fn run_lint_suite(config: &AnalysisConfig) -> Result<LintSuite, AnalyzeError> {
     Ok(LintSuite {
         max_instrs: config.max_instrs,
+        manifest: suite_manifest(config),
         reports: par_map_suite(|workload| lint_workload(workload, config))?,
     })
 }
@@ -559,6 +602,10 @@ impl LintSuite {
         out.push_str(&format!("  \"max_instrs\": {},\n", self.max_instrs));
         out.push_str("  \"unroll_settings\": [false, true],\n");
         out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!(
+            "  \"manifest\": {},\n",
+            self.manifest.to_json_object("  ")
+        ));
         out.push_str("  \"workloads\": [\n");
         for (i, report) in self.reports.iter().enumerate() {
             out.push_str(&format!(
@@ -639,6 +686,241 @@ impl LintSuite {
             for (name, finding) in outstanding {
                 out.push_str(&format!("  {name}: {}\n", finding.diagnostic));
             }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-metrics suite
+// ---------------------------------------------------------------------------
+
+/// Per-machine execution metrics for one workload: the instruction mix of
+/// its measured trace plus, for every machine model, the recorded-schedule
+/// metrics from `clfp-metrics` (occupancy, critical-path attribution,
+/// binding-edge counters).
+#[derive(Clone, Debug)]
+pub struct WorkloadMetrics {
+    /// Workload name.
+    pub name: &'static str,
+    /// Raw dynamic instructions in the measured trace.
+    pub raw_instrs: u64,
+    /// Scheduled instructions after inlining/unrolling removal.
+    pub seq_instrs: u64,
+    /// Instruction-mix summary of the measured trace.
+    pub trace: TraceSummary,
+    /// Per-machine metrics, in `MachineKind::ALL` order.
+    pub machines: Vec<(MachineKind, MachineMetrics)>,
+}
+
+/// Results of [`run_metrics_suite`]: every workload re-analyzed with the
+/// recording metrics sink (`results/metrics_suite.json` and
+/// `results/attribution.md`).
+#[derive(Clone, Debug)]
+pub struct MetricsSuite {
+    /// Trace cap used.
+    pub max_instrs: u64,
+    /// Unroll setting the metrics were collected under.
+    pub unrolling: bool,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
+    /// Per-workload results, in suite order.
+    pub reports: Vec<WorkloadMetrics>,
+}
+
+/// Collects execution metrics for one workload: one trace, one
+/// preparation walk, then every configured machine with the recording
+/// sink.
+///
+/// # Errors
+///
+/// Propagates compile/VM/analyzer failures.
+pub fn metrics_workload(
+    workload: Workload,
+    config: &AnalysisConfig,
+) -> Result<WorkloadMetrics, AnalyzeError> {
+    let program = workload
+        .compile()
+        .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+    let analyzer = Analyzer::new(&program, config.clone())?;
+    let mut vm = clfp_vm::Vm::new(
+        &program,
+        clfp_vm::VmOptions {
+            mem_words: config.mem_words,
+        },
+    );
+    let trace = vm.trace(config.max_instrs)?;
+    let summary = trace.summarize(&program);
+    let machines = analyzer.prepare(&trace).machine_metrics();
+    let seq_instrs = machines.first().map_or(0, |(_, m)| m.instrs);
+    Ok(WorkloadMetrics {
+        name: workload.name,
+        raw_instrs: trace.len() as u64,
+        seq_instrs,
+        trace: summary,
+        machines,
+    })
+}
+
+/// Runs the whole suite with the recording metrics sink, fanning out over
+/// [`par_map_suite`].
+///
+/// # Errors
+///
+/// Propagates the first compile/VM/analyzer failure.
+pub fn run_metrics_suite(config: &AnalysisConfig) -> Result<MetricsSuite, AnalyzeError> {
+    Ok(MetricsSuite {
+        max_instrs: config.max_instrs,
+        unrolling: config.unrolling,
+        manifest: suite_manifest(config),
+        reports: par_map_suite(|workload| metrics_workload(workload, config))?,
+    })
+}
+
+impl MetricsSuite {
+    /// Serializes the results as JSON (`results/metrics_suite.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"suite\": \"per-machine execution metrics\",\n");
+        out.push_str(&format!("  \"max_instrs\": {},\n", self.max_instrs));
+        out.push_str(&format!("  \"unrolling\": {},\n", self.unrolling));
+        out.push_str(&format!(
+            "  \"manifest\": {},\n",
+            self.manifest.to_json_object("  ")
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.reports.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"raw_instrs\": {}, \"seq_instrs\": {},\n",
+                w.name, w.raw_instrs, w.seq_instrs
+            ));
+            let t = &w.trace;
+            out.push_str(&format!(
+                "     \"trace\": {{\"cond_branches\": {}, \"taken_branches\": {}, \
+                 \"loads\": {}, \"stores\": {}, \"calls\": {}, \"returns\": {}, \
+                 \"max_call_depth\": {}, \"distinct_mem_words\": {}}},\n",
+                t.cond_branches,
+                t.taken_branches,
+                t.loads,
+                t.stores,
+                t.calls,
+                t.returns,
+                t.max_call_depth,
+                t.distinct_mem_words,
+            ));
+            out.push_str("     \"machines\": [\n");
+            for (j, (kind, m)) in w.machines.iter().enumerate() {
+                let attr = &m.attribution;
+                out.push_str(&format!(
+                    "       {{\"machine\": \"{}\", \"cycles\": {}, \"instrs\": {}, \
+                     \"parallelism\": {:.2},\n",
+                    kind.name(),
+                    m.cycles,
+                    m.instrs,
+                    m.parallelism(),
+                ));
+                out.push_str(&format!(
+                    "        \"occupancy\": {{\"peak\": {}, \"busy_cycles\": {}, \
+                     \"frac_instrs_ge_4\": {:.3}, \"frac_instrs_ge_64\": {:.3}}},\n",
+                    m.occupancy.peak,
+                    m.occupancy.busy_cycles,
+                    m.occupancy.fraction_in_wide_cycles(4),
+                    m.occupancy.fraction_in_wide_cycles(64),
+                ));
+                out.push_str(&format!(
+                    "        \"critical_path\": {{\"chain_instrs\": {}, \"heads\": {}, \
+                     \"reg_data\": {}, \"mem_data\": {}, \"control\": {}, \"mf_merge\": {}}},\n",
+                    attr.chain_len,
+                    attr.terminators,
+                    attr.counts[0],
+                    attr.counts[1],
+                    attr.counts[2],
+                    attr.counts[3],
+                ));
+                out.push_str(&format!(
+                    "        \"binding\": {{\"reg_data\": {}, \"mem_data\": {}, \
+                     \"control\": {}, \"mf_merge\": {}, \"unconstrained\": {}}}}}{}\n",
+                    m.flow.by_kind[0],
+                    m.flow.by_kind[1],
+                    m.flow.by_kind[2],
+                    m.flow.by_kind[3],
+                    m.flow.unconstrained,
+                    if j + 1 == w.machines.len() { "" } else { "," },
+                ));
+            }
+            out.push_str(&format!(
+                "     ]}}{}\n",
+                if i + 1 == self.reports.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The critical-path attribution and cycle-occupancy report
+    /// (`results/attribution.md`): *why* each machine's parallelism limit
+    /// is what it is, per program.
+    pub fn attribution_md(&self) -> String {
+        let mut out = String::from(
+            "## Critical-Path Attribution\n\n\
+             For every machine, walk the longest dependence chain of each\n\
+             program and classify the edge that bound each instruction on it:\n\
+             register data dependence, memory data dependence, the machine's\n\
+             own control constraint, or the single-flow merge ordering\n\
+             (`mf-merge` — the constraint that following multiple flows of\n\
+             control removes). Percentages are over classified chain edges;\n\
+             `chain` is the number of instructions on the chain.\n",
+        );
+        for (index, &kind) in MachineKind::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "\n### {}\n\n\
+                 | program | chain | reg-data % | mem-data % | control % | mf-merge % |\n\
+                 |---------|-------|------------|------------|-----------|------------|\n",
+                kind.name()
+            ));
+            for w in &self.reports {
+                let Some((_, m)) = w.machines.get(index).filter(|(k, _)| *k == kind) else {
+                    continue;
+                };
+                let attr = &m.attribution;
+                out.push_str(&format!(
+                    "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+                    w.name,
+                    attr.chain_len,
+                    attr.percent(EdgeKind::RegData),
+                    attr.percent(EdgeKind::MemData),
+                    attr.percent(EdgeKind::Control),
+                    attr.percent(EdgeKind::MfMerge),
+                ));
+            }
+        }
+        out.push_str(
+            "\n## Cycle Occupancy\n\n\
+             How the parallelism is shaped in time: the widest single cycle\n\
+             and the fraction of all instructions issued in cycles at least\n\
+             64 wide (burst share). Large limits are burst-shaped, not\n\
+             steady streams.\n\n### Peak instructions in one cycle\n\n",
+        );
+        out.push_str(&self.occupancy_table(|m| format!("{}", m.occupancy.peak)));
+        out.push_str("\n### Fraction of instructions issued in cycles ≥ 64 wide\n\n");
+        out.push_str(&self.occupancy_table(|m| {
+            format!("{:.2}", m.occupancy.fraction_in_wide_cycles(64))
+        }));
+        out
+    }
+
+    fn occupancy_table(&self, cell: impl Fn(&MachineMetrics) -> String) -> String {
+        let mut out = String::from(
+            "| program | BASE | CD | CD-MF | SP | SP-CD | SP-CD-MF | ORACLE |\n\
+             |---------|------|----|-------|----|-------|----------|--------|\n",
+        );
+        for w in &self.reports {
+            let mut line = format!("| {} |", w.name);
+            for (_, m) in &w.machines {
+                line.push_str(&format!(" {} |", cell(m)));
+            }
+            line.push('\n');
+            out.push_str(&line);
         }
         out
     }
@@ -940,6 +1222,10 @@ mod tests {
         let json = timing.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"reports_match\": true"));
+        assert!(json.contains("\"manifest\""));
+        assert!(json.contains("\"config_hash\""));
+        assert!(json.contains("\"prepare_ms\""));
+        assert!(json.contains("\"machines_ms\""));
         assert!(json.trim_end().ends_with('}'));
         let summary = timing.summary();
         assert!(summary.contains("speedup"));
@@ -958,10 +1244,53 @@ mod tests {
         let json = lint.to_json();
         assert!(json.contains("\"clean\": true"));
         assert!(json.contains("\"seq_instrs_unrolled\""));
+        assert!(json.contains("\"manifest\""));
         assert!(json.trim_end().ends_with('}'));
         let summary = lint.summary();
         assert!(summary.contains("scan"));
         assert!(summary.contains("clean"));
+    }
+
+    #[test]
+    fn metrics_suite_attributes_every_machine() {
+        let suite = run_metrics_suite(&tiny_config()).unwrap();
+        assert_eq!(suite.reports.len(), 10);
+        for w in &suite.reports {
+            assert_eq!(w.machines.len(), MachineKind::ALL.len());
+            assert!(w.seq_instrs > 0, "{}", w.name);
+            for (kind, m) in &w.machines {
+                assert_eq!(m.instrs, w.seq_instrs, "{} {}", w.name, kind.name());
+                assert!(m.cycles > 0 && m.cycles <= m.instrs);
+                assert_eq!(m.flow.total(), m.instrs);
+                assert_eq!(m.occupancy.instrs, m.instrs);
+                assert!(u64::from(m.occupancy.peak) <= m.instrs);
+                let attr = &m.attribution;
+                if attr.classified() > 0 {
+                    let sum: f64 = EdgeKind::ALL.iter().map(|&k| attr.percent(k)).sum();
+                    assert!((sum - 100.0).abs() < 1e-6, "{} {}", w.name, kind.name());
+                }
+                if *kind == MachineKind::Oracle {
+                    // The oracle has no control constraint at all.
+                    assert_eq!(m.flow.control_bound(), 0, "{}", w.name);
+                    assert_eq!(attr.counts[2] + attr.counts[3], 0, "{}", w.name);
+                }
+                if kind.multiple_flows() {
+                    // Following multiple flows removes exactly the merge
+                    // ordering — no mf-merge edges can remain.
+                    assert_eq!(m.flow.by_kind[3], 0, "{} {}", w.name, kind.name());
+                }
+            }
+        }
+        let json = suite.to_json();
+        assert!(json.contains("\"critical_path\""));
+        assert!(json.contains("\"binding\""));
+        assert!(json.contains("\"config_hash\""));
+        assert!(json.trim_end().ends_with('}'));
+        let md = suite.attribution_md();
+        assert!(md.contains("### ORACLE"));
+        assert!(md.contains("mf-merge"));
+        assert!(md.contains("## Cycle Occupancy"));
+        assert!(md.contains("scan"));
     }
 
     #[test]

@@ -227,6 +227,52 @@ impl PreparedTrace<'_, '_> {
         })
     }
 
+    /// Runs every configured machine over the prepared trace with the
+    /// recording metrics sink, returning per-machine execution metrics:
+    /// cycle-occupancy histograms, critical-path attribution, and
+    /// binding-edge counters (see `clfp-metrics`). The machines run
+    /// sequentially — unlike [`PreparedTrace::report`] this path is for
+    /// offline diagnosis, not throughput; its results re-derive the
+    /// report's cycle and instruction counts exactly (asserted in the
+    /// `recording_sink_does_not_perturb_results` test).
+    pub fn machine_metrics(&self) -> Vec<(MachineKind, clfp_metrics::MachineMetrics)> {
+        self.machine_metrics_with_unrolling(self.analyzer.config.unrolling)
+    }
+
+    /// Like [`PreparedTrace::machine_metrics`], but overriding the
+    /// unrolling setting (the metrics analogue of
+    /// [`PreparedTrace::report_with_unrolling`]).
+    pub fn machine_metrics_with_unrolling(
+        &self,
+        unrolling: bool,
+    ) -> Vec<(MachineKind, clfp_metrics::MachineMetrics)> {
+        use clfp_metrics::MetricsCollector;
+
+        let analyzer = self.analyzer;
+        let class = self.meta.class(unrolling);
+        let pass_config = PassConfig::from_analysis(&analyzer.config);
+        let mut state = crate::fused::MachineState::new(analyzer.program.text.len());
+        analyzer
+            .config
+            .machines
+            .iter()
+            .map(|&kind| {
+                state.clear();
+                let mut collector = MetricsCollector::with_capacity(self.meta.events.len());
+                crate::fused::run_machine(
+                    &analyzer.meta,
+                    &self.meta.events,
+                    class,
+                    &pass_config,
+                    kind,
+                    &mut state,
+                    &mut collector,
+                );
+                (kind, collector.finish())
+            })
+            .collect()
+    }
+
     /// Like [`PreparedTrace::report`], but overriding the unrolling
     /// setting. The preparation walk records the ignore classification for
     /// both settings (everything else it computes is unroll-independent),

@@ -239,6 +239,53 @@ impl AnalysisConfig {
         self.latency = latency;
         self
     }
+
+    /// A canonical, stable rendering of every field that affects analysis
+    /// results. `clfp-metrics` hashes it (FNV-1a) into the run manifest's
+    /// `config_hash`, which is how `regen` detects that an existing
+    /// results file was produced under a different configuration. Any
+    /// change to the format string must bump the leading version tag.
+    pub fn fingerprint(&self) -> String {
+        let machines = self
+            .machines
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join("+");
+        let predictor = match self.predictor {
+            PredictorChoice::Profile => "profile".to_string(),
+            PredictorChoice::AlwaysTaken => "always-taken".to_string(),
+            PredictorChoice::Btfn => "btfn".to_string(),
+            PredictorChoice::Bimodal { entries } => format!("bimodal/{entries}"),
+            PredictorChoice::Gshare {
+                entries,
+                history_bits,
+            } => format!("gshare/{entries}/{history_bits}"),
+            PredictorChoice::TwoLevel {
+                entries,
+                history_bits,
+            } => format!("two-level/{entries}/{history_bits}"),
+        };
+        let fetch = match self.fetch_bandwidth {
+            None => "unlimited".to_string(),
+            Some(width) => width.to_string(),
+        };
+        format!(
+            "clfp-config-v1;max_instrs={};unrolling={};inlining={};machines={};mem_words={};predictor={};fetch={};disambiguation_bytes={};rename={};latency={}/{}/{}",
+            self.max_instrs,
+            self.unrolling,
+            self.inlining,
+            machines,
+            self.mem_words,
+            predictor,
+            fetch,
+            self.disambiguation_bytes,
+            self.rename,
+            self.latency.load,
+            self.latency.mul_div,
+            self.latency.other,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +299,25 @@ mod tests {
         assert!(config.unrolling);
         assert!(config.inlining);
         assert_eq!(config.predictor.name(), "profile");
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_is_stable() {
+        let base = AnalysisConfig::default();
+        assert_eq!(base.fingerprint(), AnalysisConfig::default().fingerprint());
+        assert!(base.fingerprint().starts_with("clfp-config-v1;"));
+        for changed in [
+            base.clone().with_max_instrs(1),
+            base.clone().with_unrolling(false),
+            base.clone().with_machines(&[MachineKind::Sp]),
+            base.clone().with_predictor(PredictorChoice::Btfn),
+            base.clone().with_fetch_bandwidth(8),
+            base.clone().with_disambiguation_bytes(64),
+            base.clone().with_rename(false),
+            base.clone().with_latency(Latencies::realistic()),
+        ] {
+            assert_ne!(base.fingerprint(), changed.fingerprint());
+        }
     }
 
     #[test]

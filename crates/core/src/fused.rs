@@ -29,6 +29,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use clfp_metrics::{BindingEdge, EdgeKind, MetricsSink, NullSink, NO_PARENT};
+
 use crate::lastwrite::LastWriteTable;
 use crate::meta::{
     EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, NO_REG,
@@ -95,17 +97,92 @@ impl MachineState {
     }
 }
 
+/// Producer-event bookkeeping for the metrics sink: every timing table in
+/// [`MachineState`] has a shadow here recording *which trace event* wrote
+/// the time, so the binding edge of each scheduled instruction can name
+/// its parent. Allocated (and maintained) only when `S::ENABLED`.
+struct AttrState {
+    /// Event index of the last writer of each register ([`NO_PARENT`] if
+    /// the register is untouched).
+    reg_writer: [u32; 32],
+    /// Event index + 1 of the last store to each memory key (0 = none);
+    /// reuses [`LastWriteTable`] so lookups match `mem_time` exactly.
+    mem_writer: LastWriteTable,
+    /// Shadows `branch_time` / `branch_ceiling`: the event whose time is
+    /// recorded there (inherited parents propagate through ignored
+    /// branches the same way the times do).
+    branch_time_ev: Vec<u32>,
+    branch_ceiling_ev: Vec<u32>,
+    /// Shadows the inherited-dependence call stack.
+    stack_ev: Vec<(u32, u32)>,
+    last_branch_ev: u32,
+    last_mispred_ev: u32,
+}
+
+impl AttrState {
+    fn new(text_len: usize) -> AttrState {
+        AttrState {
+            reg_writer: [NO_PARENT; 32],
+            mem_writer: LastWriteTable::with_capacity(1 << 16),
+            branch_time_ev: vec![NO_PARENT; text_len],
+            branch_ceiling_ev: vec![NO_PARENT; text_len],
+            stack_ev: Vec::new(),
+            last_branch_ev: NO_PARENT,
+            last_mispred_ev: NO_PARENT,
+        }
+    }
+
+    /// Mirror of [`MachineState::cd_ctx`] over parent event indices.
+    fn cd_parents(&self, cd: u32) -> (u32, u32) {
+        match cd {
+            CD_NONE => (NO_PARENT, NO_PARENT),
+            CD_INHERIT => self.stack_ev.last().copied().unwrap_or((NO_PARENT, NO_PARENT)),
+            pc => (
+                self.branch_time_ev[pc as usize],
+                self.branch_ceiling_ev[pc as usize],
+            ),
+        }
+    }
+
+    fn mem_writer_of(&self, key: u32) -> u32 {
+        match self.mem_writer.get(key) {
+            0 => NO_PARENT,
+            idx_plus_one => (idx_plus_one - 1) as u32,
+        }
+    }
+}
+
+/// Folds one constraint term into a running `(value, edge)` maximum with
+/// the scheduler's tie-breaking: `a.max(b)` returns `b` on equality, so a
+/// later term wins ties. A term of 0 can only "win" against 0, and the
+/// caller reports no edge when the final maximum is 0 (ready at cycle 0).
+#[inline]
+fn fold_term(value: &mut u64, edge: &mut Option<BindingEdge>, term: u64, term_edge: Option<BindingEdge>) {
+    if term >= *value {
+        *value = term;
+        *edge = term_edge;
+    }
+}
+
 /// One machine pass over a pre-decoded trace. Bit-for-bit equivalent to
 /// [`run_pass`](crate::pass::run_pass) on the same classification (the
 /// `fused_equivalence` integration suite holds this across every machine,
 /// workload, and unroll setting).
-pub(crate) fn run_machine(
+///
+/// Generic over the metrics sink: with [`NullSink`] every `S::ENABLED`
+/// block is statically eliminated and this monomorphizes to the exact
+/// uninstrumented hot loop; with a recording sink it additionally resolves
+/// each scheduled instruction's *binding edge* — which constraint term won
+/// the `max` that set its issue cycle, and which earlier event produced it
+/// (see `clfp-metrics` and `docs/OBSERVABILITY.md`).
+pub(crate) fn run_machine<S: MetricsSink>(
     pcs: &ProgramMeta,
     events: &[EventMeta],
     class: &EventClass,
     config: &PassConfig,
     kind: MachineKind,
     state: &mut MachineState,
+    sink: &mut S,
 ) -> PassResult {
     let uses_cd = kind.uses_control_deps();
     let track_segments = kind == MachineKind::Sp;
@@ -121,6 +198,13 @@ pub(crate) fn run_machine(
     let mut seg_start: u64 = 0;
     let mut seg_max: u64 = 0;
 
+    // Binding-edge provenance, maintained only for a recording sink.
+    let mut attr = if S::ENABLED {
+        Some(AttrState::new(pcs.pcs.len()))
+    } else {
+        None
+    };
+
     for (i, event) in events.iter().enumerate() {
         let meta = &pcs.pcs[event.pc as usize];
         let ignored = class.ignored(i);
@@ -131,6 +215,11 @@ pub(crate) fn run_machine(
             state.cd_ctx(event.cd)
         } else {
             (0, 0)
+        };
+        let cd_p = if S::ENABLED && uses_cd {
+            attr.as_ref().unwrap().cd_parents(event.cd)
+        } else {
+            (NO_PARENT, NO_PARENT)
         };
 
         // Machine-specific control constraint.
@@ -181,6 +270,125 @@ pub(crate) fn run_machine(
             }
             exec = data.max(ctl) + 1;
             let done = exec + meta.latency as u64 - 1;
+            if S::ENABLED {
+                // Replay the constraint fold above with the same term
+                // order and tie-breaking, tracking which term won and
+                // which event produced it. Runs before any state update,
+                // so every table still holds the values the fold read.
+                let a = attr.as_ref().unwrap();
+                let (mut ctl_v, mut ctl_e) = match kind {
+                    MachineKind::Base => (
+                        last_branch,
+                        Some(BindingEdge::new(EdgeKind::Control, a.last_branch_ev)),
+                    ),
+                    MachineKind::Cd | MachineKind::CdMf => {
+                        (cd.0, Some(BindingEdge::new(EdgeKind::Control, cd_p.0)))
+                    }
+                    MachineKind::Sp => (
+                        last_mispred,
+                        Some(BindingEdge::new(EdgeKind::Control, a.last_mispred_ev)),
+                    ),
+                    MachineKind::SpCd | MachineKind::SpCdMf => {
+                        (cd.1, Some(BindingEdge::new(EdgeKind::Control, cd_p.1)))
+                    }
+                    MachineKind::Oracle => (0, None),
+                };
+                if is_branch {
+                    match kind {
+                        MachineKind::Cd => fold_term(
+                            &mut ctl_v,
+                            &mut ctl_e,
+                            last_branch,
+                            Some(BindingEdge::new(EdgeKind::MfMerge, a.last_branch_ev)),
+                        ),
+                        MachineKind::SpCd if mispredicted => fold_term(
+                            &mut ctl_v,
+                            &mut ctl_e,
+                            last_mispred,
+                            Some(BindingEdge::new(EdgeKind::MfMerge, a.last_mispred_ev)),
+                        ),
+                        _ => {}
+                    }
+                }
+                if let Some(width) = config.fetch_bandwidth {
+                    // Fetch bandwidth has no single producer event.
+                    fold_term(&mut ctl_v, &mut ctl_e, count / width, None);
+                }
+                let mut data_v = 0u64;
+                let mut data_e: Option<BindingEdge> = None;
+                for &reg in &meta.uses {
+                    if reg == NO_REG {
+                        break;
+                    }
+                    fold_term(
+                        &mut data_v,
+                        &mut data_e,
+                        state.reg_time[reg as usize],
+                        Some(BindingEdge::new(
+                            EdgeKind::RegData,
+                            a.reg_writer[reg as usize],
+                        )),
+                    );
+                }
+                if is_load {
+                    fold_term(
+                        &mut data_v,
+                        &mut data_e,
+                        state.mem_time.get(event.mem_key),
+                        Some(BindingEdge::new(
+                            EdgeKind::MemData,
+                            a.mem_writer_of(event.mem_key),
+                        )),
+                    );
+                }
+                if !config.rename {
+                    if meta.def != NO_REG {
+                        // Anti-dependences: the binding reader event is
+                        // not tracked, only the dependence kind.
+                        fold_term(
+                            &mut data_v,
+                            &mut data_e,
+                            state.reg_read[meta.def as usize],
+                            Some(BindingEdge::new(EdgeKind::RegData, NO_PARENT)),
+                        );
+                        fold_term(
+                            &mut data_v,
+                            &mut data_e,
+                            state.reg_time[meta.def as usize],
+                            Some(BindingEdge::new(
+                                EdgeKind::RegData,
+                                a.reg_writer[meta.def as usize],
+                            )),
+                        );
+                    }
+                    if is_store {
+                        fold_term(
+                            &mut data_v,
+                            &mut data_e,
+                            state.mem_read.get(event.mem_key),
+                            Some(BindingEdge::new(EdgeKind::MemData, NO_PARENT)),
+                        );
+                        fold_term(
+                            &mut data_v,
+                            &mut data_e,
+                            state.mem_time.get(event.mem_key),
+                            Some(BindingEdge::new(
+                                EdgeKind::MemData,
+                                a.mem_writer_of(event.mem_key),
+                            )),
+                        );
+                    }
+                }
+                debug_assert_eq!(data_v.max(ctl_v) + 1, exec);
+                // `data.max(ctl)`: ctl wins the final tie; a maximum of 0
+                // means ready at cycle 0 — nothing bound.
+                let (bind_v, bind_e) = if ctl_v >= data_v {
+                    (ctl_v, ctl_e)
+                } else {
+                    (data_v, data_e)
+                };
+                sink.on_schedule(i as u32, exec, done, if bind_v == 0 { None } else { bind_e });
+            }
             count += 1;
             cycles = cycles.max(done);
             if meta.def != NO_REG {
@@ -188,6 +396,15 @@ pub(crate) fn run_machine(
             }
             if is_store {
                 state.mem_time.set(event.mem_key, done);
+            }
+            if S::ENABLED {
+                let a = attr.as_mut().unwrap();
+                if meta.def != NO_REG {
+                    a.reg_writer[meta.def as usize] = i as u32;
+                }
+                if is_store {
+                    a.mem_writer.set(event.mem_key, i as u64 + 1);
+                }
             }
             if !config.rename {
                 for &reg in &meta.uses {
@@ -203,12 +420,23 @@ pub(crate) fn run_machine(
             }
         }
 
+        if S::ENABLED && ignored {
+            sink.on_schedule(i as u32, 0, 0, None);
+        }
+
         // Tracker updates.
         if is_branch {
             if !ignored {
                 last_branch = exec;
                 if mispredicted {
                     last_mispred = exec;
+                }
+                if S::ENABLED {
+                    let a = attr.as_mut().unwrap();
+                    a.last_branch_ev = i as u32;
+                    if mispredicted {
+                        a.last_mispred_ev = i as u32;
+                    }
                 }
             }
             if uses_cd {
@@ -223,13 +451,29 @@ pub(crate) fn run_machine(
                     state.branch_time[pc] = exec;
                     state.branch_ceiling[pc] = if mispredicted { exec } else { cd.1 };
                 }
+                if S::ENABLED {
+                    let a = attr.as_mut().unwrap();
+                    if ignored {
+                        a.branch_time_ev[pc] = cd_p.0;
+                        a.branch_ceiling_ev[pc] = cd_p.1;
+                    } else {
+                        a.branch_time_ev[pc] = i as u32;
+                        a.branch_ceiling_ev[pc] = if mispredicted { i as u32 } else { cd_p.1 };
+                    }
+                }
             }
         }
         if uses_cd {
             if meta.is(PC_CALL) {
                 state.stack.push(cd);
+                if S::ENABLED {
+                    attr.as_mut().unwrap().stack_ev.push(cd_p);
+                }
             } else if meta.is(PC_RET) {
                 state.stack.pop();
+                if S::ENABLED {
+                    attr.as_mut().unwrap().stack_ev.pop();
+                }
             }
         }
 
@@ -287,7 +531,7 @@ pub(crate) fn run_fused(
             .iter()
             .map(|&kind| {
                 state.clear();
-                run_machine(pcs, events, class, config, kind, &mut state)
+                run_machine(pcs, events, class, config, kind, &mut state, &mut NullSink)
             })
             .collect();
     }
@@ -304,7 +548,8 @@ pub(crate) fn run_fused(
                         break;
                     }
                     state.clear();
-                    let result = run_machine(pcs, events, class, config, kinds[i], &mut state);
+                    let result =
+                        run_machine(pcs, events, class, config, kinds[i], &mut state, &mut NullSink);
                     results.lock().unwrap()[i] = Some(result);
                 }
             });
@@ -374,7 +619,15 @@ mod tests {
             let mut state = MachineState::new(program.text.len());
             for kind in MachineKind::ALL {
                 state.clear();
-                let fused = run_machine(&pcs, &tm.events, class, &pass_config, kind, &mut state);
+                let fused = run_machine(
+                    &pcs,
+                    &tm.events,
+                    class,
+                    &pass_config,
+                    kind,
+                    &mut state,
+                    &mut NullSink,
+                );
                 let reference = run_pass(
                     &Prepared {
                         program: &program,
@@ -417,12 +670,94 @@ mod tests {
         let mut state = MachineState::new(program.text.len());
         for (result, &kind) in results.iter().zip(&kinds) {
             state.clear();
-            let lone = run_machine(&pcs, &tm.events, class, &pass_config, kind, &mut state);
+            let lone = run_machine(
+                &pcs,
+                &tm.events,
+                class,
+                &pass_config,
+                kind,
+                &mut state,
+                &mut NullSink,
+            );
             assert_eq!(result.cycles, lone.cycles, "{kind}");
             assert_eq!(result.count, lone.count, "{kind}");
         }
         // SP is last in the request, so its stats are present there only.
         assert!(results[2].mispred_stats.is_some());
         assert!(results[0].mispred_stats.is_none());
+    }
+
+    #[test]
+    fn recording_sink_does_not_perturb_results() {
+        use clfp_metrics::{EdgeKind, MetricsCollector};
+        let program = assemble(SOURCE).unwrap();
+        let info = StaticInfo::analyze(&program);
+        for unrolling in [false, true] {
+            let config = AnalysisConfig::quick().with_unrolling(unrolling);
+            let pass_config = PassConfig::from_analysis(&config);
+            let pcs = ProgramMeta::build(&program, &info, &pass_config);
+            let mut vm = Vm::new(
+                &program,
+                VmOptions {
+                    mem_words: config.mem_words,
+                },
+            );
+            let trace = vm.trace(config.max_instrs).unwrap();
+            let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace);
+            let class = tm.class(unrolling);
+            let mut state = MachineState::new(program.text.len());
+            for kind in MachineKind::ALL {
+                state.clear();
+                let plain = run_machine(
+                    &pcs,
+                    &tm.events,
+                    class,
+                    &pass_config,
+                    kind,
+                    &mut state,
+                    &mut NullSink,
+                );
+                state.clear();
+                let mut collector = MetricsCollector::with_capacity(tm.events.len());
+                let observed = run_machine(
+                    &pcs,
+                    &tm.events,
+                    class,
+                    &pass_config,
+                    kind,
+                    &mut state,
+                    &mut collector,
+                );
+                assert_eq!(observed.cycles, plain.cycles, "{kind}");
+                assert_eq!(observed.count, plain.count, "{kind}");
+                assert_eq!(observed.mispred_stats, plain.mispred_stats, "{kind}");
+
+                assert_eq!(collector.len(), tm.events.len(), "{kind}");
+                let metrics = collector.finish();
+                // The distilled metrics re-derive the pass result exactly.
+                assert_eq!(metrics.cycles, plain.cycles, "{kind}");
+                assert_eq!(metrics.instrs, plain.count, "{kind}");
+                assert_eq!(metrics.flow.total(), plain.count, "{kind}");
+                assert!(metrics.attribution.chain_len >= 1, "{kind}");
+                let total: f64 = EdgeKind::ALL
+                    .iter()
+                    .map(|&k| metrics.attribution.percent(k))
+                    .sum();
+                if metrics.attribution.classified() > 0 {
+                    assert!((total - 100.0).abs() < 1e-9, "{kind}: {total}");
+                }
+                // ORACLE has no control constraint of any kind.
+                if kind == MachineKind::Oracle {
+                    assert_eq!(metrics.flow.control_bound(), 0);
+                }
+                // Multiple-flow machines never pay the merge ordering.
+                if kind.multiple_flows() || !kind.uses_control_deps() {
+                    assert_eq!(
+                        metrics.flow.by_kind[3], 0,
+                        "{kind} should have no mf-merge edges"
+                    );
+                }
+            }
+        }
     }
 }

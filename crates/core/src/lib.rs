@@ -23,6 +23,13 @@
 //! Table 4). Parallelism is sequential instruction count divided by the
 //! critical-path length.
 //!
+//! The fused scheduler is generic over the `clfp-metrics` sink:
+//! [`PreparedTrace::machine_metrics`] re-runs the machines with a
+//! recording sink to produce cycle-occupancy histograms and critical-path
+//! attribution (re-exported here as [`MachineMetrics`]), while the
+//! throughput paths use the statically-eliminated null sink and pay
+//! nothing for the instrumentation.
+//!
 //! ## Example
 //!
 //! ```
@@ -56,6 +63,9 @@ mod pass;
 mod stats;
 
 pub use analyzer::{Analyzer, CdSource, MachineResult, PreparedTrace, Report};
+pub use clfp_metrics::{
+    CriticalPathAttribution, EdgeKind, FlowCounters, MachineMetrics, OccupancyHistogram,
+};
 pub use config::{AnalysisConfig, Latencies, PredictorChoice};
 pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;

@@ -66,6 +66,8 @@ impl Trace {
     /// Computes the instruction-mix summary of this trace.
     pub fn summarize(&self, program: &Program) -> TraceSummary {
         let mut summary = TraceSummary::default();
+        let mut depth: u64 = 0;
+        let mut words = std::collections::HashSet::new();
         for event in &self.events {
             summary.total += 1;
             match event.instr(program) {
@@ -77,13 +79,27 @@ impl Trace {
                 }
                 Instr::JumpR { .. } => summary.computed_jumps += 1,
                 Instr::Jump { .. } => summary.jumps += 1,
-                Instr::Call { .. } | Instr::CallR { .. } => summary.calls += 1,
-                Instr::Ret => summary.returns += 1,
-                Instr::Lw { .. } => summary.loads += 1,
-                Instr::Sw { .. } => summary.stores += 1,
+                Instr::Call { .. } | Instr::CallR { .. } => {
+                    summary.calls += 1;
+                    depth += 1;
+                    summary.max_call_depth = summary.max_call_depth.max(depth);
+                }
+                Instr::Ret => {
+                    summary.returns += 1;
+                    depth = depth.saturating_sub(1);
+                }
+                Instr::Lw { .. } => {
+                    summary.loads += 1;
+                    words.insert(event.mem_addr >> 2);
+                }
+                Instr::Sw { .. } => {
+                    summary.stores += 1;
+                    words.insert(event.mem_addr >> 2);
+                }
                 _ => summary.alu += 1,
             }
         }
+        summary.distinct_mem_words = words.len() as u64;
         summary
     }
 }
@@ -128,6 +144,11 @@ pub struct TraceSummary {
     pub stores: u64,
     /// All remaining (ALU and immediate) instructions.
     pub alu: u64,
+    /// Deepest dynamic call nesting observed (0 for leaf-only traces).
+    pub max_call_depth: u64,
+    /// Distinct memory words touched by loads and stores — the live
+    /// footprint the analyzer's last-write tables must cover.
+    pub distinct_mem_words: u64,
 }
 
 impl TraceSummary {
@@ -176,6 +197,36 @@ mod tests {
         assert_eq!(summary.loads, 1);
         assert_eq!(summary.stores, 1);
         assert_eq!(summary.alu, 2); // li + halt both count as "other"
+        assert_eq!(summary.max_call_depth, 0);
+        assert_eq!(summary.distinct_mem_words, 2); // 0x1000 and 0x1004
+    }
+
+    #[test]
+    fn summary_tracks_call_depth() {
+        let program = assemble(
+            r#"
+            .text
+            main:
+                call outer
+                halt
+            outer:
+                call inner
+                ret
+            inner:
+                ret
+            "#,
+        )
+        .unwrap();
+        // main -> outer -> inner -> back out.
+        let events: Trace = [0u32, 2, 4, 3, 1]
+            .into_iter()
+            .map(|pc| TraceEvent { pc, mem_addr: 0, taken: false })
+            .collect();
+        let summary = events.summarize(&program);
+        assert_eq!(summary.calls, 2);
+        assert_eq!(summary.returns, 2);
+        assert_eq!(summary.max_call_depth, 2);
+        assert_eq!(summary.distinct_mem_words, 0);
     }
 
     #[test]

@@ -4,11 +4,16 @@
 //! paper's big SP-CD-MF and ORACLE numbers: most of that parallelism sits
 //! in enormous bursts a real machine would need enormous width to catch.
 //!
+//! Built on the `clfp::metrics` recording sink: one prepared-trace walk
+//! collects the occupancy histogram of every machine, instead of seven
+//! separate full schedules.
+//!
 //! ```text
 //! cargo run --release -p clfp --example ipc_profile [workload]
 //! ```
 
-use clfp::limits::{AnalysisConfig, Analyzer, IpcProfile, MachineKind};
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp::metrics::ascii_bar;
 use clfp::vm::{Vm, VmOptions};
 use clfp::workloads::by_name;
 
@@ -24,34 +29,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyzer = Analyzer::new(&program, config.clone())?;
     let mut vm = Vm::new(&program, VmOptions::default());
     let trace = vm.trace(config.max_instrs)?;
+    let metrics = analyzer.prepare(&trace).machine_metrics();
 
-    println!(
-        "{name}: {} dynamic instructions\n",
-        trace.len()
-    );
+    println!("{name}: {} dynamic instructions\n", trace.len());
     println!(
         "{:10} {:>8} {:>8} {:>8} {:>22}",
         "machine", "IPC", "peak", "cycles", "% instrs in cycles>=32"
     );
-    for kind in MachineKind::ALL {
-        let schedule = analyzer.schedule(&trace, kind);
-        let profile = IpcProfile::from_schedule(&schedule);
+    for (kind, m) in &metrics {
         println!(
             "{:10} {:>8.2} {:>8} {:>8} {:>21.1}%",
             kind.name(),
-            profile.mean(),
-            profile.peak(),
-            profile.cycles(),
-            profile.fraction_in_wide_cycles(32) * 100.0
+            m.occupancy.mean(),
+            m.occupancy.peak,
+            m.cycles,
+            m.occupancy.fraction_in_wide_cycles(32) * 100.0
         );
     }
 
     println!("\nWidth histogram for SP-CD-MF (cycles per issue-width bucket):");
-    let schedule = analyzer.schedule(&trace, MachineKind::SpCdMf);
-    let profile = IpcProfile::from_schedule(&schedule);
-    for (bucket, cycles) in profile.width_histogram() {
-        let bar = "#".repeat(((cycles as f64).log2().max(0.0) * 3.0) as usize);
-        println!("  width {bucket:>6}+ : {cycles:>8} cycles  {bar}");
+    let (_, spcdmf) = metrics
+        .iter()
+        .find(|(kind, _)| *kind == MachineKind::SpCdMf)
+        .expect("SP-CD-MF is always analyzed");
+    let max_cycles = spcdmf
+        .occupancy
+        .buckets
+        .iter()
+        .map(|b| b.cycles)
+        .max()
+        .unwrap_or(0);
+    for bucket in &spcdmf.occupancy.buckets {
+        let bar = ascii_bar(bucket.cycles as f64, max_cycles as f64, 40);
+        println!(
+            "  width {:>6}+ : {:>8} cycles  {bar}",
+            bucket.width_low, bucket.cycles
+        );
     }
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use clfp::limits::{AnalysisConfig, Analyzer};
+use clfp::metrics::ascii_bar;
 use clfp::workloads::by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,16 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cumulative distribution of misprediction distances (Figure 6):");
     for d in [5, 10, 20, 50, 100, 200, 500, 1000, 5000] {
         let fraction = stats.fraction_within(d);
-        let bar = "#".repeat((fraction * 50.0) as usize);
+        let bar = ascii_bar(fraction, 1.0, 50);
         println!("  <= {d:>5} instrs  {:>5.1}%  {bar}", fraction * 100.0);
     }
 
     println!("\nharmonic-mean SP parallelism by segment length (Figure 7):");
-    for (bucket, hmean, count) in stats.parallelism_by_distance() {
-        if count < 3 {
-            continue; // too few segments to be meaningful
-        }
-        let bar = "#".repeat((hmean.log2().max(0.0) * 6.0) as usize);
+    let rows: Vec<(u32, f64, u64)> = stats
+        .parallelism_by_distance()
+        .into_iter()
+        .filter(|&(_, _, count)| count >= 3) // too few segments to be meaningful
+        .collect();
+    let max_log = rows
+        .iter()
+        .map(|&(_, hmean, _)| hmean.log2().max(0.0))
+        .fold(0.0f64, f64::max);
+    for (bucket, hmean, count) in rows {
+        let bar = ascii_bar(hmean.log2().max(0.0), max_log, 50);
         println!("  {bucket:>6}+ instrs  {hmean:>8.2}x  ({count:>6} segments)  {bar}");
     }
 

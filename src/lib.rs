@@ -15,6 +15,10 @@
 //!   control flow.
 //! * [`limits`] — the paper's contribution: seven abstract machine models
 //!   and the trace-driven parallelism limit analyzer.
+//! * [`metrics`] — the observability layer: the zero-cost scheduling sink,
+//!   cycle-occupancy histograms, critical-path attribution, and the run
+//!   manifest stamped into every generated result (see
+//!   `docs/OBSERVABILITY.md`).
 //! * [`workloads`] — the benchmark suite mirroring the paper's Table 1.
 //! * [`verify`] — static lint diagnostics and the static/dynamic
 //!   cross-checker that validates the analyzer's model against captured
@@ -40,6 +44,7 @@ pub use clfp_cfg as cfg;
 pub use clfp_isa as isa;
 pub use clfp_lang as lang;
 pub use clfp_limits as limits;
+pub use clfp_metrics as metrics;
 pub use clfp_predict as predict;
 pub use clfp_verify as verify;
 pub use clfp_vm as vm;
