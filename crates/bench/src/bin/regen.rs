@@ -8,6 +8,8 @@
 //! regen --out results/       # also write each section as markdown
 //! regen --timing             # time fused vs reference pipeline,
 //!                            # write BENCH_suite.json
+//! regen --scaling            # stream qsort+stencil at 2M..100M instrs,
+//!                            # write BENCH_scaling.json (wall + peak RSS)
 //! regen --lint               # lint + cross-check the suite, write
 //!                            # results/lint_suite.json, fail on findings
 //! regen --metrics            # per-machine execution metrics, write
@@ -24,10 +26,10 @@
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_lint_suite, run_metrics_suite, run_suite,
-    run_suite_timed, static_inventory, suite_manifest, table1, table2, table3, table4,
+    figure4, figure5, figure6, figure7, run_lint_suite, run_metrics_suite, run_scaling_suite,
+    run_suite, run_suite_timed, static_inventory, suite_manifest, table1, table2, table3, table4,
 };
-use clfp_limits::AnalysisConfig;
+use clfp_limits::{AnalysisConfig, StreamOptions};
 use clfp_metrics::RunManifest;
 
 struct Args {
@@ -36,6 +38,7 @@ struct Args {
     max_instrs: u64,
     out: Option<std::path::PathBuf>,
     timing: bool,
+    scaling: bool,
     lint: bool,
     metrics: bool,
     force: bool,
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         max_instrs: 2_000_000,
         out: None,
         timing: false,
+        scaling: false,
         lint: false,
         metrics: false,
         force: false,
@@ -76,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
             "--timing" => {
                 args.timing = true;
             }
+            "--scaling" => {
+                args.scaling = true;
+            }
             "--lint" => {
                 args.lint = true;
             }
@@ -87,13 +94,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: regen [--table N] [--figure N] [--max-instr M] [--out DIR]\n\
-                     \x20            [--timing] [--lint] [--metrics] [--force]\n\
+                    "usage: regen [--table N] [--figure N] [--max-instrs M] [--out DIR]\n\
+                     \x20            [--timing] [--scaling] [--lint] [--metrics] [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
-                     --out, also writes each as a markdown file under DIR. With\n\
+                     --out, also writes each as a markdown file under DIR, and\n\
+                     --max-instrs M caps every measured trace at M dynamic\n\
+                     instructions (default 2000000). With\n\
                      --timing, instead times the full-suite regeneration (fused\n\
-                     analyzer vs the reference pipeline, per-stage wall times) and\n\
+                     analyzer vs the reference pipeline vs the streaming chunked\n\
+                     pipeline, per-stage wall times) and\n\
                      writes BENCH_suite.json to DIR (or the current directory).\n\
+                     With --scaling, instead streams qsort and stencil through the\n\
+                     chunked pipeline at 2M/10M/50M/100M dynamic instructions\n\
+                     (repeating each deterministic execution to length), records\n\
+                     wall time and peak RSS per point, and writes\n\
+                     BENCH_scaling.json to DIR (or the current directory).\n\
                      With --lint, instead lints + cross-checks the suite, writes\n\
                      lint_suite.json to DIR (default results/), and fails on any\n\
                      unwaived diagnostic. With --metrics, instead collects\n\
@@ -255,6 +270,49 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("regen: outstanding lint diagnostics");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.scaling {
+        const WORKLOADS: [&str; 2] = ["qsort", "stencil"];
+        const POINTS: [u64; 4] = [2_000_000, 10_000_000, 50_000_000, 100_000_000];
+        eprintln!(
+            "streaming scaling: {WORKLOADS:?} at {POINTS:?} dynamic instrs \
+             (repeated executions, chunked pipeline)..."
+        );
+        let suite = match run_scaling_suite(&config, &WORKLOADS, &POINTS, StreamOptions::default())
+        {
+            Ok(suite) => suite,
+            Err(err) => {
+                eprintln!("regen: scaling suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", suite.summary());
+        let path = args
+            .out
+            .as_deref()
+            .unwrap_or(std::path::Path::new("."))
+            .join("BENCH_scaling.json");
+        if let Some(dir) = args.out.as_deref() {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("regen: cannot create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if !write_guarded(&path, &suite.to_json(), &manifest.config_hash, args.force) {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        let clean = suite
+            .points
+            .iter()
+            .all(|p| p.matches_inmemory != Some(false));
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("regen: streaming diverged from the in-memory pipeline");
             ExitCode::FAILURE
         };
     }

@@ -14,6 +14,11 @@
 //! preparation, per-machine passes) for both the fused analyzer and the
 //! seed-equivalent reference pipeline, writing the comparison to
 //! `BENCH_suite.json` — the perf record for the fused-pass optimization.
+//! `regen --scaling` streams repeated workload executions through the
+//! chunked pipeline at increasing trace lengths (2M to 100M dynamic
+//! instructions), recording wall time and peak RSS per point to
+//! `BENCH_scaling.json` — the record that paper-scale runs complete in
+//! O(chunk) trace memory.
 //! `regen --lint` gates the suite on the `clfp-verify` checks, and
 //! `regen --metrics` re-runs it with the `clfp-metrics` recording sink
 //! ([`run_metrics_suite`]), writing cycle-occupancy histograms and
@@ -31,11 +36,11 @@ use std::time::Instant;
 
 use clfp_limits::{
     harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, EdgeKind, MachineKind, MachineMetrics,
-    MispredictionStats, Report,
+    MispredictionStats, Report, StreamOptions,
 };
 use clfp_metrics::RunManifest;
 use clfp_predict::BranchProfile;
-use clfp_vm::TraceSummary;
+use clfp_vm::{ProgramSource, TraceSummary};
 use clfp_verify::{lint_program, Diagnostic, DiagnosticKind, Severity, TraceChecks};
 use clfp_workloads::{suite, Workload, WorkloadClass};
 
@@ -203,6 +208,12 @@ pub struct WorkloadTiming {
     /// Reference analysis: one-machine-at-a-time passes, both unroll
     /// settings.
     pub reference_analysis_ms: f64,
+    /// Streaming chunked analysis over the same trace (two-pass, all 14
+    /// machine slots, sequential — `machine_threads: 1`).
+    pub stream_ms: f64,
+    /// Streaming chunked analysis with the parallel machine broadcast
+    /// (`machine_threads: 0`, i.e. the host's available parallelism).
+    pub stream_par_ms: f64,
     /// Raw dynamic instructions in the measured trace.
     pub raw_instrs: u64,
 }
@@ -223,6 +234,11 @@ pub struct SuiteTiming {
     pub speedup: f64,
     /// Whether both pipelines produced identical Tables 2-4.
     pub reports_match: bool,
+    /// Chunk size (events) used by the streaming comparison runs.
+    pub chunk_events: usize,
+    /// Whether the streaming chunked pipeline reproduced the in-memory
+    /// reports bit for bit on every workload, both unroll settings.
+    pub stream_matches: bool,
     /// Provenance of this run (config hash, git describe, timestamp).
     pub manifest: RunManifest,
     /// Per-workload, per-stage breakdown (measured sequentially).
@@ -231,6 +247,23 @@ pub struct SuiteTiming {
 
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Exact (bit-for-bit) equality of two analysis reports: counts, branch
+/// statistics, misprediction histograms, and every machine's cycle count
+/// and parallelism. Used to gate the streaming pipeline against the
+/// in-memory one.
+pub fn reports_equal(a: &Report, b: &Report) -> bool {
+    a.seq_instrs == b.seq_instrs
+        && a.raw_instrs == b.raw_instrs
+        && a.branches == b.branches
+        && a.mispred_stats == b.mispred_stats
+        && a.results.len() == b.results.len()
+        && a.results.iter().zip(&b.results).all(|(x, y)| {
+            x.kind == y.kind
+                && x.cycles == y.cycles
+                && x.parallelism.to_bits() == y.parallelism.to_bits()
+        })
 }
 
 /// Times the full-suite regeneration end to end, fused vs the
@@ -254,6 +287,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         && table3(&fused_reports) == table3(&reference_reports)
         && table4(&fused_reports) == table4(&reference_reports);
 
+    let chunk_events = StreamOptions::default().chunk_events;
+    let mut stream_matches = true;
     let mut workloads = Vec::new();
     for workload in suite() {
         let options = clfp_vm::VmOptions {
@@ -290,8 +325,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         let prepared = unrolled.prepare(&trace);
         let prepare_ms = ms(start);
         let start = Instant::now();
-        let _ = prepared.report_with_unrolling(true);
-        let _ = prepared.report_with_unrolling(false);
+        let inmem_unrolled = prepared.report_with_unrolling(true);
+        let inmem_rolled = prepared.report_with_unrolling(false);
         let machines_ms = ms(start);
         let fused_analysis_ms = prepare_ms + machines_ms;
 
@@ -299,6 +334,30 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         let _ = unrolled.run_on_trace_reference(&trace);
         let _ = rolled.run_on_trace_reference(&trace);
         let reference_analysis_ms = ms(start);
+
+        // The streaming chunked pipeline over the same trace: two
+        // re-streams (profile + machines) in O(chunk) working memory,
+        // first sequential, then with the parallel machine broadcast.
+        let start = Instant::now();
+        let streamed = unrolled.run_streamed_on(
+            &trace,
+            StreamOptions {
+                chunk_events,
+                machine_threads: 1,
+            },
+        )?;
+        let stream_ms = ms(start);
+        let start = Instant::now();
+        let _ = unrolled.run_streamed_on(
+            &trace,
+            StreamOptions {
+                chunk_events,
+                machine_threads: 0,
+            },
+        )?;
+        let stream_par_ms = ms(start);
+        stream_matches &= reports_equal(&streamed.unrolled, &inmem_unrolled)
+            && reports_equal(&streamed.rolled, &inmem_rolled);
 
         workloads.push(WorkloadTiming {
             name: workload.name,
@@ -309,6 +368,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             machines_ms,
             fused_analysis_ms,
             reference_analysis_ms,
+            stream_ms,
+            stream_par_ms,
             raw_instrs: trace.len() as u64,
         });
     }
@@ -320,6 +381,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         reference_wall_ms,
         speedup: reference_wall_ms / fused_wall_ms.max(f64::MIN_POSITIVE),
         reports_match,
+        chunk_events,
+        stream_matches,
         manifest: suite_manifest(config),
         workloads,
     })
@@ -346,6 +409,11 @@ impl SuiteTiming {
         ));
         out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup));
         out.push_str(&format!("  \"reports_match\": {},\n", self.reports_match));
+        out.push_str(&format!("  \"chunk_events\": {},\n", self.chunk_events));
+        out.push_str(&format!(
+            "  \"stream_matches\": {},\n",
+            self.stream_matches
+        ));
         out.push_str(&format!(
             "  \"manifest\": {},\n",
             self.manifest.to_json_object("  ")
@@ -356,7 +424,8 @@ impl SuiteTiming {
                 "    {{\"name\": \"{}\", \"raw_instrs\": {}, \"compile_ms\": {:.1}, \
                  \"profiling_ms\": {:.1}, \"trace_ms\": {:.1}, \
                  \"prepare_ms\": {:.1}, \"machines_ms\": {:.1}, \
-                 \"fused_analysis_ms\": {:.1}, \"reference_analysis_ms\": {:.1}}}{}\n",
+                 \"fused_analysis_ms\": {:.1}, \"reference_analysis_ms\": {:.1}, \
+                 \"stream_ms\": {:.1}, \"stream_par_ms\": {:.1}}}{}\n",
                 w.name,
                 w.raw_instrs,
                 w.compile_ms,
@@ -366,6 +435,8 @@ impl SuiteTiming {
                 w.machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
+                w.stream_ms,
+                w.stream_par_ms,
                 if i + 1 == self.workloads.len() { "" } else { "," },
             ));
         }
@@ -377,12 +448,12 @@ impl SuiteTiming {
     pub fn summary(&self) -> String {
         let mut out = String::from(
             "## Suite Timing: fused vs reference pipeline\n\n\
-             | workload | raw instrs | compile | profiling (ref only) | trace | prepare | machine passes | fused total | reference analysis |\n\
-             |----------|------------|---------|----------------------|-------|---------|----------------|-------------|--------------------|\n",
+             | workload | raw instrs | compile | profiling (ref only) | trace | prepare | machine passes | fused total | reference analysis | stream (1t) | stream (par) |\n\
+             |----------|------------|---------|----------------------|-------|---------|----------------|-------------|--------------------|-------------|--------------|\n",
         );
         for w in &self.workloads {
             out.push_str(&format!(
-                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
+                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
                 w.name,
                 w.raw_instrs,
                 w.compile_ms,
@@ -392,15 +463,232 @@ impl SuiteTiming {
                 w.machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
+                w.stream_ms,
+                w.stream_par_ms,
             ));
         }
         out.push_str(&format!(
             "\nfull-suite wall time: fused {:.2}s vs reference {:.2}s -> {:.2}x speedup \
-             (tables identical: {})\n",
+             (tables identical: {}; streaming bit-identical: {}, chunk {} events)\n",
             self.fused_wall_ms / 1e3,
             self.reference_wall_ms / 1e3,
             self.speedup,
             self.reports_match,
+            self.stream_matches,
+            self.chunk_events,
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming scaling suite
+// ---------------------------------------------------------------------------
+
+/// One point of the streaming scaling curve: a single workload streamed to
+/// `max_instrs` dynamic instructions through the chunked pipeline.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Instruction cap the source was streamed to.
+    pub max_instrs: u64,
+    /// Raw dynamic instructions actually analyzed (equals `max_instrs`
+    /// for a repeated source).
+    pub raw_instrs: u64,
+    /// End-to-end wall time of the two-pass streamed analysis, in ms.
+    pub wall_ms: f64,
+    /// Analysis throughput: `raw_instrs / wall seconds`.
+    pub events_per_sec: f64,
+    /// Peak resident set size of the whole process so far, in MiB
+    /// (`VmHWM` from `/proc/self/status`; 0 when unavailable). The
+    /// high-water mark is monotone, so points must be visited in
+    /// increasing size order for per-point attribution to be meaningful.
+    pub peak_rss_mb: f64,
+    /// For the smallest point only: whether a plain (non-repeated)
+    /// streamed run reproduced the in-memory analysis bit for bit.
+    pub matches_inmemory: Option<bool>,
+}
+
+/// Results of [`run_scaling_suite`] (`BENCH_scaling.json`): wall time and
+/// peak RSS of the streaming chunked pipeline at increasing trace lengths,
+/// demonstrating paper-scale (100M-instruction) runs in O(chunk) trace
+/// memory.
+#[derive(Clone, Debug)]
+pub struct ScalingSuite {
+    /// Chunk size (events) used throughout.
+    pub chunk_events: usize,
+    /// Worker threads the machine broadcast ran with (resolved).
+    pub machine_threads: usize,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
+    /// Points in increasing `max_instrs` order, workloads interleaved.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// The process's peak resident set size in MiB, read from the `VmHWM`
+/// line of `/proc/self/status`. Returns 0.0 when unavailable (non-Linux).
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Streams each named workload to every instruction cap in `points`
+/// through the chunked pipeline, synthesizing arbitrarily long traces by
+/// repeating the program's deterministic execution
+/// ([`ProgramSource::repeated`]). Points are visited in increasing order
+/// (across all workloads) because the RSS high-water mark only grows. At
+/// the smallest point each workload is additionally cross-checked: a
+/// plain single-execution stream must reproduce the in-memory analysis
+/// bit for bit.
+///
+/// # Errors
+///
+/// Propagates compile/VM/analyzer failures and unknown workload names.
+pub fn run_scaling_suite(
+    config: &AnalysisConfig,
+    workloads: &[&str],
+    points: &[u64],
+    options: StreamOptions,
+) -> Result<ScalingSuite, AnalyzeError> {
+    let mut caps: Vec<u64> = points.to_vec();
+    caps.sort_unstable();
+    let options_vm = clfp_vm::VmOptions {
+        mem_words: config.mem_words,
+    };
+    let mut compiled = Vec::new();
+    for &name in workloads {
+        let workload = clfp_workloads::by_name(name)
+            .map_err(|err| AnalyzeError::BadProgram(format!("unknown workload `{name}`: {err}")))?;
+        let program = workload
+            .compile()
+            .map_err(|err| AnalyzeError::BadProgram(format!("{name}: {err}")))?;
+        compiled.push((workload.name, program));
+    }
+
+    let mut results = Vec::new();
+    for (pi, &limit) in caps.iter().enumerate() {
+        for (name, program) in &compiled {
+            let analyzer = Analyzer::new(program, config.clone())?;
+            let source = ProgramSource::new(program, options_vm, limit).repeated();
+            let start = Instant::now();
+            let streamed = analyzer.run_streamed_on(&source, options)?;
+            let wall_ms = ms(start);
+            let raw_instrs = streamed.unrolled.raw_instrs;
+
+            let matches_inmemory = if pi == 0 {
+                let mut vm = clfp_vm::Vm::new(program, options_vm);
+                let trace = vm.trace(limit)?;
+                let prepared = analyzer.prepare(&trace);
+                let plain = ProgramSource::new(program, options_vm, limit);
+                let check = analyzer.run_streamed_on(&plain, options)?;
+                Some(
+                    reports_equal(&check.unrolled, &prepared.report_with_unrolling(true))
+                        && reports_equal(&check.rolled, &prepared.report_with_unrolling(false))
+                        && check.summary == trace.summarize(program),
+                )
+            } else {
+                None
+            };
+
+            results.push(ScalingPoint {
+                workload: name,
+                max_instrs: limit,
+                raw_instrs,
+                wall_ms,
+                events_per_sec: raw_instrs as f64 / (wall_ms / 1e3).max(f64::MIN_POSITIVE),
+                peak_rss_mb: peak_rss_mb(),
+                matches_inmemory,
+            });
+        }
+    }
+
+    let machine_threads = if options.machine_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.machine_threads
+    };
+    Ok(ScalingSuite {
+        chunk_events: options.chunk_events,
+        machine_threads,
+        manifest: suite_manifest(config),
+        points: results,
+    })
+}
+
+impl ScalingSuite {
+    /// Serializes the curve as JSON (`BENCH_scaling.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"suite\": \"streaming scaling: wall time and peak RSS vs trace length\",\n",
+        );
+        out.push_str(&format!("  \"chunk_events\": {},\n", self.chunk_events));
+        out.push_str(&format!(
+            "  \"machine_threads\": {},\n",
+            self.machine_threads
+        ));
+        out.push_str(&format!(
+            "  \"manifest\": {},\n",
+            self.manifest.to_json_object("  ")
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"max_instrs\": {}, \"raw_instrs\": {}, \
+                 \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"peak_rss_mb\": {:.1}, \
+                 \"matches_inmemory\": {}}}{}\n",
+                p.workload,
+                p.max_instrs,
+                p.raw_instrs,
+                p.wall_ms,
+                p.events_per_sec,
+                p.peak_rss_mb,
+                p.matches_inmemory
+                    .map_or("null".to_string(), |m| m.to_string()),
+                if i + 1 == self.points.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    pub fn summary(&self) -> String {
+        let mut out = String::from(
+            "## Streaming Scaling: wall time and peak RSS vs trace length\n\n\
+             | workload | instrs | wall | Minstrs/s | peak RSS | in-memory match |\n\
+             |----------|--------|------|-----------|----------|-----------------|\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} s | {:.1} | {:.0} MiB | {} |\n",
+                p.workload,
+                p.max_instrs,
+                p.wall_ms / 1e3,
+                p.events_per_sec / 1e6,
+                p.peak_rss_mb,
+                p.matches_inmemory
+                    .map_or("-".to_string(), |m| m.to_string()),
+            ));
+        }
+        out.push_str(&format!(
+            "\nchunk {} events, {} machine worker(s); RSS is the process \
+             high-water mark (monotone across points)\n",
+            self.chunk_events, self.machine_threads,
         ));
         out
     }
@@ -1217,19 +1505,68 @@ mod tests {
         let timing = run_suite_timed(&config).unwrap();
         assert_eq!(timing.workloads.len(), 10);
         assert!(timing.reports_match, "pipelines diverged");
+        assert!(timing.stream_matches, "streaming pipeline diverged");
         assert!(timing.fused_wall_ms > 0.0);
         assert!(timing.reference_wall_ms > 0.0);
         let json = timing.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"reports_match\": true"));
+        assert!(json.contains("\"stream_matches\": true"));
+        assert!(json.contains("\"chunk_events\""));
         assert!(json.contains("\"manifest\""));
         assert!(json.contains("\"config_hash\""));
         assert!(json.contains("\"prepare_ms\""));
         assert!(json.contains("\"machines_ms\""));
+        assert!(json.contains("\"stream_ms\""));
+        assert!(json.contains("\"stream_par_ms\""));
         assert!(json.trim_end().ends_with('}'));
         let summary = timing.summary();
         assert!(summary.contains("speedup"));
         assert!(summary.contains("scan"));
+        assert!(summary.contains("streaming bit-identical: true"));
+    }
+
+    #[test]
+    fn scaling_suite_streams_repeated_sources() {
+        let suite = run_scaling_suite(
+            &tiny_config(),
+            &["qsort", "stencil"],
+            &[60_000, 20_000],
+            StreamOptions {
+                chunk_events: 4096,
+                machine_threads: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(suite.points.len(), 4);
+        assert_eq!(suite.chunk_events, 4096);
+        assert_eq!(suite.machine_threads, 1);
+        // Points are visited in increasing size order regardless of the
+        // order they were requested in.
+        assert_eq!(suite.points[0].max_instrs, 20_000);
+        assert_eq!(suite.points[2].max_instrs, 60_000);
+        for p in &suite.points {
+            // The repeated source tiles execution to exactly the cap.
+            assert_eq!(p.raw_instrs, p.max_instrs, "{}", p.workload);
+            assert!(p.events_per_sec > 0.0);
+        }
+        // Smallest point carries the in-memory cross-check, larger do not.
+        assert_eq!(suite.points[0].matches_inmemory, Some(true));
+        assert_eq!(suite.points[1].matches_inmemory, Some(true));
+        assert_eq!(suite.points[2].matches_inmemory, None);
+        // VmHWM is available on this platform and monotone.
+        assert!(suite.points[0].peak_rss_mb > 0.0);
+        assert!(suite.points[3].peak_rss_mb >= suite.points[0].peak_rss_mb);
+        let json = suite.to_json();
+        assert!(json.contains("\"peak_rss_mb\""));
+        assert!(json.contains("\"matches_inmemory\": true"));
+        assert!(json.contains("\"matches_inmemory\": null"));
+        assert!(json.contains("\"manifest\""));
+        assert!(json.trim_end().ends_with('}'));
+        let summary = suite.summary();
+        assert!(summary.contains("qsort"));
+        assert!(summary.contains("stencil"));
+        assert!(summary.contains("MiB"));
     }
 
     #[test]

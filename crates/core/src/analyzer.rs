@@ -85,10 +85,10 @@ impl Report {
 /// no separate profiling execution is needed.
 #[derive(Debug)]
 pub struct Analyzer<'a> {
-    program: &'a Program,
-    info: StaticInfo,
-    meta: ProgramMeta,
-    config: AnalysisConfig,
+    pub(crate) program: &'a Program,
+    pub(crate) info: StaticInfo,
+    pub(crate) meta: ProgramMeta,
+    pub(crate) config: AnalysisConfig,
 }
 
 /// A trace plus everything machine-independent derived from it in a
@@ -292,33 +292,53 @@ impl PreparedTrace<'_, '_> {
 
     /// Folds per-machine pass results into a [`Report`].
     fn assemble(&self, class: &EventClass, passes: Vec<PassResult>) -> Report {
-        let mut results = Vec::with_capacity(passes.len());
-        let mut mispred_stats = None;
-        let mut seq_instrs = class.not_ignored();
-        for (&kind, pass) in self.analyzer.config.machines.iter().zip(passes) {
-            seq_instrs = pass.count;
-            let parallelism = if pass.cycles == 0 {
-                1.0
-            } else {
-                pass.count as f64 / pass.cycles as f64
-            };
-            results.push(MachineResult {
-                kind,
-                cycles: pass.cycles,
-                parallelism,
-            });
-            if let Some(stats) = pass.mispred_stats {
-                mispred_stats = Some(stats);
-            }
-        }
+        assemble_report(
+            &self.analyzer.config.machines,
+            passes,
+            class.not_ignored(),
+            class.len() as u64,
+            self.meta.branches,
+        )
+    }
+}
 
-        Report {
-            seq_instrs,
-            raw_instrs: class.len() as u64,
-            results,
-            branches: self.meta.branches,
-            mispred_stats,
+/// Folds per-machine pass results into a [`Report`] — shared between the
+/// in-memory path ([`PreparedTrace`]) and the streaming path
+/// (`Analyzer::run_streamed`), so both produce reports through identical
+/// arithmetic.
+pub(crate) fn assemble_report(
+    machines: &[MachineKind],
+    passes: Vec<PassResult>,
+    not_ignored: u64,
+    raw_instrs: u64,
+    branches: crate::stats::BranchReport,
+) -> Report {
+    let mut results = Vec::with_capacity(passes.len());
+    let mut mispred_stats = None;
+    let mut seq_instrs = not_ignored;
+    for (&kind, pass) in machines.iter().zip(passes) {
+        seq_instrs = pass.count;
+        let parallelism = if pass.cycles == 0 {
+            1.0
+        } else {
+            pass.count as f64 / pass.cycles as f64
+        };
+        results.push(MachineResult {
+            kind,
+            cycles: pass.cycles,
+            parallelism,
+        });
+        if let Some(stats) = pass.mispred_stats {
+            mispred_stats = Some(stats);
         }
+    }
+
+    Report {
+        seq_instrs,
+        raw_instrs,
+        results,
+        branches,
+        mispred_stats,
     }
 }
 

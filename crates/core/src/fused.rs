@@ -164,50 +164,91 @@ fn fold_term(value: &mut u64, edge: &mut Option<BindingEdge>, term: u64, term_ed
     }
 }
 
-/// One machine pass over a pre-decoded trace. Bit-for-bit equivalent to
-/// [`run_pass`](crate::pass::run_pass) on the same classification (the
-/// `fused_equivalence` integration suite holds this across every machine,
-/// workload, and unroll setting).
+/// One machine's scheduling walk as an incremental, chunk-fed cursor.
 ///
-/// Generic over the metrics sink: with [`NullSink`] every `S::ENABLED`
-/// block is statically eliminated and this monomorphizes to the exact
-/// uninstrumented hot loop; with a recording sink it additionally resolves
-/// each scheduled instruction's *binding edge* — which constraint term won
-/// the `max` that set its issue cycle, and which earlier event produced it
-/// (see `clfp-metrics` and `docs/OBSERVABILITY.md`).
-pub(crate) fn run_machine<S: MetricsSink>(
-    pcs: &ProgramMeta,
-    events: &[EventMeta],
-    class: &EventClass,
-    config: &PassConfig,
+/// The walk state that is *not* in [`MachineState`] — the running
+/// last-branch/last-misprediction times, cycle and instruction counters,
+/// SP segment statistics, the metrics shadow tables, and the global event
+/// index — lives here so the walk can be fed chunk by chunk: the streaming
+/// pipeline creates one cursor (plus one [`MachineState`]) per machine ×
+/// unroll setting and feeds every chunk to all of them. Feeding the whole
+/// trace as one chunk is exactly the historical single-shot walk
+/// ([`run_machine`] is that wrapper), so the chunked and in-memory
+/// schedules are the same code path — bit-identical by construction.
+pub(crate) struct MachineCursor {
     kind: MachineKind,
-    state: &mut MachineState,
-    sink: &mut S,
-) -> PassResult {
-    let uses_cd = kind.uses_control_deps();
-    let track_segments = kind == MachineKind::Sp;
+    uses_cd: bool,
+    track_segments: bool,
+    last_branch: u64,
+    last_mispred: u64,
+    cycles: u64,
+    count: u64,
+    stats: MispredictionStats,
+    seg_count: u64,
+    seg_start: u64,
+    seg_max: u64,
+    attr: Option<AttrState>,
+    /// Global index of the next event fed — sink and attribution indices
+    /// are global across chunks, matching the single-shot walk.
+    base: u64,
+}
 
-    let mut last_branch: u64 = 0; // BASE constraint / CD branch ordering
-    let mut last_mispred: u64 = 0; // SP constraint / SP-CD ordering
-    let mut cycles: u64 = 0;
-    let mut count: u64 = 0;
+impl MachineCursor {
+    /// A fresh cursor for one machine walk. `record_attr` must equal the
+    /// `S::ENABLED` of every sink later passed to [`MachineCursor::feed`].
+    pub fn new(kind: MachineKind, text_len: usize, record_attr: bool) -> MachineCursor {
+        MachineCursor {
+            kind,
+            uses_cd: kind.uses_control_deps(),
+            track_segments: kind == MachineKind::Sp,
+            last_branch: 0,
+            last_mispred: 0,
+            cycles: 0,
+            count: 0,
+            stats: MispredictionStats::new(),
+            seg_count: 0,
+            seg_start: 0,
+            seg_max: 0,
+            attr: record_attr.then(|| AttrState::new(text_len)),
+            base: 0,
+        }
+    }
 
-    // SP segment statistics (Figures 6, 7).
-    let mut stats = MispredictionStats::new();
-    let mut seg_count: u64 = 0;
-    let mut seg_start: u64 = 0;
-    let mut seg_max: u64 = 0;
+    /// Schedules one chunk of consecutive events. `class` indexes the
+    /// *chunk* (entry `j` classifies `events[j]`); `state` must be the
+    /// same [`MachineState`] across every feed of this cursor.
+    pub fn feed<S: MetricsSink>(
+        &mut self,
+        pcs: &ProgramMeta,
+        events: &[EventMeta],
+        class: &EventClass,
+        config: &PassConfig,
+        state: &mut MachineState,
+        sink: &mut S,
+    ) {
+        debug_assert_eq!(S::ENABLED, self.attr.is_some());
+        debug_assert!(events.len() <= class.len());
+        let kind = self.kind;
+        let uses_cd = self.uses_cd;
+        let track_segments = self.track_segments;
+        let base = self.base;
 
-    // Binding-edge provenance, maintained only for a recording sink.
-    let mut attr = if S::ENABLED {
-        Some(AttrState::new(pcs.pcs.len()))
-    } else {
-        None
-    };
+        // Hot-loop state in locals (written back on exit), so the chunked
+        // walk compiles to the same inner loop as the single-shot one.
+        let mut last_branch = self.last_branch;
+        let mut last_mispred = self.last_mispred;
+        let mut cycles = self.cycles;
+        let mut count = self.count;
+        let stats = &mut self.stats;
+        let mut seg_count = self.seg_count;
+        let mut seg_start = self.seg_start;
+        let mut seg_max = self.seg_max;
+        let attr = &mut self.attr;
 
-    for (i, event) in events.iter().enumerate() {
+        for (j, event) in events.iter().enumerate() {
+            let i = base + j as u64;
         let meta = &pcs.pcs[event.pc as usize];
-        let ignored = class.ignored(i);
+        let ignored = class.ignored(j);
         let is_branch = event.flags & EV_BRANCH != 0;
         let mispredicted = event.flags & EV_MISPRED != 0 && is_branch;
 
@@ -492,20 +533,60 @@ pub(crate) fn run_machine<S: MetricsSink>(
                 seg_max = exec;
             }
         }
-    }
-    if track_segments && seg_count > 0 {
-        let span = seg_max.saturating_sub(seg_start).max(1);
-        stats.record_segment(
-            seg_count.min(u32::MAX as u64) as u32,
-            seg_count as f64 / span as f64,
-        );
+        }
+
+        self.last_branch = last_branch;
+        self.last_mispred = last_mispred;
+        self.cycles = cycles;
+        self.count = count;
+        self.seg_count = seg_count;
+        self.seg_start = seg_start;
+        self.seg_max = seg_max;
+        self.base = base + events.len() as u64;
     }
 
-    PassResult {
-        cycles,
-        count,
-        mispred_stats: track_segments.then_some(stats),
+    /// Closes the walk: records the trailing SP segment (the single-shot
+    /// walk's post-loop step) and returns the pass result.
+    pub fn finish(mut self) -> PassResult {
+        if self.track_segments && self.seg_count > 0 {
+            let span = self.seg_max.saturating_sub(self.seg_start).max(1);
+            self.stats.record_segment(
+                self.seg_count.min(u32::MAX as u64) as u32,
+                self.seg_count as f64 / span as f64,
+            );
+        }
+        PassResult {
+            cycles: self.cycles,
+            count: self.count,
+            mispred_stats: self.track_segments.then_some(self.stats),
+        }
     }
+}
+
+/// One machine pass over a pre-decoded trace. Bit-for-bit equivalent to
+/// [`run_pass`](crate::pass::run_pass) on the same classification (the
+/// `fused_equivalence` integration suite holds this across every machine,
+/// workload, and unroll setting). The whole-trace special case of
+/// [`MachineCursor`]: one cursor, one chunk, finish.
+///
+/// Generic over the metrics sink: with [`NullSink`] every `S::ENABLED`
+/// block is statically eliminated and this monomorphizes to the exact
+/// uninstrumented hot loop; with a recording sink it additionally resolves
+/// each scheduled instruction's *binding edge* — which constraint term won
+/// the `max` that set its issue cycle, and which earlier event produced it
+/// (see `clfp-metrics` and `docs/OBSERVABILITY.md`).
+pub(crate) fn run_machine<S: MetricsSink>(
+    pcs: &ProgramMeta,
+    events: &[EventMeta],
+    class: &EventClass,
+    config: &PassConfig,
+    kind: MachineKind,
+    state: &mut MachineState,
+    sink: &mut S,
+) -> PassResult {
+    let mut cursor = MachineCursor::new(kind, pcs.pcs.len(), S::ENABLED);
+    cursor.feed(pcs, events, class, config, state, sink);
+    cursor.finish()
 }
 
 /// Runs every requested machine over one prepared trace, returning results
@@ -757,6 +838,27 @@ mod tests {
                         "{kind} should have no mf-merge edges"
                     );
                 }
+            }
+
+            // The streaming metrics path (chunked cursor + recording sink)
+            // must reproduce the in-memory metrics bit for bit, including
+            // across boundary-straddling 7-event chunks.
+            let analyzer = crate::Analyzer::new(&program, config.clone()).unwrap();
+            let inmem = analyzer.prepare(&trace).machine_metrics_with_unrolling(unrolling);
+            let streamed = analyzer.stream_machine_metrics(&trace, unrolling, 7).unwrap();
+            assert_eq!(inmem.len(), streamed.len());
+            for ((k, a), (k2, b)) in inmem.iter().zip(&streamed) {
+                let tag = format!("{k} unroll={unrolling}");
+                assert_eq!(k, k2, "{tag}");
+                assert_eq!(a.instrs, b.instrs, "{tag}");
+                assert_eq!(a.cycles, b.cycles, "{tag}");
+                assert_eq!(a.flow, b.flow, "{tag}");
+                assert_eq!(a.attribution, b.attribution, "{tag}");
+                assert_eq!(a.occupancy.buckets, b.occupancy.buckets, "{tag}");
+                assert_eq!(a.occupancy.cycles, b.occupancy.cycles, "{tag}");
+                assert_eq!(a.occupancy.busy_cycles, b.occupancy.busy_cycles, "{tag}");
+                assert_eq!(a.occupancy.instrs, b.occupancy.instrs, "{tag}");
+                assert_eq!(a.occupancy.peak, b.occupancy.peak, "{tag}");
             }
         }
     }

@@ -61,6 +61,7 @@ mod machine;
 mod meta;
 mod pass;
 mod stats;
+mod stream;
 
 pub use analyzer::{Analyzer, CdSource, MachineResult, PreparedTrace, Report};
 pub use clfp_metrics::{
@@ -71,3 +72,4 @@ pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;
 pub use machine::MachineKind;
 pub use stats::{harmonic_mean, BranchReport, IpcProfile, MispredictionStats};
+pub use stream::{StreamOptions, StreamedReports};

@@ -151,6 +151,14 @@ impl EventClass {
         }
     }
 
+    /// Empties the bitmaps, keeping the allocations (chunk-buffer reuse in
+    /// the streaming pipeline).
+    pub fn clear(&mut self) {
+        self.mispred.clear();
+        self.ignored.clear();
+        self.len = 0;
+    }
+
     /// Appends one event's classification.
     #[inline]
     pub fn push(&mut self, mispred: bool, ignored: bool) {
@@ -260,7 +268,9 @@ impl TraceMeta {
     /// The fused preparation walk: classification (branch prediction +
     /// ignore masks for both unroll settings), operand pre-decode, and
     /// dynamic control-dependence resolution, one trace walk for all
-    /// machines.
+    /// machines. The whole-trace special case of [`MetaBuilder`] — one
+    /// chunk spanning the trace — so the in-memory and streaming pipelines
+    /// share one walk implementation.
     pub fn build(
         program: &Program,
         info: &StaticInfo,
@@ -275,57 +285,123 @@ impl TraceMeta {
             PredictorChoice::Profile => BranchProfile::from_trace(program, trace),
             _ => BranchProfile::new(),
         };
-        let mut predictor = config.predictor.build(program, &profile);
-        let shift = config.disambiguation_bytes.trailing_zeros();
-
-        let mut branches = BranchReport {
-            raw_instrs: trace.len() as u64,
-            ..BranchReport::default()
-        };
+        let mut builder = MetaBuilder::new(program, info, pcs, config, &profile);
         let mut class_unrolled = EventClass::with_capacity(trace.len());
         let mut class_rolled = EventClass::with_capacity(trace.len());
         let mut events = Vec::with_capacity(trace.len());
+        builder.push_chunk(trace.events(), &mut events, &mut class_unrolled, &mut class_rolled);
+        TraceMeta {
+            events,
+            class_unrolled,
+            class_rolled,
+            branches: builder.branches(),
+        }
+    }
+}
 
-        // Machine-independent control-dependence bookkeeping (Section
-        // 4.4.1): block-instance sequence numbers, the latest instance of
-        // every branch, and the procedure-invocation stack.
-        let mut branch_seq = vec![0u64; pcs.pcs.len()]; // 0 = never executed
-        let mut branch_proc = vec![0u64; pcs.pcs.len()];
-        let mut stack: Vec<u64> = Vec::new();
-        let mut seq = 0u64;
+/// The preparation walk as an incremental, chunk-fed builder.
+///
+/// All walk state that must survive a chunk boundary lives here: the
+/// branch predictor, the branch report, and the Section 4.4.1
+/// control-dependence bookkeeping (block-instance sequence numbers, the
+/// latest instance of every branch, the procedure-invocation stack).
+/// Feeding the whole trace as one chunk is exactly the historical
+/// [`TraceMeta::build`] walk, so chunked and in-memory preparation are the
+/// same code path — bit-identical by construction, asserted across chunk
+/// sizes by the `stream_equivalence` suite.
+pub(crate) struct MetaBuilder<'a> {
+    pcs: &'a ProgramMeta,
+    info: &'a StaticInfo,
+    inlining: bool,
+    shift: u32,
+    predictor: Box<dyn clfp_predict::BranchPredictor>,
+    branches: BranchReport,
+    /// Running non-ignored event counts per unroll setting — the
+    /// streaming pipeline's `seq_instrs` fallback when no machines run
+    /// (mirrors `EventClass::not_ignored` without retaining the bitmaps).
+    not_ignored: [u64; 2],
+    branch_seq: Vec<u64>, // 0 = never executed
+    branch_proc: Vec<u64>,
+    stack: Vec<u64>,
+    seq: u64,
+}
 
-        for event in trace.iter() {
-            let meta = &pcs.pcs[event.pc as usize];
+impl<'a> MetaBuilder<'a> {
+    /// Creates a builder with empty carried state. `profile` is the
+    /// branch profile of the *entire* stream (pass 1 of the streaming
+    /// pipeline); it is only consulted for the profile predictor.
+    pub fn new(
+        program: &Program,
+        info: &'a StaticInfo,
+        pcs: &'a ProgramMeta,
+        config: &AnalysisConfig,
+        profile: &BranchProfile,
+    ) -> MetaBuilder<'a> {
+        MetaBuilder {
+            pcs,
+            info,
+            inlining: config.inlining,
+            shift: config.disambiguation_bytes.trailing_zeros(),
+            predictor: config.predictor.build(program, profile),
+            branches: BranchReport::default(),
+            not_ignored: [0; 2],
+            branch_seq: vec![0u64; pcs.pcs.len()],
+            branch_proc: vec![0u64; pcs.pcs.len()],
+            stack: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Processes one chunk of consecutive trace events, appending the
+    /// decoded [`EventMeta`] stream and both per-setting classifications
+    /// into the caller's buffers (which the streaming pipeline clears and
+    /// reuses per chunk; the in-memory path accumulates the whole trace).
+    pub fn push_chunk(
+        &mut self,
+        chunk: &[clfp_vm::TraceEvent],
+        events: &mut Vec<EventMeta>,
+        class_unrolled: &mut EventClass,
+        class_rolled: &mut EventClass,
+    ) {
+        self.branches.raw_instrs += chunk.len() as u64;
+        events.reserve(chunk.len());
+        for event in chunk {
+            let meta = &self.pcs.pcs[event.pc as usize];
             if meta.is(PC_BLOCK_START) {
-                seq += 1;
+                self.seq += 1;
             }
 
             let mispred = if meta.is(PC_COND_BRANCH) {
-                branches.cond_branches += 1;
+                self.branches.cond_branches += 1;
                 if event.taken {
-                    branches.taken += 1;
+                    self.branches.taken += 1;
                 }
-                let prediction = predictor.predict_and_update(event.pc, event.taken);
+                let prediction = self.predictor.predict_and_update(event.pc, event.taken);
                 let correct = prediction == event.taken;
                 if correct {
-                    branches.predicted_correctly += 1;
+                    self.branches.predicted_correctly += 1;
                 }
                 !correct
             } else if meta.is(PC_COMPUTED_JUMP) {
-                branches.computed_jumps += 1;
+                self.branches.computed_jumps += 1;
                 true
             } else {
                 false
             };
-            let inline_ignored = config.inlining && meta.is(PC_INLINE_IGNORED);
-            class_unrolled.push(mispred, inline_ignored || meta.is(PC_UNROLL_IGNORED));
+            let inline_ignored = self.inlining && meta.is(PC_INLINE_IGNORED);
+            let unroll_ignored = inline_ignored || meta.is(PC_UNROLL_IGNORED);
+            class_unrolled.push(mispred, unroll_ignored);
             class_rolled.push(mispred, inline_ignored);
+            self.not_ignored[0] += !inline_ignored as u64;
+            self.not_ignored[1] += !unroll_ignored as u64;
 
             let cd = resolve_cd_source(
-                info.deps.rdf_branches(info.cfg.block_of_instr(event.pc)),
-                &branch_seq,
-                &branch_proc,
-                &stack,
+                self.info
+                    .deps
+                    .rdf_branches(self.info.cfg.block_of_instr(event.pc)),
+                &self.branch_seq,
+                &self.branch_proc,
+                &self.stack,
             );
 
             let mut flags = 0u8;
@@ -337,28 +413,36 @@ impl TraceMeta {
             }
             events.push(EventMeta {
                 pc: event.pc,
-                mem_key: event.mem_addr >> shift,
+                mem_key: event.mem_addr >> self.shift,
                 cd,
                 flags,
             });
 
             if meta.is(PC_BRANCH) {
-                branch_seq[event.pc as usize] = seq;
-                branch_proc[event.pc as usize] = stack.last().copied().unwrap_or(0);
+                self.branch_seq[event.pc as usize] = self.seq;
+                self.branch_proc[event.pc as usize] = self.stack.last().copied().unwrap_or(0);
             }
             if meta.is(PC_CALL) {
-                stack.push(seq + 1);
+                self.stack.push(self.seq + 1);
             } else if meta.is(PC_RET) {
-                stack.pop();
+                self.stack.pop();
             }
         }
+    }
 
-        TraceMeta {
-            events,
-            class_unrolled,
-            class_rolled,
-            branches,
-        }
+    /// The branch report over everything pushed so far.
+    pub fn branches(&self) -> BranchReport {
+        self.branches
+    }
+
+    /// Total events pushed so far.
+    pub fn raw_instrs(&self) -> u64 {
+        self.branches.raw_instrs
+    }
+
+    /// Non-ignored events pushed so far, for one unroll setting.
+    pub fn not_ignored(&self, unrolling: bool) -> u64 {
+        self.not_ignored[unrolling as usize]
     }
 }
 

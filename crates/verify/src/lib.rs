@@ -38,7 +38,7 @@ use std::fmt;
 use clfp_cfg::{BlockId, CdViolation, Cfg, Liveness, MaybeUninit, StaticInfo};
 use clfp_isa::{AluOp, Instr, Program, Reg};
 use clfp_limits::{CdSource, PreparedTrace};
-use clfp_vm::Trace;
+use clfp_vm::{Trace, TraceEvent, TraceSource, VmError};
 
 /// How bad a diagnostic is.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -368,18 +368,49 @@ impl<'a> TraceChecks<'a> {
     /// the call, computed jumps land on block leaders, and nothing follows
     /// a halt.
     pub fn check_edges(&self, trace: &Trace) -> Vec<Diagnostic> {
+        let mut walker = EdgeWalker::new(self);
+        for event in trace.iter() {
+            walker.push(*event);
+        }
+        walker.finish()
+    }
+
+    /// [`TraceChecks::check_edges`] over a streamed [`TraceSource`]: the
+    /// checker's carried state (the shadow return stack and the previous
+    /// event) crosses chunk boundaries, so trace memory stays O(chunk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from producing the stream.
+    pub fn check_edges_source(
+        &self,
+        source: &dyn TraceSource,
+        chunk_events: usize,
+    ) -> Result<Vec<Diagnostic>, VmError> {
+        let mut walker = EdgeWalker::new(self);
+        source.stream(chunk_events, &mut |chunk| {
+            for event in chunk {
+                walker.push(*event);
+            }
+        })?;
+        Ok(walker.finish())
+    }
+
+    /// Checks the control transfer from one event to the pc of the next.
+    fn check_edge(
+        &self,
+        from: &TraceEvent,
+        next: u32,
+        shadow: &mut Vec<u32>,
+        out: &mut Vec<Diagnostic>,
+    ) {
         let cfg = &self.info.cfg;
         let text = &self.program.text;
-        let mut out = Vec::new();
-        // Shadow return-address stack: calls push `pc + 1`, returns must
-        // come back to the matching push.
-        let mut shadow: Vec<u32> = Vec::new();
+        let pc = from.pc;
         let mut violation = |pc: u32, message: String| {
             out.push(Diagnostic::new(DiagnosticKind::EdgeViolation, Some(pc), message));
         };
-        for (from, to) in trace.edges() {
-            let pc = from.pc;
-            let next = to.pc;
+        {
             match text[pc as usize] {
                 Instr::Branch { target, .. } => {
                     let expect = if from.taken { target } else { pc + 1 };
@@ -486,7 +517,6 @@ impl<'a> TraceChecks<'a> {
                 }
             }
         }
-        out
     }
 
     /// Asserts every control-dependence source the analyzer resolved to a
@@ -540,6 +570,40 @@ impl<'a> TraceChecks<'a> {
     /// is conservatively not checked). Counters are keyed by call depth so
     /// a loop re-entered through recursion is counted per invocation.
     pub fn check_unroll_masks(&self, trace: &Trace) -> Vec<Diagnostic> {
+        let mut walker = UnrollWalker::new(self);
+        for event in trace.iter() {
+            walker.push(*event);
+        }
+        walker.finish()
+    }
+
+    /// [`TraceChecks::check_unroll_masks`] over a streamed
+    /// [`TraceSource`]; per-invocation iteration counters and the call
+    /// depth carry across chunk boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from producing the stream.
+    pub fn check_unroll_masks_source(
+        &self,
+        source: &dyn TraceSource,
+        chunk_events: usize,
+    ) -> Result<Vec<Diagnostic>, VmError> {
+        let mut walker = UnrollWalker::new(self);
+        source.stream(chunk_events, &mut |chunk| {
+            for event in chunk {
+                walker.push(*event);
+            }
+        })?;
+        Ok(walker.finish())
+    }
+
+    /// Builds the increment monitors for [`UnrollWalker`], flagging
+    /// increments missing from the unroll ignore mask as it goes.
+    fn build_monitors(
+        &self,
+        out: &mut Vec<Diagnostic>,
+    ) -> (Vec<Monitor>, HashMap<u32, Vec<usize>>, HashMap<BlockId, Vec<usize>>) {
         let info = self.info;
         let cfg = &info.cfg;
         let text = &self.program.text;
@@ -549,7 +613,6 @@ impl<'a> TraceChecks<'a> {
         let mut monitors: Vec<Monitor> = Vec::new();
         let mut by_increment: HashMap<u32, Vec<usize>> = HashMap::new();
         let mut by_header: HashMap<BlockId, Vec<usize>> = HashMap::new();
-        let mut out = Vec::new();
         for (loop_index, l) in info.loops.loops().iter().enumerate() {
             for &reg in &info.induction.induction_regs()[loop_index] {
                 let mut increment = None;
@@ -584,60 +647,7 @@ impl<'a> TraceChecks<'a> {
                 by_header.entry(l.header).or_default().push(index);
             }
         }
-        if monitors.is_empty() {
-            return out;
-        }
-
-        // Replay: count increment executions per (monitor, call depth),
-        // checking the count at every latch-to-header back edge.
-        let mut counters: HashMap<(usize, usize), u32> = HashMap::new();
-        let mut depth = 0usize;
-        let mut prev: Option<u32> = None;
-        for event in trace.iter() {
-            let pc = event.pc;
-            let block = cfg.block_of_instr(pc);
-            if cfg.block(block).start == pc {
-                if let Some(watchers) = by_header.get(&block) {
-                    for &index in watchers {
-                        let monitor = &monitors[index];
-                        let l = &info.loops.loops()[monitor.loop_index];
-                        let from_latch = prev.is_some_and(|p| {
-                            let pb = cfg.block_of_instr(p);
-                            p == cfg.block(pb).terminator() && l.latches.contains(&pb)
-                        });
-                        let slot = counters.entry((index, depth)).or_insert(0);
-                        if from_latch && *slot != 1 {
-                            out.push(Diagnostic::new(
-                                DiagnosticKind::UnrollMaskViolation,
-                                Some(monitor.increment),
-                                format!(
-                                    "induction increment `{}` (pc {}) of {} in the loop at \
-                                     b{} ran {} times in one iteration, expected exactly once",
-                                    text[monitor.increment as usize],
-                                    monitor.increment,
-                                    monitor.reg,
-                                    l.header.index(),
-                                    slot
-                                ),
-                            ));
-                        }
-                        *slot = 0;
-                    }
-                }
-            }
-            if let Some(watchers) = by_increment.get(&pc) {
-                for &index in watchers {
-                    *counters.entry((index, depth)).or_insert(0) += 1;
-                }
-            }
-            match text[pc as usize] {
-                Instr::Call { .. } | Instr::CallR { .. } => depth += 1,
-                Instr::Ret => depth = depth.saturating_sub(1),
-                _ => {}
-            }
-            prev = Some(pc);
-        }
-        out
+        (monitors, by_increment, by_header)
     }
 
     /// Asserts the analyzer's sequential instruction count for the given
@@ -656,18 +666,30 @@ impl<'a> TraceChecks<'a> {
             .iter()
             .filter(|event| !masks.ignored(event.pc, unrolling))
             .count() as u64;
-        if counted == reported_seq {
-            return Vec::new();
-        }
-        vec![Diagnostic::new(
-            DiagnosticKind::SeqCountMismatch,
-            None,
-            format!(
-                "analyzer reported {reported_seq} sequential instructions with unrolling \
-                 {}, independent recount found {counted}",
-                if unrolling { "on" } else { "off" }
-            ),
-        )]
+        seq_count_diags(counted, reported_seq, unrolling)
+    }
+
+    /// [`TraceChecks::check_seq_count`] over a streamed [`TraceSource`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from producing the stream.
+    pub fn check_seq_count_source(
+        &self,
+        source: &dyn TraceSource,
+        chunk_events: usize,
+        unrolling: bool,
+        reported_seq: u64,
+    ) -> Result<Vec<Diagnostic>, VmError> {
+        let masks = &self.info.masks;
+        let mut counted = 0u64;
+        source.stream(chunk_events, &mut |chunk| {
+            counted += chunk
+                .iter()
+                .filter(|event| !masks.ignored(event.pc, unrolling))
+                .count() as u64;
+        })?;
+        Ok(seq_count_diags(counted, reported_seq, unrolling))
     }
 
     /// Runs every dynamic cross-check against a prepared trace: CFG edges,
@@ -700,6 +722,146 @@ impl<'a> TraceChecks<'a> {
         let block = cfg.block_of_instr(pc);
         cfg.block(block).start == pc
             && cfg.procs()[cfg.proc_of_block(block).index()].entry == block
+    }
+}
+
+/// Builds the [`DiagnosticKind::SeqCountMismatch`] diagnostic when the
+/// recount disagrees with the analyzer (shared by the slice and streaming
+/// checkers).
+fn seq_count_diags(counted: u64, reported_seq: u64, unrolling: bool) -> Vec<Diagnostic> {
+    if counted == reported_seq {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        DiagnosticKind::SeqCountMismatch,
+        None,
+        format!(
+            "analyzer reported {reported_seq} sequential instructions with unrolling \
+             {}, independent recount found {counted}",
+            if unrolling { "on" } else { "off" }
+        ),
+    )]
+}
+
+/// Incremental CFG-edge checker: [`TraceChecks::check_edges`] fed one
+/// event at a time. The shadow return-address stack (calls push `pc + 1`,
+/// returns must come back to the matching push) and the previous event
+/// carry across chunk boundaries.
+struct EdgeWalker<'c, 'a> {
+    checks: &'c TraceChecks<'a>,
+    shadow: Vec<u32>,
+    prev: Option<TraceEvent>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'c, 'a> EdgeWalker<'c, 'a> {
+    fn new(checks: &'c TraceChecks<'a>) -> EdgeWalker<'c, 'a> {
+        EdgeWalker {
+            checks,
+            shadow: Vec::new(),
+            prev: None,
+            out: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if let Some(from) = self.prev {
+            self.checks
+                .check_edge(&from, event.pc, &mut self.shadow, &mut self.out);
+        }
+        self.prev = Some(event);
+    }
+
+    fn finish(self) -> Vec<Diagnostic> {
+        self.out
+    }
+}
+
+/// Incremental unroll-mask checker: [`TraceChecks::check_unroll_masks`]
+/// fed one event at a time. Carries the per-(monitor, call depth)
+/// iteration counters, the call depth, and the previous pc.
+struct UnrollWalker<'c, 'a> {
+    checks: &'c TraceChecks<'a>,
+    monitors: Vec<Monitor>,
+    by_increment: HashMap<u32, Vec<usize>>,
+    by_header: HashMap<BlockId, Vec<usize>>,
+    counters: HashMap<(usize, usize), u32>,
+    depth: usize,
+    prev: Option<u32>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'c, 'a> UnrollWalker<'c, 'a> {
+    fn new(checks: &'c TraceChecks<'a>) -> UnrollWalker<'c, 'a> {
+        let mut out = Vec::new();
+        let (monitors, by_increment, by_header) = checks.build_monitors(&mut out);
+        UnrollWalker {
+            checks,
+            monitors,
+            by_increment,
+            by_header,
+            counters: HashMap::new(),
+            depth: 0,
+            prev: None,
+            out,
+        }
+    }
+
+    /// Replay step: count increment executions per (monitor, call depth),
+    /// checking the count at every latch-to-header back edge.
+    fn push(&mut self, event: TraceEvent) {
+        if self.monitors.is_empty() {
+            return;
+        }
+        let info = self.checks.info;
+        let cfg = &info.cfg;
+        let text = &self.checks.program.text;
+        let pc = event.pc;
+        let block = cfg.block_of_instr(pc);
+        if cfg.block(block).start == pc {
+            if let Some(watchers) = self.by_header.get(&block) {
+                for &index in watchers {
+                    let monitor = &self.monitors[index];
+                    let l = &info.loops.loops()[monitor.loop_index];
+                    let from_latch = self.prev.is_some_and(|p| {
+                        let pb = cfg.block_of_instr(p);
+                        p == cfg.block(pb).terminator() && l.latches.contains(&pb)
+                    });
+                    let slot = self.counters.entry((index, self.depth)).or_insert(0);
+                    if from_latch && *slot != 1 {
+                        self.out.push(Diagnostic::new(
+                            DiagnosticKind::UnrollMaskViolation,
+                            Some(monitor.increment),
+                            format!(
+                                "induction increment `{}` (pc {}) of {} in the loop at \
+                                 b{} ran {} times in one iteration, expected exactly once",
+                                text[monitor.increment as usize],
+                                monitor.increment,
+                                monitor.reg,
+                                l.header.index(),
+                                slot
+                            ),
+                        ));
+                    }
+                    *slot = 0;
+                }
+            }
+        }
+        if let Some(watchers) = self.by_increment.get(&pc) {
+            for &index in watchers {
+                *self.counters.entry((index, self.depth)).or_insert(0) += 1;
+            }
+        }
+        match text[pc as usize] {
+            Instr::Call { .. } | Instr::CallR { .. } => self.depth += 1,
+            Instr::Ret => self.depth = self.depth.saturating_sub(1),
+            _ => {}
+        }
+        self.prev = Some(pc);
+    }
+
+    fn finish(self) -> Vec<Diagnostic> {
+        self.out
     }
 }
 
@@ -952,6 +1114,46 @@ mod tests {
             assert_eq!(checks.check_seq_count(&trace, unrolling, seq), Vec::new());
             let diags = checks.check_seq_count(&trace, unrolling, seq + 1);
             assert_eq!(kinds(&diags), vec![DiagnosticKind::SeqCountMismatch]);
+        }
+    }
+
+    #[test]
+    fn streamed_checks_match_slice_checks() {
+        // Clean and corrupted traces: the chunked checkers must produce
+        // exactly the slice checkers' diagnostics, across chunk sizes that
+        // straddle call/branch boundaries.
+        let (program, info) = setup(LOOPY);
+        let checks = TraceChecks::new(&program, &info);
+        let clean = trace_of(&program);
+        let mut events: Vec<TraceEvent> = clean.events().to_vec();
+        let at = events.iter().position(|e| e.pc == 3).unwrap();
+        events.insert(at, events[at]);
+        let corrupted = Trace::from_events(events);
+
+        for trace in [&clean, &corrupted] {
+            for chunk in [1, 7, 4096] {
+                assert_eq!(
+                    checks.check_edges_source(trace, chunk).unwrap(),
+                    checks.check_edges(trace),
+                    "edges chunk={chunk}"
+                );
+                assert_eq!(
+                    checks.check_unroll_masks_source(trace, chunk).unwrap(),
+                    checks.check_unroll_masks(trace),
+                    "unroll chunk={chunk}"
+                );
+                for unrolling in [false, true] {
+                    for reported in [10u64, 11] {
+                        assert_eq!(
+                            checks
+                                .check_seq_count_source(trace, chunk, unrolling, reported)
+                                .unwrap(),
+                            checks.check_seq_count(trace, unrolling, reported),
+                            "seq chunk={chunk}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -29,6 +29,7 @@
 mod error;
 mod io;
 mod memory;
+mod source;
 mod trace;
 #[allow(clippy::module_inception)]
 mod vm;
@@ -36,5 +37,6 @@ mod vm;
 pub use error::VmError;
 pub use io::TraceFileError;
 pub use memory::Memory;
-pub use trace::{Trace, TraceEvent, TraceSummary};
+pub use source::{ProgramSource, TraceSource};
+pub use trace::{SummaryBuilder, Trace, TraceEvent, TraceSummary};
 pub use vm::{ExecOutcome, Vm, VmOptions};

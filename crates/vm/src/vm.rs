@@ -247,6 +247,44 @@ impl<'a> Vm<'a> {
         self.run_with(limit, |event| events.push(event))?;
         Ok(Trace::from_events(events))
     }
+
+    /// Runs to completion (or `limit`), delivering the trace as fixed-size
+    /// chunks instead of one materialized vector: every chunk except
+    /// possibly the last holds exactly `chunk_events` events, in trace
+    /// order. Concatenating the chunks reproduces [`Vm::trace`] exactly,
+    /// with memory bounded by one chunk — the streaming producer behind
+    /// [`TraceSource`](crate::TraceSource).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_events` is zero.
+    pub fn trace_chunks<F>(
+        &mut self,
+        limit: u64,
+        chunk_events: usize,
+        mut sink: F,
+    ) -> Result<ExecOutcome, VmError>
+    where
+        F: FnMut(&[TraceEvent]),
+    {
+        assert!(chunk_events > 0, "chunk size must be non-zero");
+        let mut buf: Vec<TraceEvent> = Vec::with_capacity(chunk_events);
+        let outcome = self.run_with(limit, |event| {
+            buf.push(event);
+            if buf.len() == chunk_events {
+                sink(&buf);
+                buf.clear();
+            }
+        })?;
+        if !buf.is_empty() {
+            sink(&buf);
+        }
+        Ok(outcome)
+    }
 }
 
 #[cfg(test)]

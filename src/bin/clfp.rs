@@ -7,6 +7,8 @@
 //! clfp run prog.mc                # execute, print main's result
 //! clfp analyze prog.mc            # parallelism for all 7 machines
 //! clfp analyze --workload qsort --max-instr 500000
+//! clfp analyze --workload qsort --max-instrs 100000000 --stream
+//!                                 # stream in O(chunk) trace memory
 //! clfp analyze prog.s --no-unroll --predictor bimodal --fetch 8
 //! clfp workloads                  # list the benchmark suite
 //! ```
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 
 use clfp::isa::{Program, Reg};
 use clfp::lang::CodegenOptions;
-use clfp::limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice};
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice, StreamOptions};
 use clfp::vm::{Vm, VmOptions};
 
 fn main() -> ExitCode {
@@ -71,9 +73,10 @@ fn print_usage() {
          \u{20} run     <file> [--max-instr N]     execute and print the result\n\
          \u{20} trace   <file> -o out.trc          capture a trace to a file\n\
          \u{20} analyze <file | --workload NAME>   parallelism limits (all machines)\n\
-         \u{20}         [--max-instr N] [--no-unroll] [--no-inline]\n\
+         \u{20}         [--max-instrs N] [--no-unroll] [--no-inline]\n\
          \u{20}         [--predictor profile|btfn|taken|bimodal|gshare|two-level]\n\
          \u{20}         [--fetch W] [--if-convert] [--trace file.trc]\n\
+         \u{20}         [--stream [--chunk EVENTS]] analyze in O(chunk) trace memory\n\
          \u{20} workloads                          list the benchmark suite\n\n\
          Files ending in .mc are MiniC; anything else is clfp assembly."
     );
@@ -100,6 +103,14 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// `--max-instr` and `--max-instrs` are both accepted everywhere.
+fn max_instrs_flag(args: &[String]) -> Result<Option<u64>, String> {
+    parse_flag_value(args, "--max-instr")
+        .or_else(|| parse_flag_value(args, "--max-instrs"))
+        .map(|v| v.parse().map_err(|_| format!("bad --max-instrs `{v}`")))
+        .transpose()
+}
+
 fn positional(args: &[String]) -> Option<&str> {
     let mut skip_next = false;
     for arg in args {
@@ -110,7 +121,7 @@ fn positional(args: &[String]) -> Option<&str> {
         if let Some(flag) = arg.strip_prefix("--") {
             skip_next = matches!(
                 flag,
-                "max-instr" | "predictor" | "fetch" | "workload" | "trace"
+                "max-instr" | "max-instrs" | "predictor" | "fetch" | "workload" | "trace" | "chunk"
             );
             continue;
         }
@@ -158,10 +169,7 @@ fn disasm_cmd(args: &[String]) -> Result<(), String> {
 
 fn run_cmd(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("run needs a file")?;
-    let limit: u64 = parse_flag_value(args, "--max-instr")
-        .map(|v| v.parse().map_err(|_| format!("bad --max-instr `{v}`")))
-        .transpose()?
-        .unwrap_or(1_000_000_000);
+    let limit: u64 = max_instrs_flag(args)?.unwrap_or(1_000_000_000);
     let program = load_program(path, codegen_options(args))?;
     let mut vm = Vm::new(&program, VmOptions::default());
     let outcome = vm.run(limit).map_err(|err| err.to_string())?;
@@ -176,10 +184,7 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
 fn trace_cmd(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("trace needs a file")?;
     let out = parse_flag_value(args, "-o").ok_or("trace needs `-o output.trc`")?;
-    let limit: u64 = parse_flag_value(args, "--max-instr")
-        .map(|v| v.parse().map_err(|_| format!("bad --max-instr `{v}`")))
-        .transpose()?
-        .unwrap_or(2_000_000);
+    let limit: u64 = max_instrs_flag(args)?.unwrap_or(2_000_000);
     let program = load_program(path, codegen_options(args))?;
     let mut vm = Vm::new(&program, VmOptions::default());
     let trace = vm.trace(limit).map_err(|err| err.to_string())?;
@@ -202,8 +207,8 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     };
 
     let mut config = AnalysisConfig::default();
-    if let Some(v) = parse_flag_value(args, "--max-instr") {
-        config.max_instrs = v.parse().map_err(|_| format!("bad --max-instr `{v}`"))?;
+    if let Some(limit) = max_instrs_flag(args)? {
+        config.max_instrs = limit;
     }
     if has_flag(args, "--no-unroll") {
         config.unrolling = false;
@@ -233,8 +238,25 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
         };
     }
 
+    let unrolling = config.unrolling;
     let analyzer = Analyzer::new(&program, config).map_err(|err| err.to_string())?;
-    let report = if let Some(trace_path) = parse_flag_value(args, "--trace") {
+    let report = if has_flag(args, "--stream") {
+        // Streaming chunked pipeline: never materializes the trace, so
+        // paper-scale caps (100M+) run in O(chunk) trace memory.
+        let mut options = StreamOptions::default();
+        if let Some(v) = parse_flag_value(args, "--chunk") {
+            options.chunk_events = v.parse().map_err(|_| format!("bad --chunk `{v}`"))?;
+        }
+        let streamed = if let Some(trace_path) = parse_flag_value(args, "--trace") {
+            let trace = clfp::vm::Trace::load(&program, trace_path)
+                .map_err(|err| format!("cannot load `{trace_path}`: {err}"))?;
+            analyzer.run_streamed_on(&trace, options)
+        } else {
+            analyzer.run_streamed(options)
+        }
+        .map_err(|err| err.to_string())?;
+        streamed.report(unrolling).clone()
+    } else if let Some(trace_path) = parse_flag_value(args, "--trace") {
         let trace = clfp::vm::Trace::load(&program, trace_path)
             .map_err(|err| format!("cannot load `{trace_path}`: {err}"))?;
         analyzer.run_on_trace(&trace)
