@@ -6,8 +6,8 @@
 //! regen --figure 6           # only Figure 6
 //! regen --max-instr 500000   # cap traces at 500k instructions
 //! regen --out results/       # also write each section as markdown
-//! regen --timing             # time fused vs reference pipeline,
-//!                            # write BENCH_suite.json
+//! regen --timing             # time lane vs scalar fused vs reference
+//!                            # pipelines, write BENCH_suite.json
 //! regen --scaling            # stream qsort+stencil at 2M..100M instrs,
 //!                            # write BENCH_scaling.json (wall + peak RSS)
 //! regen --lint               # lint + cross-check the suite, write
@@ -319,7 +319,7 @@ fn main() -> ExitCode {
 
     if args.timing {
         eprintln!(
-            "timing full-suite regen, fused vs reference pipeline (trace cap {})...",
+            "timing full-suite regen, lane vs scalar fused vs reference pipeline (trace cap {})...",
             args.max_instrs
         );
         let timing = match run_suite_timed(&config) {

@@ -126,13 +126,45 @@ fn analyze_workload(
     );
     let trace = vm.trace(config.max_instrs)?;
     let prepared = analyzer.prepare(&trace);
-    let unrolled = prepared.report_with_unrolling(true);
-    let rolled = prepared.report_with_unrolling(false);
+    // Both unroll settings in a single lane-kernel walk over the trace.
+    let (unrolled, rolled) = prepared.report_both();
 
     Ok(WorkloadReport {
         workload,
         unrolled,
         rolled,
+    })
+}
+
+/// [`run_suite`] through the scalar fused cursor
+/// ([`PreparedTrace::report_with_unrolling_scalar`](clfp_limits::PreparedTrace::report_with_unrolling_scalar))
+/// instead of the lane kernel — the pre-lane production path, kept as the
+/// wall-time baseline for [`run_suite_timed`] and as an oracle.
+///
+/// # Errors
+///
+/// Propagates the first analyzer error.
+pub fn run_suite_scalar(config: &AnalysisConfig) -> Result<Vec<WorkloadReport>, AnalyzeError> {
+    par_map_suite(|workload| {
+        let program = workload
+            .compile()
+            .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+        let analyzer = Analyzer::new(&program, config.clone())?;
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            clfp_vm::VmOptions {
+                mem_words: config.mem_words,
+            },
+        );
+        let trace = vm.trace(config.max_instrs)?;
+        let prepared = analyzer.prepare(&trace);
+        let unrolled = prepared.report_with_unrolling_scalar(true);
+        let rolled = prepared.report_with_unrolling_scalar(false);
+        Ok(WorkloadReport {
+            workload,
+            unrolled,
+            rolled,
+        })
     })
 }
 
@@ -200,9 +232,13 @@ pub struct WorkloadTiming {
     /// The shared machine-independent preparation walk
     /// (`Analyzer::prepare`: classification, memory keys, CD resolution).
     pub prepare_ms: f64,
-    /// The fused per-machine passes over the prepared trace, both unroll
-    /// settings.
+    /// The scalar fused per-machine passes over the prepared trace (one
+    /// cursor walk per machine × unroll slot, the pre-lane path).
     pub machines_ms: f64,
+    /// All 14 machine × unroll slots through the lane-parallel kernel —
+    /// one walk over the prepared trace (the `run_suite` production
+    /// path).
+    pub lane_machines_ms: f64,
     /// Fused analysis total: `prepare_ms + machines_ms`.
     pub fused_analysis_ms: f64,
     /// Reference analysis: one-machine-at-a-time passes, both unroll
@@ -226,19 +262,28 @@ pub struct SuiteTiming {
     pub max_instrs: u64,
     /// Worker threads available to the suite.
     pub threads: usize,
-    /// End-to-end wall time of the fused [`run_suite`] (the `regen` path).
+    /// End-to-end wall time of the scalar fused [`run_suite_scalar`]
+    /// (the pre-lane production path).
     pub fused_wall_ms: f64,
+    /// End-to-end wall time of the lane-kernel [`run_suite`] (the
+    /// `regen` path).
+    pub lane_wall_ms: f64,
     /// End-to-end wall time of [`run_suite_reference`].
     pub reference_wall_ms: f64,
     /// `reference_wall_ms / fused_wall_ms`.
     pub speedup: f64,
-    /// Whether both pipelines produced identical Tables 2-4.
+    /// Whether the production and reference pipelines produced identical
+    /// Tables 2-4.
     pub reports_match: bool,
-    /// Chunk size (events) used by the streaming comparison runs.
+    /// Chunk size (events) used by the streaming comparison runs
+    /// (`0` = adaptive per workload, the default).
     pub chunk_events: usize,
     /// Whether the streaming chunked pipeline reproduced the in-memory
     /// reports bit for bit on every workload, both unroll settings.
     pub stream_matches: bool,
+    /// Whether the lane kernel reproduced the scalar fused cursor's
+    /// reports bit for bit on every workload, both unroll settings.
+    pub lane_matches: bool,
     /// Provenance of this run (config hash, git describe, timestamp).
     pub manifest: RunManifest,
     /// Per-workload, per-stage breakdown (measured sequentially).
@@ -276,19 +321,25 @@ pub fn reports_equal(a: &Report, b: &Report) -> bool {
 /// Propagates the first analyzer error from either pipeline.
 pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeError> {
     let start = Instant::now();
-    let fused_reports = run_suite(config)?;
+    let fused_reports = run_suite_scalar(config)?;
     let fused_wall_ms = ms(start);
+
+    let start = Instant::now();
+    let lane_reports = run_suite(config)?;
+    let lane_wall_ms = ms(start);
 
     let start = Instant::now();
     let reference_reports = run_suite_reference(config)?;
     let reference_wall_ms = ms(start);
 
-    let reports_match = table2(&fused_reports) == table2(&reference_reports)
-        && table3(&fused_reports) == table3(&reference_reports)
-        && table4(&fused_reports) == table4(&reference_reports);
+    let reports_match = table2(&lane_reports) == table2(&reference_reports)
+        && table3(&lane_reports) == table3(&reference_reports)
+        && table4(&lane_reports) == table4(&reference_reports)
+        && table3(&lane_reports) == table3(&fused_reports);
 
     let chunk_events = StreamOptions::default().chunk_events;
     let mut stream_matches = true;
+    let mut lane_matches = true;
     let mut workloads = Vec::new();
     for workload in suite() {
         let options = clfp_vm::VmOptions {
@@ -325,10 +376,16 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         let prepared = unrolled.prepare(&trace);
         let prepare_ms = ms(start);
         let start = Instant::now();
-        let inmem_unrolled = prepared.report_with_unrolling(true);
-        let inmem_rolled = prepared.report_with_unrolling(false);
+        let inmem_unrolled = prepared.report_with_unrolling_scalar(true);
+        let inmem_rolled = prepared.report_with_unrolling_scalar(false);
         let machines_ms = ms(start);
         let fused_analysis_ms = prepare_ms + machines_ms;
+
+        let start = Instant::now();
+        let (lane_unrolled, lane_rolled) = prepared.report_both();
+        let lane_machines_ms = ms(start);
+        lane_matches &= reports_equal(&lane_unrolled, &inmem_unrolled)
+            && reports_equal(&lane_rolled, &inmem_rolled);
 
         let start = Instant::now();
         let _ = unrolled.run_on_trace_reference(&trace);
@@ -366,6 +423,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             trace_ms,
             prepare_ms,
             machines_ms,
+            lane_machines_ms,
             fused_analysis_ms,
             reference_analysis_ms,
             stream_ms,
@@ -378,11 +436,13 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         max_instrs: config.max_instrs,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         fused_wall_ms,
+        lane_wall_ms,
         reference_wall_ms,
         speedup: reference_wall_ms / fused_wall_ms.max(f64::MIN_POSITIVE),
         reports_match,
         chunk_events,
         stream_matches,
+        lane_matches,
         manifest: suite_manifest(config),
         workloads,
     })
@@ -399,10 +459,13 @@ impl SuiteTiming {
     /// Serializes the comparison as JSON (`BENCH_suite.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"suite\": \"full-suite regen, fused vs reference pipeline\",\n");
+        out.push_str(
+            "  \"suite\": \"full-suite regen, lane kernel vs scalar fused vs reference pipeline\",\n",
+        );
         out.push_str(&format!("  \"max_instrs\": {},\n", self.max_instrs));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"fused_wall_ms\": {:.1},\n", self.fused_wall_ms));
+        out.push_str(&format!("  \"lane_wall_ms\": {:.1},\n", self.lane_wall_ms));
         out.push_str(&format!(
             "  \"reference_wall_ms\": {:.1},\n",
             self.reference_wall_ms
@@ -414,6 +477,7 @@ impl SuiteTiming {
             "  \"stream_matches\": {},\n",
             self.stream_matches
         ));
+        out.push_str(&format!("  \"lane_matches\": {},\n", self.lane_matches));
         out.push_str(&format!(
             "  \"manifest\": {},\n",
             self.manifest.to_json_object("  ")
@@ -424,6 +488,7 @@ impl SuiteTiming {
                 "    {{\"name\": \"{}\", \"raw_instrs\": {}, \"compile_ms\": {:.1}, \
                  \"profiling_ms\": {:.1}, \"trace_ms\": {:.1}, \
                  \"prepare_ms\": {:.1}, \"machines_ms\": {:.1}, \
+                 \"lane_machines_ms\": {:.1}, \
                  \"fused_analysis_ms\": {:.1}, \"reference_analysis_ms\": {:.1}, \
                  \"stream_ms\": {:.1}, \"stream_par_ms\": {:.1}}}{}\n",
                 w.name,
@@ -433,6 +498,7 @@ impl SuiteTiming {
                 w.trace_ms,
                 w.prepare_ms,
                 w.machines_ms,
+                w.lane_machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
                 w.stream_ms,
@@ -447,13 +513,13 @@ impl SuiteTiming {
     /// Human-readable summary for the terminal.
     pub fn summary(&self) -> String {
         let mut out = String::from(
-            "## Suite Timing: fused vs reference pipeline\n\n\
-             | workload | raw instrs | compile | profiling (ref only) | trace | prepare | machine passes | fused total | reference analysis | stream (1t) | stream (par) |\n\
-             |----------|------------|---------|----------------------|-------|---------|----------------|-------------|--------------------|-------------|--------------|\n",
+            "## Suite Timing: lane kernel vs scalar fused vs reference pipeline\n\n\
+             | workload | raw instrs | compile | profiling (ref only) | trace | prepare | machine passes | lane passes | fused total | reference analysis | stream (1t) | stream (par) |\n\
+             |----------|------------|---------|----------------------|-------|---------|----------------|-------------|-------------|--------------------|-------------|--------------|\n",
         );
         for w in &self.workloads {
             out.push_str(&format!(
-                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
+                "| {} | {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms |\n",
                 w.name,
                 w.raw_instrs,
                 w.compile_ms,
@@ -461,21 +527,35 @@ impl SuiteTiming {
                 w.trace_ms,
                 w.prepare_ms,
                 w.machines_ms,
+                w.lane_machines_ms,
                 w.fused_analysis_ms,
                 w.reference_analysis_ms,
                 w.stream_ms,
                 w.stream_par_ms,
             ));
         }
+        let machines_total: f64 = self.workloads.iter().map(|w| w.machines_ms).sum();
+        let lane_total: f64 = self.workloads.iter().map(|w| w.lane_machines_ms).sum();
         out.push_str(&format!(
-            "\nfull-suite wall time: fused {:.2}s vs reference {:.2}s -> {:.2}x speedup \
-             (tables identical: {}; streaming bit-identical: {}, chunk {} events)\n",
+            "\nfull-suite wall time: fused {:.2}s vs reference {:.2}s -> {:.2}x speedup; \
+             lane-kernel suite {:.2}s; machine passes: scalar {:.0} ms vs lane {:.0} ms \
+             -> {:.2}x\n\
+             (tables identical: {}; streaming bit-identical: {}; lane bit-identical: {}; {})\n",
             self.fused_wall_ms / 1e3,
             self.reference_wall_ms / 1e3,
             self.speedup,
+            self.lane_wall_ms / 1e3,
+            machines_total,
+            lane_total,
+            machines_total / lane_total.max(f64::MIN_POSITIVE),
             self.reports_match,
             self.stream_matches,
-            self.chunk_events,
+            self.lane_matches,
+            if self.chunk_events == 0 {
+                "adaptive chunks".to_string()
+            } else {
+                format!("chunk {} events", self.chunk_events)
+            },
         ));
         out
     }
@@ -516,7 +596,8 @@ pub struct ScalingPoint {
 /// memory.
 #[derive(Clone, Debug)]
 pub struct ScalingSuite {
-    /// Chunk size (events) used throughout.
+    /// Chunk size (events) requested; 0 means the adaptive per-workload
+    /// default ([`StreamOptions::resolved_chunk_events`]).
     pub chunk_events: usize,
     /// Worker threads the machine broadcast ran with (resolved).
     pub machine_threads: usize,
@@ -685,10 +766,15 @@ impl ScalingSuite {
                     .map_or("-".to_string(), |m| m.to_string()),
             ));
         }
+        let chunks = if self.chunk_events == 0 {
+            "adaptive chunks".to_string()
+        } else {
+            format!("chunk {} events", self.chunk_events)
+        };
         out.push_str(&format!(
-            "\nchunk {} events, {} machine worker(s); RSS is the process \
+            "\n{chunks}, {} machine worker(s); RSS is the process \
              high-water mark (monotone across points)\n",
-            self.chunk_events, self.machine_threads,
+            self.machine_threads,
         ));
         out
     }
@@ -1506,17 +1592,22 @@ mod tests {
         assert_eq!(timing.workloads.len(), 10);
         assert!(timing.reports_match, "pipelines diverged");
         assert!(timing.stream_matches, "streaming pipeline diverged");
+        assert!(timing.lane_matches, "lane kernel diverged from scalar");
         assert!(timing.fused_wall_ms > 0.0);
+        assert!(timing.lane_wall_ms > 0.0);
         assert!(timing.reference_wall_ms > 0.0);
         let json = timing.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"reports_match\": true"));
         assert!(json.contains("\"stream_matches\": true"));
+        assert!(json.contains("\"lane_matches\": true"));
+        assert!(json.contains("\"lane_wall_ms\""));
         assert!(json.contains("\"chunk_events\""));
         assert!(json.contains("\"manifest\""));
         assert!(json.contains("\"config_hash\""));
         assert!(json.contains("\"prepare_ms\""));
         assert!(json.contains("\"machines_ms\""));
+        assert!(json.contains("\"lane_machines_ms\""));
         assert!(json.contains("\"stream_ms\""));
         assert!(json.contains("\"stream_par_ms\""));
         assert!(json.trim_end().ends_with('}'));
@@ -1524,6 +1615,7 @@ mod tests {
         assert!(summary.contains("speedup"));
         assert!(summary.contains("scan"));
         assert!(summary.contains("streaming bit-identical: true"));
+        assert!(summary.contains("lane bit-identical: true"));
     }
 
     #[test]
@@ -1600,7 +1692,7 @@ mod tests {
                 assert!(m.cycles > 0 && m.cycles <= m.instrs);
                 assert_eq!(m.flow.total(), m.instrs);
                 assert_eq!(m.occupancy.instrs, m.instrs);
-                assert!(u64::from(m.occupancy.peak) <= m.instrs);
+                assert!(m.occupancy.peak <= m.instrs);
                 let attr = &m.attribution;
                 if attr.classified() > 0 {
                     let sum: f64 = EdgeKind::ALL.iter().map(|&k| attr.percent(k)).sum();

@@ -284,8 +284,8 @@ pub fn solve(problem: &Problem<'_>) -> Solution {
         }
     }
     order.reverse();
-    for node in 0..n {
-        if state[node] == 0 {
+    for (node, &mark) in state.iter().enumerate() {
+        if mark == 0 {
             order.push(node);
         }
     }
@@ -365,7 +365,7 @@ fn instr_defs(instr: Instr) -> impl Iterator<Item = Reg> {
     CALL_DEFS
         .into_iter()
         .filter(move |_| call)
-        .chain(single.into_iter())
+        .chain(single)
 }
 
 /// The registers an instruction may read, with calls expanded to the

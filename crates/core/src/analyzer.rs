@@ -3,6 +3,7 @@ use clfp_isa::Program;
 use clfp_vm::{Trace, Vm, VmOptions};
 
 use crate::fused::run_fused;
+use crate::lane::run_lanes;
 use crate::meta::{EventClass, ProgramMeta, TraceMeta, CD_INHERIT, CD_NONE};
 use crate::pass::{run_pass, PassConfig, PassResult, Prepared};
 use crate::stats::MispredictionStats;
@@ -251,7 +252,10 @@ impl PreparedTrace<'_, '_> {
         let analyzer = self.analyzer;
         let class = self.meta.class(unrolling);
         let pass_config = PassConfig::from_analysis(&analyzer.config);
-        let mut state = crate::fused::MachineState::new(analyzer.program.text.len());
+        let mut state = crate::fused::MachineState::with_mem_capacity(
+            analyzer.program.text.len(),
+            self.mem_capacity(),
+        );
         analyzer
             .config
             .machines
@@ -277,7 +281,65 @@ impl PreparedTrace<'_, '_> {
     /// setting. The preparation walk records the ignore classification for
     /// both settings (everything else it computes is unroll-independent),
     /// so Table 4's with/without comparison needs only one prepared trace.
+    ///
+    /// Runs the lane-parallel kernel: every configured machine is
+    /// scheduled in one walk over the event stream (see
+    /// [`lane`](crate::lane)). Bit-identical to
+    /// [`PreparedTrace::report_with_unrolling_scalar`], which is kept as
+    /// the oracle.
     pub fn report_with_unrolling(&self, unrolling: bool) -> Report {
+        let analyzer = self.analyzer;
+        let class = self.meta.class(unrolling);
+        let slots: Vec<(MachineKind, bool)> = analyzer
+            .config
+            .machines
+            .iter()
+            .map(|&kind| (kind, unrolling))
+            .collect();
+        let passes = run_lanes(
+            &analyzer.meta,
+            &self.meta.events,
+            self.meta.class(true),
+            self.meta.class(false),
+            &PassConfig::from_analysis(&analyzer.config),
+            &slots,
+            self.mem_capacity(),
+        );
+        self.assemble(class, passes)
+    }
+
+    /// Both unroll settings from one lane-parallel walk: all machine ×
+    /// setting slots (up to 14) are scheduled reading each event exactly
+    /// once. Returns `(unrolled, rolled)` reports — the benchmark suite's
+    /// Table 4 path.
+    pub fn report_both(&self) -> (Report, Report) {
+        let analyzer = self.analyzer;
+        let machines = &analyzer.config.machines;
+        let mut slots: Vec<(MachineKind, bool)> = Vec::with_capacity(machines.len() * 2);
+        for unrolling in [true, false] {
+            slots.extend(machines.iter().map(|&kind| (kind, unrolling)));
+        }
+        let mut passes = run_lanes(
+            &analyzer.meta,
+            &self.meta.events,
+            self.meta.class(true),
+            self.meta.class(false),
+            &PassConfig::from_analysis(&analyzer.config),
+            &slots,
+            self.mem_capacity(),
+        );
+        let rolled_passes = passes.split_off(machines.len());
+        (
+            self.assemble(self.meta.class(true), passes),
+            self.assemble(self.meta.class(false), rolled_passes),
+        )
+    }
+
+    /// The scalar machine-major fused path — one cursor per machine, N
+    /// walks over the events. Kept as the wall-time baseline and as an
+    /// oracle for the lane kernel (the `lane_equivalence` suite asserts
+    /// bit-identical reports).
+    pub fn report_with_unrolling_scalar(&self, unrolling: bool) -> Report {
         let analyzer = self.analyzer;
         let class = self.meta.class(unrolling);
         let passes = run_fused(
@@ -286,8 +348,15 @@ impl PreparedTrace<'_, '_> {
             class,
             &PassConfig::from_analysis(&analyzer.config),
             &analyzer.config.machines,
+            self.mem_capacity(),
         );
         self.assemble(class, passes)
+    }
+
+    /// Last-write-table sizing hint: the trace's measured distinct
+    /// memory-key count (clamped below by the tables' minimum).
+    fn mem_capacity(&self) -> usize {
+        self.meta.distinct_mem_keys.min(1 << 28) as usize
     }
 
     /// Folds per-machine pass results into a [`Report`].

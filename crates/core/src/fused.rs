@@ -61,11 +61,19 @@ pub(crate) struct MachineState {
 
 impl MachineState {
     pub fn new(text_len: usize) -> MachineState {
+        MachineState::with_mem_capacity(text_len, crate::lane::DEFAULT_MEM_CAPACITY)
+    }
+
+    /// Like [`MachineState::new`], with the last-write tables sized for
+    /// `mem_capacity` distinct keys — pass the trace's measured
+    /// `distinct_mem_keys` (or a summary's `distinct_mem_words`) to avoid
+    /// rehash/grow churn on memory-heavy workloads.
+    pub fn with_mem_capacity(text_len: usize, mem_capacity: usize) -> MachineState {
         MachineState {
             reg_time: [0; 32],
             reg_read: [0; 32],
-            mem_time: LastWriteTable::with_capacity(1 << 16),
-            mem_read: LastWriteTable::with_capacity(1 << 16),
+            mem_time: LastWriteTable::with_capacity(mem_capacity),
+            mem_read: LastWriteTable::with_capacity(mem_capacity),
             branch_time: vec![0; text_len],
             branch_ceiling: vec![0; text_len],
             stack: Vec::new(),
@@ -444,7 +452,7 @@ impl MachineCursor {
                     a.reg_writer[meta.def as usize] = i as u32;
                 }
                 if is_store {
-                    a.mem_writer.set(event.mem_key, i as u64 + 1);
+                    a.mem_writer.set(event.mem_key, i + 1);
                 }
             }
             if !config.rename {
@@ -601,13 +609,14 @@ pub(crate) fn run_fused(
     class: &EventClass,
     config: &PassConfig,
     kinds: &[MachineKind],
+    mem_capacity: usize,
 ) -> Vec<PassResult> {
     let text_len = pcs.pcs.len();
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(kinds.len());
     if workers <= 1 {
-        let mut state = MachineState::new(text_len);
+        let mut state = MachineState::with_mem_capacity(text_len, mem_capacity);
         return kinds
             .iter()
             .map(|&kind| {
@@ -622,7 +631,7 @@ pub(crate) fn run_fused(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut state = MachineState::new(text_len);
+                let mut state = MachineState::with_mem_capacity(text_len, mem_capacity);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= kinds.len() {
@@ -746,7 +755,14 @@ mod tests {
         let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace);
         let class = tm.class(config.unrolling);
         let kinds = [MachineKind::Oracle, MachineKind::Base, MachineKind::Sp];
-        let results = run_fused(&pcs, &tm.events, class, &pass_config, &kinds);
+        let results = run_fused(
+            &pcs,
+            &tm.events,
+            class,
+            &pass_config,
+            &kinds,
+            crate::lane::DEFAULT_MEM_CAPACITY,
+        );
         assert_eq!(results.len(), 3);
         let mut state = MachineState::new(program.text.len());
         for (result, &kind) in results.iter().zip(&kinds) {

@@ -1,0 +1,718 @@
+//! The lane-parallel multi-machine scheduling kernel.
+//!
+//! [`run_fused`](crate::fused::run_fused) walks the pre-decoded
+//! [`EventMeta`] stream once per machine × unroll slot — up to 14 walks
+//! over an identical event sequence whose per-event work is a max-fold
+//! that differs between machines only in the *control* term. This module
+//! restructures that loop from machine-major to **event-major lanes**:
+//! one walk reads each event once and schedules every requested slot
+//! simultaneously, carrying per-lane time vectors (`[u64; L]` per
+//! register, per branch PC, per memory key) instead of scalar state.
+//!
+//! Two properties make the fold branchless across lanes:
+//!
+//! * Every scheduling quantity is an unsigned max of constraint terms, so
+//!   a term that a machine does not impose can be **masked to zero** —
+//!   zero never wins an unsigned max against a real constraint. The
+//!   machine distinctions (BASE waits on the last branch, SP on the last
+//!   misprediction, ORACLE on nothing; CD vs SP-CD read `time` vs
+//!   `ceiling`; the CD/SP-CD branch-ordering extras) all become per-lane
+//!   constant masks built once at group construction.
+//! * Conditional state updates ("only if this lane does not ignore the
+//!   event") become select operations `(new & m) | (old & !m)` with the
+//!   lane's per-event active mask, derived from the packed two-bit
+//!   [`EventClass`] for whichever unroll setting the lane requested.
+//!
+//! What cannot be masked is monomorphized instead. Lanes are grouped by
+//! the one structural feature that changes *which state exists*:
+//! machines that consult control dependences (CD, CD-MF, SP-CD,
+//! SP-CD-MF) need the per-branch `time`/`ceiling` arrays and the
+//! inheritance stack; BASE, SP and ORACLE provably never read them. The
+//! kernel is generic over `<const L: usize, const CD: bool, const
+//! RENAME: bool, const FETCH: bool>`, so the CD arrays, the
+//! anti-dependence tracking (off under register renaming, the default)
+//! and the fetch-bandwidth divide are stripped at compile time and the
+//! per-lane loops unroll and auto-vectorize over `L ∈ {1, 2, 4, 6, 8}`.
+//!
+//! The SP machine's misprediction-segment statistics mix integer and
+//! floating-point arithmetic and reset state at data-dependent points;
+//! they stay scalar, applied per event to the (at most two) SP lanes in
+//! a group — the identical operations in the identical order as the
+//! scalar cursor, so the resulting [`MispredictionStats`] are
+//! bit-identical.
+//!
+//! The kernel produces [`PassResult`]s only. Metrics recording
+//! (`clfp-metrics` sinks) needs per-machine binding-edge attribution and
+//! stays on the scalar [`MachineCursor`](crate::fused::MachineCursor);
+//! the `lane_equivalence` integration suite holds the lane kernel
+//! bit-identical to both the scalar cursor and the original reference
+//! pass across machines, workloads, unroll settings, and chunk sizes.
+
+use crate::meta::{
+    EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, NO_REG,
+    PC_CALL, PC_LOAD, PC_RET, PC_STORE,
+};
+use crate::pass::{PassConfig, PassResult};
+use crate::stats::MispredictionStats;
+use crate::MachineKind;
+
+/// Default last-write-table capacity when no trace summary (or per-trace
+/// distinct-key count) is available to size it — the scalar path's
+/// historical `1 << 16`.
+pub(crate) const DEFAULT_MEM_CAPACITY: usize = 1 << 16;
+
+/// A lane-widened [`LastWriteTable`](crate::LastWriteTable): the same
+/// open-addressed Fibonacci-hashed probe sequence, but each slot stores
+/// the last-write cycle for all `L` lanes, so one probe serves the whole
+/// group where the machine-major walk paid one probe per machine.
+struct LaneTable<const L: usize> {
+    keys: Vec<u32>,
+    values: Vec<[u64; L]>,
+    len: usize,
+    mask: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl<const L: usize> LaneTable<L> {
+    fn with_capacity(capacity: usize) -> LaneTable<L> {
+        let slots = (capacity.max(16) * 2).next_power_of_two();
+        LaneTable {
+            keys: vec![EMPTY; slots],
+            values: vec![[0; L]; slots],
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        let hash = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hash >> 32) as usize & self.mask
+    }
+
+    /// The per-lane last-write cycles for `key` ([0; L] if never written).
+    #[inline]
+    fn get(&self, key: u32) -> [u64; L] {
+        debug_assert_ne!(key, EMPTY, "sentinel address");
+        let mut slot = self.slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.values[slot];
+            }
+            if k == EMPTY {
+                return [0; L];
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Mutable access to `key`'s lane vector, inserting zeros if absent.
+    #[inline]
+    fn entry(&mut self, key: u32) -> &mut [u64; L] {
+        debug_assert_ne!(key, EMPTY, "sentinel address");
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut slot = self.slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                break;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.len += 1;
+                break;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        &mut self.values[slot]
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_values = std::mem::take(&mut self.values);
+        let new_slots = (old_keys.len() * 2).max(32);
+        self.keys = vec![EMPTY; new_slots];
+        self.values = vec![[0; L]; new_slots];
+        self.mask = new_slots - 1;
+        for (key, value) in old_keys.into_iter().zip(old_values) {
+            if key != EMPTY {
+                let mut slot = self.slot(key);
+                while self.keys[slot] != EMPTY {
+                    slot = (slot + 1) & self.mask;
+                }
+                self.keys[slot] = key;
+                self.values[slot] = value;
+            }
+        }
+    }
+}
+
+/// Scalar SP-segment state for one lane (see
+/// [`MispredictionStats`]): the misprediction-distance bookkeeping is
+/// data-dependent and partly floating-point, so it runs per tracked lane
+/// exactly as the scalar cursor runs it.
+struct SegTracker {
+    lane: usize,
+    count: u64,
+    start: u64,
+    max: u64,
+    stats: MispredictionStats,
+}
+
+impl SegTracker {
+    fn new(lane: usize) -> SegTracker {
+        SegTracker {
+            lane,
+            count: 0,
+            start: 0,
+            max: 0,
+            stats: MispredictionStats::new(),
+        }
+    }
+
+    fn finish(mut self) -> MispredictionStats {
+        if self.count > 0 {
+            let span = self.max.saturating_sub(self.start).max(1);
+            self.stats.record_segment(
+                self.count.min(u32::MAX as u64) as u32,
+                self.count as f64 / span as f64,
+            );
+        }
+        self.stats
+    }
+}
+
+/// One lane's request: which result slot it fills, which machine it
+/// models, and which unroll classification it reads.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct LaneSlot {
+    pub slot: usize,
+    pub kind: MachineKind,
+    pub unrolling: bool,
+}
+
+#[inline]
+fn lane_mask(on: bool) -> u64 {
+    if on {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// A group of up to `L` lanes scheduled together by one monomorphized
+/// kernel. `CD` selects the control-dependence state (branch arrays +
+/// inheritance stack); `RENAME` strips anti-dependence tracking; `FETCH`
+/// strips the fetch-bandwidth divide.
+struct GroupCursor<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> {
+    /// The real lanes (`lanes.len() <= L`; padding lanes replicate lane 0
+    /// and their results are discarded).
+    lanes: Vec<LaneSlot>,
+    fetch_width: u64,
+    /// All-ones for lanes reading the *unrolled* ignore classification.
+    unroll_sel: [u64; L],
+    /// Primary control-term masks. `CD`: `m_a` selects `branch_time`
+    /// (CD, CD-MF), `m_b` selects `branch_ceiling` (SP-CD, SP-CD-MF).
+    /// `!CD`: `m_a` selects `last_branch` (BASE), `m_b` selects
+    /// `last_mispred` (SP); ORACLE masks both to zero.
+    m_a: [u64; L],
+    m_b: [u64; L],
+    /// CD-only branch-ordering extras: CD lanes order all branches after
+    /// `last_branch`; SP-CD lanes order mispredicted branches after
+    /// `last_mispred`.
+    m_ord_lb: [u64; L],
+    m_ord_lm: [u64; L],
+
+    reg_time: [[u64; L]; 32],
+    reg_read: [[u64; L]; 32],
+    mem_time: LaneTable<L>,
+    mem_read: LaneTable<L>,
+    branch_time: Vec<[u64; L]>,
+    branch_ceiling: Vec<[u64; L]>,
+    stack: Vec<([u64; L], [u64; L])>,
+    last_branch: [u64; L],
+    last_mispred: [u64; L],
+    cycles: [u64; L],
+    count: [u64; L],
+    seg: Vec<SegTracker>,
+}
+
+impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
+    GroupCursor<L, CD, RENAME, FETCH>
+{
+    fn new(lanes: &[LaneSlot], text_len: usize, config: &PassConfig, mem_capacity: usize) -> Self {
+        debug_assert!(!lanes.is_empty() && lanes.len() <= L);
+        let spec = |l: usize| lanes[l.min(lanes.len() - 1)];
+        let mut unroll_sel = [0; L];
+        let mut m_a = [0; L];
+        let mut m_b = [0; L];
+        let mut m_ord_lb = [0; L];
+        let mut m_ord_lm = [0; L];
+        for l in 0..L {
+            let lane = spec(l);
+            debug_assert_eq!(lane.kind.uses_control_deps(), CD);
+            unroll_sel[l] = lane_mask(lane.unrolling);
+            if CD {
+                m_a[l] = lane_mask(matches!(lane.kind, MachineKind::Cd | MachineKind::CdMf));
+                m_b[l] = lane_mask(matches!(lane.kind, MachineKind::SpCd | MachineKind::SpCdMf));
+                m_ord_lb[l] = lane_mask(lane.kind == MachineKind::Cd);
+                m_ord_lm[l] = lane_mask(lane.kind == MachineKind::SpCd);
+            } else {
+                m_a[l] = lane_mask(lane.kind == MachineKind::Base);
+                m_b[l] = lane_mask(lane.kind == MachineKind::Sp);
+            }
+        }
+        GroupCursor {
+            lanes: lanes.to_vec(),
+            fetch_width: config.fetch_bandwidth.unwrap_or(1),
+            unroll_sel,
+            m_a,
+            m_b,
+            m_ord_lb,
+            m_ord_lm,
+            reg_time: [[0; L]; 32],
+            reg_read: [[0; L]; 32],
+            mem_time: LaneTable::with_capacity(mem_capacity),
+            mem_read: LaneTable::with_capacity(if RENAME { 1 } else { mem_capacity }),
+            branch_time: if CD { vec![[0; L]; text_len] } else { Vec::new() },
+            branch_ceiling: if CD { vec![[0; L]; text_len] } else { Vec::new() },
+            stack: Vec::new(),
+            last_branch: [0; L],
+            last_mispred: [0; L],
+            cycles: [0; L],
+            count: [0; L],
+            seg: lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, lane)| lane.kind == MachineKind::Sp)
+                .map(|(l, _)| SegTracker::new(l))
+                .collect(),
+        }
+    }
+
+    /// The `(time, ceiling)` lane vectors named by a pre-resolved `cd`
+    /// annotation — [`MachineState::cd_ctx`](crate::fused) widened.
+    #[inline]
+    fn cd_ctx(&self, cd: u32) -> ([u64; L], [u64; L]) {
+        match cd {
+            CD_NONE => ([0; L], [0; L]),
+            CD_INHERIT => self.stack.last().copied().unwrap_or(([0; L], [0; L])),
+            pc => (
+                self.branch_time[pc as usize],
+                self.branch_ceiling[pc as usize],
+            ),
+        }
+    }
+}
+
+/// Object-safe handle over one monomorphized lane group, so the
+/// scheduler (and the streaming broadcast) can hold a mixed set of
+/// groups and feed them chunk by chunk.
+pub(crate) trait GroupFeed: Send {
+    /// Schedules one chunk of consecutive events. `offset` is the
+    /// position of `events[0]` within the classifications, so callers can
+    /// feed sub-slices of an in-memory trace against whole-trace
+    /// [`EventClass`] bitmaps (the streaming path passes per-chunk
+    /// classifications with `offset == 0`).
+    fn feed(
+        &mut self,
+        pcs: &ProgramMeta,
+        offset: usize,
+        events: &[EventMeta],
+        unrolled: &EventClass,
+        rolled: &EventClass,
+    );
+
+    /// Closes the walk, returning `(request slot, result)` per real lane.
+    fn finish(self: Box<Self>) -> Vec<(usize, PassResult)>;
+}
+
+impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> GroupFeed
+    for GroupCursor<L, CD, RENAME, FETCH>
+{
+    fn feed(
+        &mut self,
+        pcs: &ProgramMeta,
+        offset: usize,
+        events: &[EventMeta],
+        unrolled: &EventClass,
+        rolled: &EventClass,
+    ) {
+        for (j, event) in events.iter().enumerate() {
+            let meta = &pcs.pcs[event.pc as usize];
+            let is_branch = event.flags & EV_BRANCH != 0;
+            let mispredicted = event.flags & EV_MISPRED != 0 && is_branch;
+
+            // Per-lane active mask from the lane's unroll setting. The
+            // two settings differ only in the ignore bit, which the
+            // preparation walk records for both.
+            let igu = 0u64.wrapping_sub(unrolled.ignored(offset + j) as u64);
+            let igr = 0u64.wrapping_sub(rolled.ignored(offset + j) as u64);
+            let mut am = [0u64; L];
+            for (a, &sel) in am.iter_mut().zip(&self.unroll_sel) {
+                *a = !((igu & sel) | (igr & !sel));
+            }
+
+            let (cd0, cd1) = if CD {
+                self.cd_ctx(event.cd)
+            } else {
+                ([0; L], [0; L])
+            };
+
+            // Machine-specific control constraint: two masked primary
+            // terms, plus the CD/SP-CD branch-ordering extras. A lane's
+            // `ctl` is a don't-care when the lane ignores the event
+            // (every consumer of `exec` below is select-masked), so no
+            // active gating is needed here.
+            let mut ctl = [0u64; L];
+            if CD {
+                for l in 0..L {
+                    ctl[l] = (cd0[l] & self.m_a[l]).max(cd1[l] & self.m_b[l]);
+                }
+                if is_branch {
+                    for (l, c) in ctl.iter_mut().enumerate() {
+                        *c = (*c).max(self.last_branch[l] & self.m_ord_lb[l]);
+                    }
+                    if mispredicted {
+                        for (l, c) in ctl.iter_mut().enumerate() {
+                            *c = (*c).max(self.last_mispred[l] & self.m_ord_lm[l]);
+                        }
+                    }
+                }
+            } else {
+                for (l, c) in ctl.iter_mut().enumerate() {
+                    *c = (self.last_branch[l] & self.m_a[l]).max(self.last_mispred[l] & self.m_b[l]);
+                }
+            }
+            if FETCH {
+                for (l, c) in ctl.iter_mut().enumerate() {
+                    *c = (*c).max(self.count[l] / self.fetch_width);
+                }
+            }
+
+            // True data dependences — identical terms for every lane,
+            // read from lane-widened tables (one memory probe per group).
+            let mut data = [0u64; L];
+            for &reg in &meta.uses {
+                if reg == NO_REG {
+                    break;
+                }
+                let rt = &self.reg_time[reg as usize];
+                for l in 0..L {
+                    data[l] = data[l].max(rt[l]);
+                }
+            }
+            let is_load = meta.is(PC_LOAD);
+            let is_store = meta.is(PC_STORE);
+            if is_load {
+                let mt = self.mem_time.get(event.mem_key);
+                for l in 0..L {
+                    data[l] = data[l].max(mt[l]);
+                }
+            }
+            if !RENAME {
+                if meta.def != NO_REG {
+                    let rr = &self.reg_read[meta.def as usize];
+                    let rt = &self.reg_time[meta.def as usize];
+                    for l in 0..L {
+                        data[l] = data[l].max(rr[l]).max(rt[l]);
+                    }
+                }
+                if is_store {
+                    let mr = self.mem_read.get(event.mem_key);
+                    let mt = self.mem_time.get(event.mem_key);
+                    for l in 0..L {
+                        data[l] = data[l].max(mr[l]).max(mt[l]);
+                    }
+                }
+            }
+
+            let mut exec = [0u64; L];
+            let mut done = [0u64; L];
+            let latency = meta.latency as u64;
+            for l in 0..L {
+                exec[l] = data[l].max(ctl[l]) + 1;
+                done[l] = exec[l] + latency - 1;
+            }
+
+            // State updates, select-masked per lane.
+            for (c, &a) in self.count.iter_mut().zip(&am) {
+                *c += a & 1;
+            }
+            for l in 0..L {
+                self.cycles[l] = self.cycles[l].max(done[l] & am[l]);
+            }
+            if meta.def != NO_REG {
+                let rt = &mut self.reg_time[meta.def as usize];
+                for l in 0..L {
+                    rt[l] = (done[l] & am[l]) | (rt[l] & !am[l]);
+                }
+            }
+            if is_store {
+                let mt = self.mem_time.entry(event.mem_key);
+                for l in 0..L {
+                    mt[l] = (done[l] & am[l]) | (mt[l] & !am[l]);
+                }
+            }
+            if !RENAME {
+                for &reg in &meta.uses {
+                    if reg == NO_REG {
+                        break;
+                    }
+                    let rr = &mut self.reg_read[reg as usize];
+                    for l in 0..L {
+                        rr[l] = rr[l].max(exec[l] & am[l]);
+                    }
+                }
+                if is_load {
+                    let mr = self.mem_read.entry(event.mem_key);
+                    for l in 0..L {
+                        mr[l] = mr[l].max(exec[l] & am[l]);
+                    }
+                }
+            }
+
+            // Branch trackers.
+            if is_branch {
+                for l in 0..L {
+                    self.last_branch[l] = (exec[l] & am[l]) | (self.last_branch[l] & !am[l]);
+                }
+                if mispredicted {
+                    for l in 0..L {
+                        self.last_mispred[l] = (exec[l] & am[l]) | (self.last_mispred[l] & !am[l]);
+                    }
+                }
+                if CD {
+                    // A lane that ignores the branch (perfect unrolling
+                    // deleted it) inherits the constraint the branch
+                    // itself would have waited on.
+                    let pc = event.pc as usize;
+                    let bt = &mut self.branch_time[pc];
+                    for l in 0..L {
+                        bt[l] = (exec[l] & am[l]) | (cd0[l] & !am[l]);
+                    }
+                    let bc = &mut self.branch_ceiling[pc];
+                    if mispredicted {
+                        for l in 0..L {
+                            bc[l] = (exec[l] & am[l]) | (cd1[l] & !am[l]);
+                        }
+                    } else {
+                        *bc = cd1;
+                    }
+                }
+            }
+            if CD {
+                if meta.is(PC_CALL) {
+                    self.stack.push((cd0, cd1));
+                } else if meta.is(PC_RET) {
+                    self.stack.pop();
+                }
+            }
+
+            // SP segment statistics (scalar per tracked lane; empty for
+            // every group without an SP lane).
+            for t in &mut self.seg {
+                if am[t.lane] != 0 {
+                    t.count += 1;
+                    t.max = t.max.max(exec[t.lane]);
+                    if mispredicted {
+                        let span = t.max.saturating_sub(t.start).max(1);
+                        t.stats.record_segment(
+                            t.count.min(u32::MAX as u64) as u32,
+                            t.count as f64 / span as f64,
+                        );
+                        t.count = 0;
+                        t.start = exec[t.lane];
+                        t.max = exec[t.lane];
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Vec<(usize, PassResult)> {
+        let mut stats: Vec<Option<MispredictionStats>> = (0..L).map(|_| None).collect();
+        for t in self.seg {
+            let lane = t.lane;
+            stats[lane] = Some(t.finish());
+        }
+        self.lanes
+            .iter()
+            .enumerate()
+            .map(|(l, lane)| {
+                (
+                    lane.slot,
+                    PassResult {
+                        cycles: self.cycles[l],
+                        count: self.count[l],
+                        mispred_stats: stats[l].take(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+fn make_group<const CD: bool>(
+    lanes: &[LaneSlot],
+    text_len: usize,
+    config: &PassConfig,
+    mem_capacity: usize,
+) -> Box<dyn GroupFeed> {
+    macro_rules! mono {
+        ($l:literal) => {
+            match (config.rename, config.fetch_bandwidth.is_some()) {
+                (true, false) => Box::new(GroupCursor::<$l, CD, true, false>::new(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                )) as Box<dyn GroupFeed>,
+                (true, true) => Box::new(GroupCursor::<$l, CD, true, true>::new(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                )),
+                (false, false) => Box::new(GroupCursor::<$l, CD, false, false>::new(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                )),
+                (false, true) => Box::new(GroupCursor::<$l, CD, false, true>::new(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                )),
+            }
+        };
+    }
+    match lanes.len() {
+        1 => mono!(1),
+        2 => mono!(2),
+        3 | 4 => mono!(4),
+        5 | 6 => mono!(6),
+        _ => mono!(8),
+    }
+}
+
+/// All lane groups for one set of requested machine × unroll slots,
+/// fed chunk by chunk and finished into request-ordered results.
+///
+/// Slots split into at most one CD group and one non-CD group of up to 8
+/// lanes each (the full 7-machine × 2-setting request is exactly 8 CD +
+/// 6 non-CD lanes); larger requests simply open further groups.
+pub(crate) struct LaneScheduler {
+    pub(crate) groups: Vec<Box<dyn GroupFeed>>,
+    total: usize,
+}
+
+impl LaneScheduler {
+    pub fn new(
+        slots: &[(MachineKind, bool)],
+        text_len: usize,
+        config: &PassConfig,
+        mem_capacity: usize,
+    ) -> LaneScheduler {
+        let mut cd_lanes = Vec::new();
+        let mut plain_lanes = Vec::new();
+        for (slot, &(kind, unrolling)) in slots.iter().enumerate() {
+            let lane = LaneSlot {
+                slot,
+                kind,
+                unrolling,
+            };
+            if kind.uses_control_deps() {
+                cd_lanes.push(lane);
+            } else {
+                plain_lanes.push(lane);
+            }
+        }
+        let mut groups: Vec<Box<dyn GroupFeed>> = Vec::new();
+        for lanes in cd_lanes.chunks(8) {
+            groups.push(make_group::<true>(lanes, text_len, config, mem_capacity));
+        }
+        for lanes in plain_lanes.chunks(8) {
+            groups.push(make_group::<false>(lanes, text_len, config, mem_capacity));
+        }
+        LaneScheduler {
+            groups,
+            total: slots.len(),
+        }
+    }
+
+    /// Feeds one chunk to every group.
+    pub fn feed(
+        &mut self,
+        pcs: &ProgramMeta,
+        offset: usize,
+        events: &[EventMeta],
+        unrolled: &EventClass,
+        rolled: &EventClass,
+    ) {
+        for group in &mut self.groups {
+            group.feed(pcs, offset, events, unrolled, rolled);
+        }
+    }
+
+    /// Closes every group, returning results in request-slot order.
+    pub fn finish(self) -> Vec<PassResult> {
+        let mut out: Vec<Option<PassResult>> = (0..self.total).map(|_| None).collect();
+        for group in self.groups {
+            for (slot, result) in group.finish() {
+                out[slot] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|result| result.expect("every requested slot has a lane"))
+            .collect()
+    }
+}
+
+/// Events per in-memory feed chunk: ~13 bytes of event data per entry
+/// keeps a chunk L2-resident, so when the CD and non-CD groups walk it
+/// back to back the second walk reads warm cache — the whole request
+/// still makes a single pass over trace-sized memory.
+const FEED_CHUNK: usize = 1 << 14;
+
+/// Runs every requested machine × unroll slot over an in-memory prepared
+/// trace through the lane kernel, returning results in request order.
+///
+/// Multiple cores fan the (at most two) groups out over scoped threads,
+/// each walking the whole event slice; a single core interleaves the
+/// groups chunk by chunk so the event stream is read from memory once.
+pub(crate) fn run_lanes(
+    pcs: &ProgramMeta,
+    events: &[EventMeta],
+    unrolled: &EventClass,
+    rolled: &EventClass,
+    config: &PassConfig,
+    slots: &[(MachineKind, bool)],
+    mem_capacity: usize,
+) -> Vec<PassResult> {
+    let mut sched = LaneScheduler::new(slots, pcs.pcs.len(), config, mem_capacity);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(sched.groups.len());
+    if workers > 1 {
+        std::thread::scope(|scope| {
+            for group in &mut sched.groups {
+                scope.spawn(|| group.feed(pcs, 0, events, unrolled, rolled));
+            }
+        });
+    } else {
+        let mut base = 0;
+        while base < events.len() {
+            let end = (base + FEED_CHUNK).min(events.len());
+            sched.feed(pcs, base, &events[base..end], unrolled, rolled);
+            base = end;
+        }
+    }
+    sched.finish()
+}

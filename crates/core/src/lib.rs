@@ -56,6 +56,7 @@ mod analyzer;
 mod config;
 mod error;
 mod fused;
+mod lane;
 mod lastwrite;
 mod machine;
 mod meta;

@@ -162,7 +162,7 @@ impl EventClass {
     /// Appends one event's classification.
     #[inline]
     pub fn push(&mut self, mispred: bool, ignored: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.mispred.push(0);
             self.ignored.push(0);
         }
@@ -253,6 +253,10 @@ pub(crate) struct TraceMeta {
     class_unrolled: EventClass,
     class_rolled: EventClass,
     pub branches: BranchReport,
+    /// Distinct disambiguated memory keys touched by loads and stores —
+    /// sizes the machine walks' last-write tables to the trace's live
+    /// footprint instead of a fixed guess.
+    pub distinct_mem_keys: u64,
 }
 
 impl TraceMeta {
@@ -295,6 +299,7 @@ impl TraceMeta {
             class_unrolled,
             class_rolled,
             branches: builder.branches(),
+            distinct_mem_keys: builder.distinct_mem_keys(),
         }
     }
 }
@@ -324,6 +329,11 @@ pub(crate) struct MetaBuilder<'a> {
     branch_proc: Vec<u64>,
     stack: Vec<u64>,
     seq: u64,
+    /// Membership bitmap over disambiguated memory keys (grown on
+    /// demand; keys are word addresses shifted down, so the bitmap is
+    /// 1/32 of the touched address range).
+    mem_seen: Vec<u64>,
+    distinct_mem_keys: u64,
 }
 
 impl<'a> MetaBuilder<'a> {
@@ -349,6 +359,8 @@ impl<'a> MetaBuilder<'a> {
             branch_proc: vec![0u64; pcs.pcs.len()],
             stack: Vec::new(),
             seq: 0,
+            mem_seen: Vec::new(),
+            distinct_mem_keys: 0,
         }
     }
 
@@ -411,9 +423,21 @@ impl<'a> MetaBuilder<'a> {
             if meta.is(PC_BRANCH) {
                 flags |= EV_BRANCH;
             }
+            let mem_key = event.mem_addr >> self.shift;
+            if meta.flags & (PC_LOAD | PC_STORE) != 0 {
+                let word = (mem_key >> 6) as usize;
+                if word >= self.mem_seen.len() {
+                    self.mem_seen.resize(word + 1, 0);
+                }
+                let bit = 1u64 << (mem_key & 63);
+                if self.mem_seen[word] & bit == 0 {
+                    self.mem_seen[word] |= bit;
+                    self.distinct_mem_keys += 1;
+                }
+            }
             events.push(EventMeta {
                 pc: event.pc,
-                mem_key: event.mem_addr >> self.shift,
+                mem_key,
                 cd,
                 flags,
             });
@@ -443,6 +467,12 @@ impl<'a> MetaBuilder<'a> {
     /// Non-ignored events pushed so far, for one unroll setting.
     pub fn not_ignored(&self, unrolling: bool) -> u64 {
         self.not_ignored[unrolling as usize]
+    }
+
+    /// Distinct disambiguated memory keys seen in load/store events so
+    /// far — the live footprint a last-write table must cover.
+    pub fn distinct_mem_keys(&self) -> u64 {
+        self.distinct_mem_keys
     }
 }
 

@@ -21,18 +21,20 @@
 //!   builders, fed different chunk sizes (asserted across chunk sizes by
 //!   the `stream_equivalence` suite).
 //!
-//! Within pass 2 the machine passes — ~80% of analysis wall time — run
-//! concurrently when cores are available: the producer (preparation walk)
-//! publishes chunks through a double-buffered broadcast and each worker
-//! thread owns a fixed subset of the machine cursors. Two buffers are
-//! sufficient: the producer may prepare chunk *n+1* while workers drain
-//! chunk *n*, and blocks before overwriting a buffer any worker still
-//! needs. With one core (or `machine_threads = 1`) the same cursors are
-//! fed inline, sequentially.
+//! Within pass 2 the machine slots run through the lane-parallel kernel
+//! ([`lane`](crate::lane)): every chunk is fed to at most two lane
+//! *groups* (control-dependence-using machines and the rest), each
+//! scheduling all its machine × unroll lanes in one walk over the chunk.
+//! When cores are available the groups run concurrently: the producer
+//! (preparation walk) publishes chunks through a double-buffered
+//! broadcast and each worker thread owns a fixed subset of the groups.
+//! Two buffers are sufficient: the producer may prepare chunk *n+1*
+//! while workers drain chunk *n*, and blocks before overwriting a buffer
+//! any worker still needs. With one core (or `machine_threads = 1`) the
+//! same groups are fed inline, sequentially.
 
 use std::sync::{Condvar, Mutex, RwLock};
 
-use clfp_metrics::NullSink;
 use clfp_predict::BranchProfile;
 use clfp_vm::{
     ProgramSource, SummaryBuilder, TraceEvent, TraceSource, TraceSummary, VmError, VmOptions,
@@ -40,29 +42,61 @@ use clfp_vm::{
 
 use crate::analyzer::{assemble_report, Analyzer, Report};
 use crate::fused::{MachineCursor, MachineState};
+use crate::lane::{GroupFeed, LaneScheduler};
 use crate::meta::{EventClass, EventMeta, MetaBuilder, ProgramMeta, PC_COND_BRANCH};
 use crate::pass::{PassConfig, PassResult};
 use crate::{AnalyzeError, MachineKind, PredictorChoice};
 
-/// Tuning knobs for the streaming pipeline. The defaults are the measured
-/// sweet spot: 64K-event chunks amortize the broadcast handoff while both
-/// buffers stay comfortably inside L2.
-#[derive(Copy, Clone, Debug)]
+/// Tuning knobs for the streaming pipeline.
+#[derive(Copy, Clone, Debug, Default)]
 pub struct StreamOptions {
-    /// Events per chunk (clamped to at least 1).
+    /// Events per chunk; `0` (the default) picks an adaptive size from
+    /// the program's text size and the worker count — see
+    /// [`StreamOptions::resolved_chunk_events`] for the heuristic.
     pub chunk_events: usize,
     /// Worker threads for the machine passes; `0` = one per available
-    /// core, capped at the number of machine × unroll-setting slots. `1`
-    /// forces the sequential in-line path.
+    /// core, capped at the number of lane groups. `1` forces the
+    /// sequential in-line path.
     pub machine_threads: usize,
 }
 
-impl Default for StreamOptions {
-    fn default() -> StreamOptions {
-        StreamOptions {
-            chunk_events: 1 << 16,
-            machine_threads: 0,
+impl StreamOptions {
+    /// The worker count this configuration resolves to (before capping at
+    /// the number of lane groups).
+    fn resolved_workers(&self) -> usize {
+        match self.machine_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
+    }
+
+    /// The chunk size this configuration resolves to for a program with
+    /// `text_len` static instructions: `chunk_events` when non-zero,
+    /// otherwise the adaptive heuristic.
+    ///
+    /// The heuristic targets chunk-resident data (raw `TraceEvent`s,
+    /// decoded [`EventMeta`]s, classification bits — ~26 bytes/event) at
+    /// half a nominal 1 MiB L2, so the second lane group's walk over a
+    /// chunk and the next chunk's fill read warm cache. The budget
+    /// shrinks with the per-PC lane state the groups keep hot (the
+    /// CD group's `branch_time`/`branch_ceiling` vectors, ~128 bytes per
+    /// text instruction at full lane width), halves again under the
+    /// threaded broadcast's double buffering, and is clamped to
+    /// [2¹², 2¹⁶] events, rounded down to a power of two.
+    pub fn resolved_chunk_events(&self, text_len: usize) -> usize {
+        if self.chunk_events > 0 {
+            return self.chunk_events;
+        }
+        const CACHE_BUDGET: usize = 512 << 10;
+        const EVENT_BYTES: usize = 26;
+        let state_bytes = text_len * 128;
+        let budget = CACHE_BUDGET.saturating_sub(state_bytes).max(64 << 10);
+        let buffers = if self.resolved_workers() > 1 { 2 } else { 1 };
+        let events = budget / (EVENT_BYTES * buffers);
+        // Round down to a power of two so chunk boundaries stay aligned
+        // with the classification bitmap words.
+        let rounded = (events / 2 + 1).next_power_of_two();
+        rounded.clamp(1 << 12, 1 << 16)
     }
 }
 
@@ -88,34 +122,6 @@ impl StreamedReports {
         } else {
             &self.rolled
         }
-    }
-}
-
-/// One machine × unroll-setting scheduling walk plus its timing state.
-struct Slot {
-    unrolling: bool,
-    cursor: MachineCursor,
-    state: MachineState,
-}
-
-impl Slot {
-    fn new(kind: MachineKind, unrolling: bool, text_len: usize) -> Slot {
-        Slot {
-            unrolling,
-            cursor: MachineCursor::new(kind, text_len, false),
-            state: MachineState::new(text_len),
-        }
-    }
-
-    #[inline]
-    fn feed(&mut self, pcs: &ProgramMeta, buf: &ChunkBuf, config: &PassConfig) {
-        let class = if self.unrolling {
-            &buf.unrolled
-        } else {
-            &buf.rolled
-        };
-        self.cursor
-            .feed(pcs, &buf.events, class, config, &mut self.state, &mut NullSink);
     }
 }
 
@@ -196,7 +202,8 @@ impl<'a> Analyzer<'a> {
         source: &dyn TraceSource,
         options: StreamOptions,
     ) -> Result<StreamedReports, AnalyzeError> {
-        let chunk_events = options.chunk_events.max(1);
+        let text_len = self.program.text.len();
+        let chunk_events = options.resolved_chunk_events(text_len).max(1);
         let pcs = &self.meta;
 
         // Pass 1: branch profile (when the profile predictor is selected)
@@ -217,42 +224,39 @@ impl<'a> Analyzer<'a> {
             }
         })?;
 
-        // Pass 2: preparation walk feeding every machine × unroll slot.
+        // The summary closes here so pass 2 can size the lane kernel's
+        // last-write tables from the measured distinct-word count instead
+        // of a fixed default.
+        let summary = summary.finish();
+        let mem_capacity = summary.distinct_mem_words.min(1 << 28) as usize;
+
+        // Pass 2: preparation walk feeding every machine × unroll slot
+        // through the lane kernel.
         let pass_config = PassConfig::from_analysis(&self.config);
         let mut builder = MetaBuilder::new(self.program, &self.info, pcs, &self.config, &profile);
-        let text_len = self.program.text.len();
         let machines = &self.config.machines;
-        let mut slots: Vec<Slot> = Vec::with_capacity(machines.len() * 2);
+        let mut slots: Vec<(MachineKind, bool)> = Vec::with_capacity(machines.len() * 2);
         for unrolling in [true, false] {
-            slots.extend(
-                machines
-                    .iter()
-                    .map(|&kind| Slot::new(kind, unrolling, text_len)),
-            );
+            slots.extend(machines.iter().map(|&kind| (kind, unrolling)));
         }
-        let workers = match options.machine_threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
-        }
-        .min(slots.len());
+        let mut sched = LaneScheduler::new(&slots, text_len, &pass_config, mem_capacity);
+        let workers = options.resolved_workers().min(sched.groups.len());
 
         let passes: Vec<PassResult> = if workers <= 1 {
             let mut buf = ChunkBuf::new(chunk_events);
             source.stream(chunk_events, &mut |chunk| {
                 buf.fill(&mut builder, chunk);
-                for slot in &mut slots {
-                    slot.feed(pcs, &buf, &pass_config);
-                }
+                sched.feed(pcs, 0, &buf.events, &buf.unrolled, &buf.rolled);
             })?;
-            slots.into_iter().map(|slot| slot.cursor.finish()).collect()
+            sched.finish()
         } else {
             run_broadcast(
                 source,
                 chunk_events,
                 &mut builder,
                 pcs,
-                &pass_config,
-                slots,
+                sched,
+                slots.len(),
                 workers,
             )?
         };
@@ -277,7 +281,7 @@ impl<'a> Analyzer<'a> {
                 builder.raw_instrs(),
                 builder.branches(),
             ),
-            summary: summary.finish(),
+            summary,
         })
     }
 
@@ -357,19 +361,18 @@ impl<'a> Analyzer<'a> {
 /// The parallel pass-2 engine: the caller's thread runs the preparation
 /// walk (the branch predictor need not be `Send`) and publishes prepared
 /// chunks through the double-buffered [`Broadcast`]; each worker owns
-/// `slots[idx]` for `idx % workers == w` and feeds every published chunk
-/// to them in order. Returns the finished passes in slot order.
+/// `groups[idx]` for `idx % workers == w` and feeds every published chunk
+/// to them in order. Returns the finished passes in request-slot order.
 #[allow(clippy::too_many_arguments)]
 fn run_broadcast(
     source: &dyn TraceSource,
     chunk_events: usize,
     builder: &mut MetaBuilder<'_>,
     pcs: &ProgramMeta,
-    pass_config: &PassConfig,
-    slots: Vec<Slot>,
+    sched: LaneScheduler,
+    total: usize,
     workers: usize,
 ) -> Result<Vec<PassResult>, VmError> {
-    let total = slots.len();
     let shared = Broadcast {
         bufs: [
             RwLock::new(ChunkBuf::new(chunk_events)),
@@ -382,17 +385,18 @@ fn run_broadcast(
         }),
         cv: Condvar::new(),
     };
-    let mut worker_slots: Vec<Vec<(usize, Slot)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (idx, slot) in slots.into_iter().enumerate() {
-        worker_slots[idx % workers].push((idx, slot));
+    let mut worker_groups: Vec<Vec<Box<dyn GroupFeed>>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (idx, group) in sched.groups.into_iter().enumerate() {
+        worker_groups[idx % workers].push(group);
     }
 
     let collected: Vec<(usize, PassResult)> = std::thread::scope(|scope| {
         let shared = &shared;
-        let handles: Vec<_> = worker_slots
+        let handles: Vec<_> = worker_groups
             .into_iter()
             .enumerate()
-            .map(|(w, mut my_slots)| {
+            .map(|(w, mut my_groups)| {
                 scope.spawn(move || {
                     let mut next: i64 = 0;
                     loop {
@@ -413,17 +417,17 @@ fn run_broadcast(
                         }
                         for id in next..=upto {
                             let buf = shared.bufs[(id % 2) as usize].read().unwrap();
-                            for (_, slot) in my_slots.iter_mut() {
-                                slot.feed(pcs, &buf, pass_config);
+                            for group in my_groups.iter_mut() {
+                                group.feed(pcs, 0, &buf.events, &buf.unrolled, &buf.rolled);
                             }
                         }
                         next = upto + 1;
                         shared.ctrl.lock().unwrap().consumed[w] = upto;
                         shared.cv.notify_all();
                     }
-                    my_slots
+                    my_groups
                         .into_iter()
-                        .map(|(idx, slot)| (idx, slot.cursor.finish()))
+                        .flat_map(|group| group.finish())
                         .collect::<Vec<(usize, PassResult)>>()
                 })
             })

@@ -1,0 +1,208 @@
+//! Exact-equivalence suite for the lane-parallel scheduling kernel: the
+//! event-major lane walk ([`PreparedTrace::report_with_unrolling`] /
+//! [`PreparedTrace::report_both`] and the streamed pipeline behind it)
+//! must reproduce the scalar fused cursor
+//! ([`PreparedTrace::report_with_unrolling_scalar`]) and the
+//! one-machine-at-a-time reference pass
+//! ([`Analyzer::run_on_trace_reference`]) **bit for bit** — cycle counts,
+//! parallelism bits, branch statistics, and misprediction histograms —
+//! for every machine model, every suite workload, both unroll settings,
+//! and streaming chunk sizes {1, 7, 4096, whole-trace}. The lane kernel
+//! computes the identical max/add folds in the identical event order, so
+//! any divergence here is a wrong mask, not floating-point noise.
+
+use clfp_limits::{AnalysisConfig, Analyzer, MachineKind, Report, StreamOptions};
+use clfp_vm::{Vm, VmOptions};
+
+/// The `fused` module's procedure-heavy exerciser: calls, CD inheritance,
+/// loops, and memory traffic, with a trace length that is not a multiple
+/// of 7 so small chunks straddle call and branch boundaries.
+const SOURCE: &str = r#"
+    .text
+    main:
+        li r8, 8
+    mloop:
+        mv a0, r8
+        call work
+        sw v0, 0x1000(r0)
+        lw r9, 0x1000(r0)
+        addi r8, r8, -1
+        bgt r8, r0, mloop
+        halt
+    work:
+        addi sp, sp, -4
+        sw ra, 0(sp)
+        li v0, 0
+        ble a0, r0, wend
+        addi v0, a0, 5
+    wend:
+        lw ra, 0(sp)
+        addi sp, sp, 4
+        ret
+    "#;
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig::quick().with_max_instrs(20_000)
+}
+
+/// Bit-exact report equality: parallelism is compared by bit pattern, not
+/// tolerance — the lane kernel must run the same arithmetic, not similar
+/// arithmetic.
+fn assert_reports_identical(got: &Report, want: &Report, tag: &str) {
+    assert_eq!(got.seq_instrs, want.seq_instrs, "{tag}: seq_instrs");
+    assert_eq!(got.raw_instrs, want.raw_instrs, "{tag}: raw_instrs");
+    assert_eq!(got.branches, want.branches, "{tag}: branches");
+    assert_eq!(got.mispred_stats, want.mispred_stats, "{tag}: mispred");
+    assert_eq!(got.results.len(), want.results.len(), "{tag}: machines");
+    for (g, w) in got.results.iter().zip(&want.results) {
+        assert_eq!(g.kind, w.kind, "{tag}");
+        assert_eq!(g.cycles, w.cycles, "{tag} {}", g.kind);
+        assert_eq!(
+            g.parallelism.to_bits(),
+            w.parallelism.to_bits(),
+            "{tag} {}: {} vs {}",
+            g.kind,
+            g.parallelism,
+            w.parallelism
+        );
+    }
+}
+
+/// The asm exerciser plus every suite workload.
+fn programs() -> Vec<(String, clfp_isa::Program)> {
+    let mut programs = vec![("asm".to_string(), clfp_isa::assemble(SOURCE).unwrap())];
+    for workload in clfp_workloads::suite() {
+        programs.push((
+            workload.name.to_string(),
+            workload.compile().expect(workload.name),
+        ));
+    }
+    programs
+}
+
+fn trace_of(program: &clfp_isa::Program) -> clfp_vm::Trace {
+    let mut vm = Vm::new(
+        program,
+        VmOptions {
+            mem_words: config().mem_words,
+        },
+    );
+    vm.trace(config().max_instrs).unwrap()
+}
+
+#[test]
+fn lane_kernel_matches_scalar_and_reference_on_every_workload() {
+    for (name, program) in programs() {
+        let analyzer = Analyzer::new(&program, config()).unwrap();
+        let trace = trace_of(&program);
+        let prepared = analyzer.prepare(&trace);
+        let (both_unrolled, both_rolled) = prepared.report_both();
+        for (unrolling, both) in [(true, &both_unrolled), (false, &both_rolled)] {
+            let tag = format!("{name} unroll={unrolling}");
+            let scalar = prepared.report_with_unrolling_scalar(unrolling);
+            let lane = prepared.report_with_unrolling(unrolling);
+            assert_reports_identical(&lane, &scalar, &format!("{tag} lane-vs-scalar"));
+            assert_reports_identical(both, &scalar, &format!("{tag} both-vs-scalar"));
+            let reference = Analyzer::new(&program, config().with_unrolling(unrolling))
+                .unwrap()
+                .run_on_trace_reference(&trace);
+            assert_reports_identical(&lane, &reference, &format!("{tag} lane-vs-reference"));
+        }
+    }
+}
+
+#[test]
+fn streamed_lane_kernel_matches_scalar_across_chunk_sizes() {
+    for (name, program) in programs() {
+        let analyzer = Analyzer::new(&program, config()).unwrap();
+        let trace = trace_of(&program);
+        let prepared = analyzer.prepare(&trace);
+        let want_unrolled = prepared.report_with_unrolling_scalar(true);
+        let want_rolled = prepared.report_with_unrolling_scalar(false);
+        for chunk in [1, 7, 4096, trace.len()] {
+            let streamed = analyzer
+                .run_streamed_on(
+                    &trace,
+                    StreamOptions {
+                        chunk_events: chunk,
+                        machine_threads: 1,
+                    },
+                )
+                .unwrap();
+            let tag = format!("{name} chunk={chunk}");
+            assert_reports_identical(
+                &streamed.unrolled,
+                &want_unrolled,
+                &format!("{tag} unrolled"),
+            );
+            assert_reports_identical(&streamed.rolled, &want_rolled, &format!("{tag} rolled"));
+        }
+    }
+}
+
+#[test]
+fn singleton_machine_requests_match_scalar() {
+    let workload = clfp_workloads::by_name("qsort").unwrap();
+    let program = workload.compile().unwrap();
+    let trace = trace_of(&program);
+    for kind in MachineKind::ALL {
+        let config = AnalysisConfig {
+            machines: vec![kind],
+            ..config()
+        };
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let prepared = analyzer.prepare(&trace);
+        let (unrolled, rolled) = prepared.report_both();
+        let tag = format!("singleton {kind}");
+        assert_reports_identical(
+            &unrolled,
+            &prepared.report_with_unrolling_scalar(true),
+            &format!("{tag} unrolled"),
+        );
+        assert_reports_identical(
+            &rolled,
+            &prepared.report_with_unrolling_scalar(false),
+            &format!("{tag} rolled"),
+        );
+    }
+}
+
+#[test]
+fn mixed_machine_subsets_match_scalar() {
+    // Deliberately scrambled orders: the CD/non-CD lane split must
+    // scatter results back into request order.
+    let subsets: &[&[MachineKind]] = &[
+        &[MachineKind::Oracle, MachineKind::Cd, MachineKind::Sp],
+        &[MachineKind::SpCdMf, MachineKind::Base],
+        &[
+            MachineKind::Sp,
+            MachineKind::SpCd,
+            MachineKind::CdMf,
+            MachineKind::Base,
+            MachineKind::Oracle,
+        ],
+    ];
+    let workload = clfp_workloads::by_name("sparse").unwrap();
+    let program = workload.compile().unwrap();
+    let trace = trace_of(&program);
+    for subset in subsets {
+        let config = AnalysisConfig {
+            machines: subset.to_vec(),
+            ..config()
+        };
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let prepared = analyzer.prepare(&trace);
+        let (unrolled, rolled) = prepared.report_both();
+        let tag = format!("subset {subset:?}");
+        assert_reports_identical(
+            &unrolled,
+            &prepared.report_with_unrolling_scalar(true),
+            &format!("{tag} unrolled"),
+        );
+        assert_reports_identical(
+            &rolled,
+            &prepared.report_with_unrolling_scalar(false),
+            &format!("{tag} rolled"),
+        );
+    }
+}

@@ -84,7 +84,7 @@ fn streamed_matches_in_memory_across_chunk_sizes() {
         let trace = vm.trace(config().max_instrs).unwrap();
         if name == "asm" {
             assert_eq!(trace.len(), 114, "exerciser trace drifted");
-            assert!(trace.len() % 7 != 0, "want boundary-straddling chunks");
+            assert!(!trace.len().is_multiple_of(7), "want boundary-straddling chunks");
         }
         let prepared = analyzer.prepare(&trace);
         let want_unrolled = prepared.report_with_unrolling(true);

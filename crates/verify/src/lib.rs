@@ -355,6 +355,14 @@ struct Monitor {
     increment: u32,
 }
 
+/// [`TraceChecks::build_monitors`]'s result: the monitors plus lookup
+/// indices by increment PC and by loop-header block.
+type MonitorIndex = (
+    Vec<Monitor>,
+    HashMap<u32, Vec<usize>>,
+    HashMap<BlockId, Vec<usize>>,
+);
+
 impl<'a> TraceChecks<'a> {
     /// Creates a checker over a program and its static analyses.
     pub fn new(program: &'a Program, info: &'a StaticInfo) -> TraceChecks<'a> {
@@ -600,10 +608,7 @@ impl<'a> TraceChecks<'a> {
 
     /// Builds the increment monitors for [`UnrollWalker`], flagging
     /// increments missing from the unroll ignore mask as it goes.
-    fn build_monitors(
-        &self,
-        out: &mut Vec<Diagnostic>,
-    ) -> (Vec<Monitor>, HashMap<u32, Vec<usize>>, HashMap<BlockId, Vec<usize>>) {
+    fn build_monitors(&self, out: &mut Vec<Diagnostic>) -> MonitorIndex {
         let info = self.info;
         let cfg = &info.cfg;
         let text = &self.program.text;

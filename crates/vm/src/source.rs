@@ -174,7 +174,7 @@ mod tests {
         let program = assemble(LOOP).unwrap();
         let options = VmOptions { mem_words: 1 << 12 };
         let trace = Vm::new(&program, options).trace(1_000_000).unwrap();
-        assert!(trace.len() % 7 != 0, "want a boundary-straddling size");
+        assert!(!trace.len().is_multiple_of(7), "want a boundary-straddling size");
         for chunk in [1, 7, 4096] {
             let mut vm = Vm::new(&program, options);
             let mut events = Vec::new();
