@@ -12,6 +12,10 @@
 //!                            # write BENCH_scaling.json (wall + peak RSS)
 //! regen --lint               # lint + cross-check the suite, write
 //!                            # results/lint_suite.json, fail on findings
+//! regen --alias              # sweep memory disambiguation (perfect vs
+//!                            # static vs none), write
+//!                            # results/disambiguation.md, fail if the
+//!                            # alias soundness gate trips
 //! regen --metrics            # per-machine execution metrics, write
 //!                            # results/metrics_suite.json + attribution.md
 //! regen --force              # overwrite results from a different config
@@ -26,8 +30,9 @@
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_lint_suite, run_metrics_suite, run_scaling_suite,
-    run_suite, run_suite_timed, static_inventory, suite_manifest, table1, table2, table3, table4,
+    figure4, figure5, figure6, figure7, run_alias_suite, run_lint_suite, run_metrics_suite,
+    run_scaling_suite, run_suite, run_suite_timed, static_inventory, suite_manifest, table1,
+    table2, table3, table4,
 };
 use clfp_limits::{AnalysisConfig, StreamOptions};
 use clfp_metrics::RunManifest;
@@ -40,6 +45,7 @@ struct Args {
     timing: bool,
     scaling: bool,
     lint: bool,
+    alias: bool,
     metrics: bool,
     force: bool,
 }
@@ -53,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         timing: false,
         scaling: false,
         lint: false,
+        alias: false,
         metrics: false,
         force: false,
     };
@@ -86,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
             "--lint" => {
                 args.lint = true;
             }
+            "--alias" => {
+                args.alias = true;
+            }
             "--metrics" => {
                 args.metrics = true;
             }
@@ -95,7 +105,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: regen [--table N] [--figure N] [--max-instrs M] [--out DIR]\n\
-                     \x20            [--timing] [--scaling] [--lint] [--metrics] [--force]\n\
+                     \x20            [--timing] [--scaling] [--lint] [--alias] [--metrics]\n\
+                     \x20            [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR, and\n\
                      --max-instrs M caps every measured trace at M dynamic\n\
@@ -111,7 +122,12 @@ fn parse_args() -> Result<Args, String> {
                      BENCH_scaling.json to DIR (or the current directory).\n\
                      With --lint, instead lints + cross-checks the suite, writes\n\
                      lint_suite.json to DIR (default results/), and fails on any\n\
-                     unwaived diagnostic. With --metrics, instead collects\n\
+                     unwaived diagnostic. With --alias, instead analyzes every\n\
+                     workload under all three memory-disambiguation modes\n\
+                     (perfect / static alias classes / none), writes\n\
+                     disambiguation.md to DIR (default results/), and fails if\n\
+                     any dynamic conflict lands on a statically no-alias pair or\n\
+                     the static-mode pipelines diverge. With --metrics, instead collects\n\
                      per-machine execution metrics (cycle occupancy, critical-path\n\
                      attribution, binding-edge counters) and writes\n\
                      metrics_suite.json + attribution.md to DIR (default results/).\n\
@@ -270,6 +286,46 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("regen: outstanding lint diagnostics");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.alias {
+        eprintln!(
+            "sweeping memory disambiguation: 10 workloads x 7 machines x 3 modes \
+             (trace cap {})...",
+            args.max_instrs
+        );
+        let suite = match run_alias_suite(&config) {
+            Ok(suite) => suite,
+            Err(err) => {
+                eprintln!("regen: alias suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", suite.disambiguation_md());
+        let dir = args
+            .out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("regen: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("disambiguation.md");
+        let stamped = format!(
+            "{}\n{}",
+            suite.manifest.to_markdown_header(),
+            suite.disambiguation_md()
+        );
+        if !write_guarded(&path, &stamped, &manifest.config_hash, args.force) {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return if suite.is_sound() && suite.pipelines_agree() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("regen: alias soundness or pipeline-agreement gate failed");
             ExitCode::FAILURE
         };
     }

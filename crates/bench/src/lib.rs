@@ -19,7 +19,11 @@
 //! instructions), recording wall time and peak RSS per point to
 //! `BENCH_scaling.json` — the record that paper-scale runs complete in
 //! O(chunk) trace memory.
-//! `regen --lint` gates the suite on the `clfp-verify` checks, and
+//! `regen --lint` gates the suite on the `clfp-verify` checks,
+//! `regen --alias` sweeps the memory-disambiguation axis (perfect vs
+//! static alias classes vs none) across the suite and writes
+//! `results/disambiguation.md` gated on the dynamic alias-soundness
+//! check ([`run_alias_suite`]), and
 //! `regen --metrics` re-runs it with the `clfp-metrics` recording sink
 //! ([`run_metrics_suite`]), writing cycle-occupancy histograms and
 //! critical-path attribution (`results/metrics_suite.json`,
@@ -36,7 +40,7 @@ use std::time::Instant;
 
 use clfp_limits::{
     harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, EdgeKind, MachineKind, MachineMetrics,
-    MispredictionStats, Report, StreamOptions,
+    MemDisambiguation, MispredictionStats, Report, StreamOptions,
 };
 use clfp_metrics::RunManifest;
 use clfp_predict::BranchProfile;
@@ -284,6 +288,10 @@ pub struct SuiteTiming {
     /// Whether the lane kernel reproduced the scalar fused cursor's
     /// reports bit for bit on every workload, both unroll settings.
     pub lane_matches: bool,
+    /// Whether the lane kernel and the scalar cursor also agree bit for
+    /// bit under `Static` memory disambiguation (alias-class keys) on
+    /// every workload, both unroll settings.
+    pub alias_matches: bool,
     /// Provenance of this run (config hash, git describe, timestamp).
     pub manifest: RunManifest,
     /// Per-workload, per-stage breakdown (measured sequentially).
@@ -340,6 +348,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
     let chunk_events = StreamOptions::default().chunk_events;
     let mut stream_matches = true;
     let mut lane_matches = true;
+    let mut alias_matches = true;
     let mut workloads = Vec::new();
     for workload in suite() {
         let options = clfp_vm::VmOptions {
@@ -392,6 +401,22 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         let _ = rolled.run_on_trace_reference(&trace);
         let reference_analysis_ms = ms(start);
 
+        // Static memory disambiguation flows through the same mem_key
+        // seam in every pipeline; lane and scalar must still agree.
+        let static_analyzer = Analyzer::new(
+            &program,
+            config.clone().with_disambiguation(MemDisambiguation::Static),
+        )?;
+        let static_prepared = static_analyzer.prepare(&trace);
+        let (static_unrolled, static_rolled) = static_prepared.report_both();
+        alias_matches &= reports_equal(
+            &static_unrolled,
+            &static_prepared.report_with_unrolling_scalar(true),
+        ) && reports_equal(
+            &static_rolled,
+            &static_prepared.report_with_unrolling_scalar(false),
+        );
+
         // The streaming chunked pipeline over the same trace: two
         // re-streams (profile + machines) in O(chunk) working memory,
         // first sequential, then with the parallel machine broadcast.
@@ -443,6 +468,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         chunk_events,
         stream_matches,
         lane_matches,
+        alias_matches,
         manifest: suite_manifest(config),
         workloads,
     })
@@ -478,6 +504,7 @@ impl SuiteTiming {
             self.stream_matches
         ));
         out.push_str(&format!("  \"lane_matches\": {},\n", self.lane_matches));
+        out.push_str(&format!("  \"alias_matches\": {},\n", self.alias_matches));
         out.push_str(&format!(
             "  \"manifest\": {},\n",
             self.manifest.to_json_object("  ")
@@ -540,7 +567,8 @@ impl SuiteTiming {
             "\nfull-suite wall time: fused {:.2}s vs reference {:.2}s -> {:.2}x speedup; \
              lane-kernel suite {:.2}s; machine passes: scalar {:.0} ms vs lane {:.0} ms \
              -> {:.2}x\n\
-             (tables identical: {}; streaming bit-identical: {}; lane bit-identical: {}; {})\n",
+             (tables identical: {}; streaming bit-identical: {}; lane bit-identical: {}; \
+             static-alias bit-identical: {}; {})\n",
             self.fused_wall_ms / 1e3,
             self.reference_wall_ms / 1e3,
             self.speedup,
@@ -551,6 +579,7 @@ impl SuiteTiming {
             self.reports_match,
             self.stream_matches,
             self.lane_matches,
+            self.alias_matches,
             if self.chunk_events == 0 {
                 "adaptive chunks".to_string()
             } else {
@@ -801,6 +830,14 @@ pub struct Waiver {
 }
 
 /// The standing waivers for the benchmark suite, with reasons.
+///
+/// Re-audited when the alias-region lints landed: the whole suite is
+/// clean under `never-stored-region-load` and `region-dead-store` (every
+/// workload initializes the regions it reads and reads the regions it
+/// writes — results are reduced into `v0`, not stored and abandoned), so
+/// neither kind needs a waiver. The two waivers below remain the only
+/// accepted findings, and `alias-soundness-violation` joins the
+/// error-severity kinds that can never be waived.
 pub const SUITE_WAIVERS: &[Waiver] = &[
     Waiver {
         workload: None,
@@ -916,6 +953,7 @@ pub fn lint_workload(
     diagnostics.extend(checks.check_edges(&trace));
     diagnostics.extend(checks.check_cd_sources(&trace, prepared.cd_sources()));
     diagnostics.extend(checks.check_unroll_masks(&trace));
+    diagnostics.extend(checks.check_alias_soundness(&trace));
     let unrolled = prepared.report_with_unrolling(true);
     let rolled = prepared.report_with_unrolling(false);
     diagnostics.extend(checks.check_seq_count(&trace, true, unrolled.seq_instrs));
@@ -1061,6 +1099,276 @@ impl LintSuite {
                 out.push_str(&format!("  {name}: {}\n", finding.diagnostic));
             }
         }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-disambiguation suite
+// ---------------------------------------------------------------------------
+
+/// Results for one workload across the memory-disambiguation axis:
+/// the same measured trace scheduled under perfect (by-address), static
+/// (alias-class), and no disambiguation, plus the soundness and
+/// pipeline-agreement gates for the static mode.
+#[derive(Clone, Debug)]
+pub struct AliasWorkloadReport {
+    /// The workload.
+    pub workload: Workload,
+    /// Raw dynamic instructions in the measured trace.
+    pub raw_instrs: u64,
+    /// Scheduler classes the alias analysis partitioned memory into.
+    pub num_classes: u32,
+    /// Unrolled report per mode, in [`MemDisambiguation::ALL`] order.
+    pub reports: Vec<(MemDisambiguation, Report)>,
+    /// Dynamic alias-soundness check over the in-memory trace: no
+    /// observed address conflict fell on a statically no-alias pair.
+    pub sound_inmemory: bool,
+    /// The same check through the chunked streaming walker.
+    pub sound_streamed: bool,
+    /// Whether lane kernel, scalar fused cursor, and streaming pipeline
+    /// produced bit-identical reports under `Static` disambiguation.
+    pub pipelines_agree: bool,
+}
+
+impl AliasWorkloadReport {
+    /// The unrolled report for `mode`.
+    pub fn report_for(&self, mode: MemDisambiguation) -> &Report {
+        &self
+            .reports
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .expect("every mode was run")
+            .1
+    }
+}
+
+/// Results of [`run_alias_suite`] (`results/disambiguation.md`): every
+/// workload scheduled under all three memory-disambiguation modes, with
+/// the dynamic soundness gate and the static-mode pipeline-agreement
+/// gate.
+#[derive(Clone, Debug)]
+pub struct AliasSuite {
+    /// Trace cap used.
+    pub max_instrs: u64,
+    /// Chunk size (events) used by the streamed soundness check.
+    pub chunk_events: usize,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
+    /// Per-workload results, in suite order.
+    pub reports: Vec<AliasWorkloadReport>,
+}
+
+/// Chunk size the streamed alias-soundness gate re-walks each trace with.
+const ALIAS_GATE_CHUNK_EVENTS: usize = 4096;
+
+/// Analyzes one workload under all three disambiguation modes from a
+/// single measured trace, and runs the soundness + pipeline gates.
+///
+/// # Errors
+///
+/// Propagates compile/VM/analyzer failures.
+pub fn alias_workload(
+    workload: Workload,
+    config: &AnalysisConfig,
+) -> Result<AliasWorkloadReport, AnalyzeError> {
+    let program = workload
+        .compile()
+        .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+    let mut vm = clfp_vm::Vm::new(
+        &program,
+        clfp_vm::VmOptions {
+            mem_words: config.mem_words,
+        },
+    );
+    let trace = vm.trace(config.max_instrs)?;
+
+    let mut reports = Vec::new();
+    let mut num_classes = 0;
+    let mut sound_inmemory = false;
+    let mut sound_streamed = false;
+    let mut pipelines_agree = true;
+    for mode in MemDisambiguation::ALL {
+        let analyzer = Analyzer::new(&program, config.clone().with_disambiguation(mode))?;
+        let prepared = analyzer.prepare(&trace);
+        let (unrolled, rolled) = prepared.report_both();
+        if mode == MemDisambiguation::Perfect {
+            // The alias analysis and the dynamic soundness gate are
+            // mode-independent; run them once.
+            let info = analyzer.static_info();
+            num_classes = info.alias.num_classes();
+            let checks = TraceChecks::new(&program, info);
+            sound_inmemory = checks.check_alias_soundness(&trace).is_empty();
+            sound_streamed = checks
+                .check_alias_soundness_source(&trace, ALIAS_GATE_CHUNK_EVENTS)?
+                .is_empty();
+        }
+        if mode == MemDisambiguation::Static {
+            // All three pipelines must serialize the same alias classes.
+            let scalar_unrolled = prepared.report_with_unrolling_scalar(true);
+            let scalar_rolled = prepared.report_with_unrolling_scalar(false);
+            let streamed = analyzer.run_streamed_on(
+                &trace,
+                StreamOptions {
+                    chunk_events: ALIAS_GATE_CHUNK_EVENTS,
+                    machine_threads: 1,
+                },
+            )?;
+            pipelines_agree = reports_equal(&unrolled, &scalar_unrolled)
+                && reports_equal(&rolled, &scalar_rolled)
+                && reports_equal(&streamed.unrolled, &unrolled)
+                && reports_equal(&streamed.rolled, &rolled);
+        }
+        reports.push((mode, unrolled));
+    }
+
+    Ok(AliasWorkloadReport {
+        workload,
+        raw_instrs: trace.len() as u64,
+        num_classes,
+        reports,
+        sound_inmemory,
+        sound_streamed,
+        pipelines_agree,
+    })
+}
+
+/// Runs the whole suite across the disambiguation axis, fanning out over
+/// [`par_map_suite`].
+///
+/// # Errors
+///
+/// Propagates the first compile/VM/analyzer failure.
+pub fn run_alias_suite(config: &AnalysisConfig) -> Result<AliasSuite, AnalyzeError> {
+    Ok(AliasSuite {
+        max_instrs: config.max_instrs,
+        chunk_events: ALIAS_GATE_CHUNK_EVENTS,
+        manifest: suite_manifest(config),
+        reports: par_map_suite(|workload| alias_workload(workload, config))?,
+    })
+}
+
+impl AliasSuite {
+    /// Whether the dynamic soundness gate passed on every workload,
+    /// through both the in-memory and the streamed walker.
+    pub fn is_sound(&self) -> bool {
+        self.reports
+            .iter()
+            .all(|r| r.sound_inmemory && r.sound_streamed)
+    }
+
+    /// Whether the static-mode pipelines agreed bit for bit everywhere.
+    pub fn pipelines_agree(&self) -> bool {
+        self.reports.iter().all(|r| r.pipelines_agree)
+    }
+
+    fn mode_table(&self, mode: MemDisambiguation) -> String {
+        let mut out = String::from(
+            "| program | BASE | CD | CD-MF | SP | SP-CD | SP-CD-MF | ORACLE |\n\
+             |---------|------|----|-------|----|-------|----------|--------|\n",
+        );
+        for r in &self.reports {
+            let report = r.report_for(mode);
+            let mut line = format!("| {} |", r.workload.name);
+            for kind in MachineKind::ALL {
+                line.push_str(&format!(" {} |", fmt_parallelism(report.parallelism(kind))));
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+        let mut line = String::from("| **harmonic mean** |");
+        for kind in MachineKind::ALL {
+            let hm = harmonic_mean(
+                self.reports
+                    .iter()
+                    .map(|r| r.report_for(mode).parallelism(kind)),
+            );
+            line.push_str(&format!(" {} |", fmt_parallelism(hm)));
+        }
+        line.push('\n');
+        out.push_str(&line);
+        out
+    }
+
+    /// The disambiguation-axis report (`results/disambiguation.md`):
+    /// parallelism per machine under each mode, per-workload retention
+    /// relative to perfect disambiguation, and the gate results.
+    pub fn disambiguation_md(&self) -> String {
+        let mut out = String::from(
+            "## Memory Disambiguation: Perfect vs Static vs None\n\n\
+             The paper assumes *perfect* memory disambiguation: a load\n\
+             depends on a store only when they touched the same dynamic\n\
+             address. `static` replaces the oracle with the interprocedural\n\
+             alias analysis — accesses are keyed by their static alias\n\
+             class, so any may-aliased pair serializes. `none` keys every\n\
+             access to one location: all of memory is a single dependence\n\
+             chain. Parallelism below is with perfect unrolling, harmonic\n\
+             mean over all programs.\n",
+        );
+        for (mode, blurb) in [
+            (
+                MemDisambiguation::Perfect,
+                "oracle, by dynamic address (the paper's model)",
+            ),
+            (
+                MemDisambiguation::Static,
+                "alias classes from the interprocedural analysis",
+            ),
+            (MemDisambiguation::None, "memory as a single location"),
+        ] {
+            out.push_str(&format!("\n### `{}`: {}\n\n", mode.name(), blurb));
+            out.push_str(&self.mode_table(mode));
+        }
+
+        out.push_str(
+            "\n### Retention on SP-CD-MF\n\n\
+             How much of the perfect-disambiguation parallelism each\n\
+             weaker mode keeps, on the machine where memory dependences\n\
+             bind tightest. `classes` is the number of scheduler classes\n\
+             the analysis partitioned the program's memory into. Under\n\
+             the coarse modes a load waits for *every* earlier\n\
+             may-aliasing store (the table accumulates a running max),\n\
+             so the modes are strictly ordered: refining the key\n\
+             partition can only remove constraints, and\n\
+             `perfect >= static >= none` holds pointwise.\n\n\
+             | program | classes | perfect | static | static/perfect | none | none/perfect |\n\
+             |---------|---------|---------|--------|----------------|------|--------------|\n",
+        );
+        for r in &self.reports {
+            let kind = MachineKind::SpCdMf;
+            let perfect = r.report_for(MemDisambiguation::Perfect).parallelism(kind);
+            let stat = r.report_for(MemDisambiguation::Static).parallelism(kind);
+            let none = r.report_for(MemDisambiguation::None).parallelism(kind);
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.0}% | {} | {:.0}% |\n",
+                r.workload.name,
+                r.num_classes,
+                fmt_parallelism(perfect),
+                fmt_parallelism(stat),
+                100.0 * stat / perfect,
+                fmt_parallelism(none),
+                100.0 * none / perfect,
+            ));
+        }
+
+        out.push_str(&format!(
+            "\n### Gates\n\n\
+             - alias soundness, in-memory walker: **{}**\n\
+             - alias soundness, streamed walker (chunk {} events): **{}**\n\
+             - static-mode pipelines bit-identical (lane / scalar / streamed): **{}**\n",
+            if self.reports.iter().all(|r| r.sound_inmemory) {
+                "pass"
+            } else {
+                "FAIL"
+            },
+            self.chunk_events,
+            if self.reports.iter().all(|r| r.sound_streamed) {
+                "pass"
+            } else {
+                "FAIL"
+            },
+            if self.pipelines_agree() { "pass" } else { "FAIL" },
+        ));
         out
     }
 }
@@ -1593,6 +1901,7 @@ mod tests {
         assert!(timing.reports_match, "pipelines diverged");
         assert!(timing.stream_matches, "streaming pipeline diverged");
         assert!(timing.lane_matches, "lane kernel diverged from scalar");
+        assert!(timing.alias_matches, "static-alias pipelines diverged");
         assert!(timing.fused_wall_ms > 0.0);
         assert!(timing.lane_wall_ms > 0.0);
         assert!(timing.reference_wall_ms > 0.0);
@@ -1601,6 +1910,7 @@ mod tests {
         assert!(json.contains("\"reports_match\": true"));
         assert!(json.contains("\"stream_matches\": true"));
         assert!(json.contains("\"lane_matches\": true"));
+        assert!(json.contains("\"alias_matches\": true"));
         assert!(json.contains("\"lane_wall_ms\""));
         assert!(json.contains("\"chunk_events\""));
         assert!(json.contains("\"manifest\""));
@@ -1616,6 +1926,60 @@ mod tests {
         assert!(summary.contains("scan"));
         assert!(summary.contains("streaming bit-identical: true"));
         assert!(summary.contains("lane bit-identical: true"));
+        assert!(summary.contains("static-alias bit-identical: true"));
+    }
+
+    #[test]
+    fn alias_suite_sweeps_modes_and_passes_gates() {
+        let suite = run_alias_suite(&tiny_config()).unwrap();
+        assert_eq!(suite.reports.len(), 10);
+        assert!(suite.is_sound(), "dynamic conflict on a no-alias pair");
+        assert!(suite.pipelines_agree(), "static-mode pipelines diverged");
+        let mut static_differs = false;
+        let mut none_differs = false;
+        for r in &suite.reports {
+            assert!(r.num_classes >= 1, "{}", r.workload.name);
+            for kind in MachineKind::ALL {
+                let perfect = r.report_for(MemDisambiguation::Perfect).parallelism(kind);
+                let stat = r.report_for(MemDisambiguation::Static).parallelism(kind);
+                let none = r.report_for(MemDisambiguation::None).parallelism(kind);
+                for p in [perfect, stat, none] {
+                    assert!(p.is_finite() && p >= 1.0, "{} {kind:?}: {p}", r.workload.name);
+                }
+                // Coarse modes accumulate the store max, so weakening
+                // the analysis never helps — pointwise, every machine.
+                assert!(
+                    stat <= perfect + 1e-9,
+                    "{} {kind:?}: static {stat} beat perfect {perfect}",
+                    r.workload.name
+                );
+                assert!(
+                    none <= stat + 1e-9,
+                    "{} {kind:?}: none {none} beat static {stat}",
+                    r.workload.name
+                );
+                static_differs |= stat != perfect;
+                none_differs |= none != stat;
+            }
+            // Every mode schedules the same instructions.
+            let seq = r.report_for(MemDisambiguation::Perfect).seq_instrs;
+            assert_eq!(r.report_for(MemDisambiguation::Static).seq_instrs, seq);
+            assert_eq!(r.report_for(MemDisambiguation::None).seq_instrs, seq);
+        }
+        // And the axis is live: each weakening changes some schedule.
+        assert!(static_differs, "static mode never changed a schedule");
+        assert!(none_differs, "none mode never changed a schedule");
+        let md = suite.disambiguation_md();
+        assert!(md.contains("## Memory Disambiguation"));
+        assert!(md.contains("### `perfect`"));
+        assert!(md.contains("### `static`"));
+        assert!(md.contains("### `none`"));
+        assert!(md.contains("### Retention on SP-CD-MF"));
+        assert!(md.contains("harmonic mean"));
+        assert!(md.contains("- alias soundness, in-memory walker: **pass**"));
+        assert!(md.contains("streamed walker (chunk 4096 events): **pass**"));
+        assert!(md.contains("bit-identical (lane / scalar / streamed): **pass**"));
+        assert!(md.contains("scan"));
     }
 
     #[test]

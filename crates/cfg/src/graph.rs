@@ -350,6 +350,19 @@ impl Cfg {
     /// dashed gray edges from each controlling branch's block to the
     /// dependent block — useful for visualizing `clfp-verify` findings.
     pub fn to_dot_with(&self, program: &Program, deps: Option<&crate::ControlDeps>) -> String {
+        self.to_dot_with_overlays(program, deps, None)
+    }
+
+    /// Like [`Cfg::to_dot_with`], additionally annotating each memory
+    /// instruction with its alias scheduler class (`·A<class>`) and
+    /// appending a dashed legend cluster mapping classes to region names,
+    /// matching the CD-edge overlay style.
+    pub fn to_dot_with_overlays(
+        &self,
+        program: &Program,
+        deps: Option<&crate::ControlDeps>,
+        alias: Option<&crate::AliasAnalysis>,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
         for (pi, proc) in self.procs.iter().enumerate() {
@@ -360,11 +373,54 @@ impl Cfg {
                 let block = self.block(block_id);
                 let mut label = String::new();
                 for pc in block.instrs() {
-                    let _ = write!(label, "{pc}: {}\\l", program.text[pc as usize]);
+                    let _ = write!(label, "{pc}: {}", program.text[pc as usize]);
+                    if let Some(mark) =
+                        alias.and_then(|alias| alias.region_label(pc))
+                    {
+                        let _ = write!(label, "  \u{b7}{mark}");
+                    }
+                    label.push_str("\\l");
                 }
                 let _ = writeln!(out, "    b{} [label=\"{label}\"];", block_id.0);
             }
             let _ = writeln!(out, "  }}");
+        }
+        if let Some(alias) = alias {
+            // Legend: one line per scheduler class, listing the regions it
+            // merges, rendered as a dashed gray cluster like the CD edges.
+            let mut merged: Vec<Option<crate::BitSet>> =
+                vec![None; alias.num_classes() as usize];
+            for pc in 0..program.text.len() as u32 {
+                let Some(access) = alias.accesses[pc as usize].as_ref() else {
+                    continue;
+                };
+                let class = alias.scheduler_class(pc) as usize;
+                merged[class]
+                    .get_or_insert_with(|| crate::BitSet::new(alias.universe.len()))
+                    .union_with(&access.regions);
+            }
+            let mut lines: Vec<String> = Vec::new();
+            for (class, set) in merged.iter().enumerate() {
+                let Some(set) = set else { continue };
+                let regions: Vec<String> = set
+                    .iter()
+                    .map(|r| alias.universe.describe(r as u32, self))
+                    .collect();
+                lines.push(format!("A{class}: {}\\l", regions.join(", ")));
+            }
+            if !lines.is_empty() {
+                let _ = writeln!(out, "  subgraph cluster_alias {{");
+                let _ = writeln!(
+                    out,
+                    "    label=\"alias regions\"; style=dashed; color=gray;"
+                );
+                let _ = writeln!(
+                    out,
+                    "    alias_legend [shape=note, color=gray, label=\"{}\"];",
+                    lines.concat()
+                );
+                let _ = writeln!(out, "  }}");
+            }
         }
         for (bi, block) in self.blocks.iter().enumerate() {
             for succ in &block.succs {
@@ -553,6 +609,36 @@ mod tests {
             overlay.contains("b1 -> b1 [style=dashed, color=gray, constraint=false];"),
             "missing overlay edge in:\n{overlay}"
         );
+    }
+
+    #[test]
+    fn dot_overlay_annotates_alias_regions() {
+        let (program, cfg) = build(
+            r#"
+            .data
+            a: .space 16
+            b: .space 16
+            .text
+            main:
+                sw r8, 0x1000(r0)  # a
+                lw r9, 0x1010(r0)  # b
+                sw r10, 4(sp)
+                halt
+            "#,
+        );
+        let alias = crate::AliasAnalysis::analyze(&program, &cfg);
+        let plain = cfg.to_dot(&program);
+        assert!(!plain.contains("cluster_alias"));
+        let overlay = cfg.to_dot_with_overlays(&program, None, Some(&alias));
+        // Every memory instruction carries its class mark; non-memory
+        // instructions do not.
+        assert!(overlay.contains("\u{b7}A"), "missing class marks in:\n{overlay}");
+        assert!(!overlay.contains("halt  \u{b7}"));
+        // The legend cluster names the regions, dashed-gray like CD edges.
+        assert!(overlay.contains("cluster_alias"));
+        assert!(overlay.contains("style=dashed"));
+        assert!(overlay.contains("a") && overlay.contains("b"));
+        assert!(overlay.contains("stack:main"), "legend in:\n{overlay}");
     }
 
     #[test]

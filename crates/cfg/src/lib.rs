@@ -23,6 +23,10 @@
 //!   solver with bitset lattices, plus reaching definitions, register
 //!   liveness, and maybe-uninitialized-read client analyses used by the
 //!   `clfp-verify` lint pass.
+//! * **Interprocedural alias analysis** ([`alias`]): whole-program call
+//!   graph, abstract-region partition of the address space, Andersen-style
+//!   points-to with per-procedure parallel solving, and the per-access
+//!   alias classification behind the `Static` memory-disambiguation mode.
 //!
 //! ## Example
 //!
@@ -42,6 +46,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod alias;
 mod controldep;
 pub mod dataflow;
 pub mod dom;
@@ -50,6 +55,7 @@ pub mod induction;
 pub mod loops;
 mod mask;
 
+pub use alias::{AliasAnalysis, AliasKind, CallGraph, MemAccess, RegionUniverse};
 pub use controldep::{CdViolation, CdViolationReason, ControlDeps};
 pub use dataflow::{BitSet, DefSite, Liveness, MaybeUninit, ReachingDefs, UninitRead};
 pub use graph::{Block, BlockId, Cfg, Proc, ProcId};

@@ -1,6 +1,6 @@
 use clfp_isa::{Instr, Program, Reg};
 
-use crate::{Cfg, ControlDeps, InductionInfo, LoopForest};
+use crate::{AliasAnalysis, Cfg, ControlDeps, InductionInfo, LoopForest};
 
 /// Return-address saves/restores through the frame are call overhead:
 /// inlined code has no return address, so perfect inlining deletes them
@@ -98,6 +98,8 @@ pub struct StaticInfo {
     pub induction: InductionInfo,
     /// Trace-transformation masks.
     pub masks: IgnoreMasks,
+    /// Interprocedural memory alias analysis.
+    pub alias: AliasAnalysis,
 }
 
 impl StaticInfo {
@@ -108,12 +110,14 @@ impl StaticInfo {
         let loops = LoopForest::find(&cfg);
         let induction = InductionInfo::analyze(program, &cfg, &loops);
         let masks = IgnoreMasks::from_parts(program, &induction);
+        let alias = AliasAnalysis::analyze(program, &cfg);
         StaticInfo {
             cfg,
             deps,
             loops,
             induction,
             masks,
+            alias,
         }
     }
 }

@@ -665,6 +665,109 @@ mod tests {
     }
 
     #[test]
+    fn static_disambiguation_agrees_across_pipelines() {
+        use crate::MemDisambiguation;
+        let program = compile(LOOPY).unwrap();
+        for mode in [MemDisambiguation::Static, MemDisambiguation::None] {
+            let config = AnalysisConfig::quick().with_disambiguation(mode);
+            let analyzer = Analyzer::new(&program, config).unwrap();
+            let mut vm = clfp_vm::Vm::new(
+                &program,
+                VmOptions {
+                    mem_words: analyzer.config.mem_words,
+                },
+            );
+            let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+            let lane = analyzer.run_on_trace(&trace);
+            let scalar = analyzer
+                .prepare(&trace)
+                .report_with_unrolling_scalar(analyzer.config.unrolling);
+            let reference = analyzer.run_on_trace_reference(&trace);
+            let streamed = analyzer
+                .run_streamed(crate::StreamOptions {
+                    chunk_events: 4096,
+                    machine_threads: 0,
+                })
+                .unwrap();
+            for report in [&scalar, &reference, &streamed.unrolled] {
+                assert_eq!(lane.seq_instrs, report.seq_instrs, "{mode:?}");
+                for (a, b) in lane.results.iter().zip(&report.results) {
+                    assert_eq!(a.kind, b.kind, "{mode:?}");
+                    assert_eq!(a.cycles, b.cycles, "{mode:?} {:?}", a.kind);
+                }
+            }
+        }
+    }
+
+    // Monotonicity is a theorem, not a trend: coarse modes fold stores
+    // into the last-write table with a running max
+    // (`MemDisambiguation::accumulates`), so refining the key partition
+    // can only remove constraints. `perfect <= static <= none` in
+    // cycles, pointwise on every machine.
+    #[test]
+    fn weaker_disambiguation_never_helps() {
+        use crate::MemDisambiguation;
+        let program = compile(LOOPY).unwrap();
+        let run = |mode: MemDisambiguation| {
+            let config = AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Oracle, MachineKind::SpCdMf])
+                .with_disambiguation(mode);
+            Analyzer::new(&program, config).unwrap().run().unwrap()
+        };
+        let perfect = run(MemDisambiguation::Perfect);
+        let stat = run(MemDisambiguation::Static);
+        let none = run(MemDisambiguation::None);
+        for kind in [MachineKind::Oracle, MachineKind::SpCdMf] {
+            let p = perfect.result(kind).unwrap().cycles;
+            let s = stat.result(kind).unwrap().cycles;
+            let n = none.result(kind).unwrap().cycles;
+            assert!(p <= s, "{kind}: static beat the oracle ({p} vs {s})");
+            assert!(s <= n, "{kind}: no disambiguation beat static ({s} vs {n})");
+        }
+        // Strict separation needs disjoint global chains that frame
+        // traffic doesn't drown out: `a`'s serial region chain slows
+        // Static past the oracle, while `b`'s load only serializes when
+        // all of memory is one location.
+        let program = clfp_isa::assemble(
+            r#"
+            .data
+            a: .space 64
+            b: .space 64
+            .text
+            main:
+                li r8, 1
+                sw r8, 0x1000(r0)  # a[0]
+                lw r9, 0x1004(r0)  # a[1]: independent only under Perfect
+                sw r9, 0x1008(r0)  # a[2]: extends the region chain
+                lw r10, 0x1044(r0) # b[1]: serializes only under None
+                add r11, r10, r10
+                halt
+            "#,
+        )
+        .unwrap();
+        let run = |mode: MemDisambiguation| {
+            let config = AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Oracle])
+                .with_disambiguation(mode);
+            Analyzer::new(&program, config).unwrap().run().unwrap()
+        };
+        let p = run(MemDisambiguation::Perfect)
+            .result(MachineKind::Oracle)
+            .unwrap()
+            .cycles;
+        let s = run(MemDisambiguation::Static)
+            .result(MachineKind::Oracle)
+            .unwrap()
+            .cycles;
+        let n = run(MemDisambiguation::None)
+            .result(MachineKind::Oracle)
+            .unwrap()
+            .cycles;
+        assert!(p < s, "static should serialize some oracle parallelism ({p} vs {s})");
+        assert!(s < n, "static should beat a single-location memory ({s} vs {n})");
+    }
+
+    #[test]
     fn reference_path_matches_fused_run() {
         let program = compile(LOOPY).unwrap();
         let config = AnalysisConfig::quick();

@@ -77,6 +77,59 @@ impl PredictorChoice {
     }
 }
 
+/// How the scheduler's last-write memory lookup is keyed — the
+/// memory-disambiguation axis.
+///
+/// The paper assumes *perfect* disambiguation: dependences exist only
+/// between accesses to the same dynamic address. `Static` replaces that
+/// oracle with what the interprocedural alias analysis
+/// (`clfp_cfg::AliasAnalysis`) can prove from the object code: the table
+/// is keyed by alias scheduler class, so every may-aliased store acts as
+/// a barrier for every load in its region class. `None` models no
+/// disambiguation at all: all of memory is one location and every store
+/// serializes every later access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MemDisambiguation {
+    /// Oracle disambiguation by dynamic address (the paper's model).
+    #[default]
+    Perfect,
+    /// Static alias-analysis disambiguation by region class.
+    Static,
+    /// No disambiguation: memory is a single location.
+    None,
+}
+
+impl MemDisambiguation {
+    /// All modes, in report order.
+    pub const ALL: [MemDisambiguation; 3] = [
+        MemDisambiguation::Perfect,
+        MemDisambiguation::Static,
+        MemDisambiguation::None,
+    ];
+
+    /// Short name for reports and fingerprints.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemDisambiguation::Perfect => "perfect",
+            MemDisambiguation::Static => "static",
+            MemDisambiguation::None => "none",
+        }
+    }
+
+    /// Whether stores fold into the last-write table with `max` instead
+    /// of overwriting it. Under `Perfect` keys the latest store to a
+    /// word *is* the load's true producer, so overwrite is exact. Under
+    /// a coarser key a later store to a *different* word in the same
+    /// class would hide the true producer's completion time — a machine
+    /// without the oracle must hold every load until all earlier
+    /// may-aliasing stores complete, so the table tracks their running
+    /// maximum. This is what makes `perfect >= static >= none` a
+    /// pointwise theorem rather than an empirical trend.
+    pub fn accumulates(self) -> bool {
+        !matches!(self, MemDisambiguation::Perfect)
+    }
+}
+
 /// Configuration for an [`Analyzer`](crate::Analyzer) run.
 #[derive(Clone, Debug)]
 pub struct AnalysisConfig {
@@ -105,6 +158,11 @@ pub struct AnalysisConfig {
     /// Coarser values model imperfect alias analysis: accesses within the
     /// same block conflict, adding false dependences.
     pub disambiguation_bytes: u32,
+    /// How the last-write table is keyed: by dynamic address (the paper's
+    /// perfect oracle), by static alias region class, or not at all.
+    /// Orthogonal to `disambiguation_bytes`, which coarsens the *address*
+    /// key and is ignored by the other two modes.
+    pub disambiguation: MemDisambiguation,
     /// Whether anti (write-after-read) and output (write-after-write)
     /// dependences are removed by renaming. The paper's setting is `true`
     /// ("we have eliminated all the anti-dependences and output
@@ -167,6 +225,7 @@ impl Default for AnalysisConfig {
             predictor: PredictorChoice::Profile,
             fetch_bandwidth: None,
             disambiguation_bytes: 4,
+            disambiguation: MemDisambiguation::Perfect,
             rename: true,
             latency: Latencies::unit(),
         }
@@ -228,6 +287,12 @@ impl AnalysisConfig {
         self
     }
 
+    /// Builder-style: choose the memory-disambiguation mode.
+    pub fn with_disambiguation(mut self, mode: MemDisambiguation) -> AnalysisConfig {
+        self.disambiguation = mode;
+        self
+    }
+
     /// Builder-style: toggle register/memory renaming.
     pub fn with_rename(mut self, rename: bool) -> AnalysisConfig {
         self.rename = rename;
@@ -271,7 +336,7 @@ impl AnalysisConfig {
             Some(width) => width.to_string(),
         };
         format!(
-            "clfp-config-v1;max_instrs={};unrolling={};inlining={};machines={};mem_words={};predictor={};fetch={};disambiguation_bytes={};rename={};latency={}/{}/{}",
+            "clfp-config-v2;max_instrs={};unrolling={};inlining={};machines={};mem_words={};predictor={};fetch={};disambiguation_bytes={};disambiguation={};rename={};latency={}/{}/{}",
             self.max_instrs,
             self.unrolling,
             self.inlining,
@@ -280,6 +345,7 @@ impl AnalysisConfig {
             predictor,
             fetch,
             self.disambiguation_bytes,
+            self.disambiguation.name(),
             self.rename,
             self.latency.load,
             self.latency.mul_div,
@@ -305,7 +371,7 @@ mod tests {
     fn fingerprint_separates_configs_and_is_stable() {
         let base = AnalysisConfig::default();
         assert_eq!(base.fingerprint(), AnalysisConfig::default().fingerprint());
-        assert!(base.fingerprint().starts_with("clfp-config-v1;"));
+        assert!(base.fingerprint().starts_with("clfp-config-v2;"));
         for changed in [
             base.clone().with_max_instrs(1),
             base.clone().with_unrolling(false),
@@ -313,6 +379,8 @@ mod tests {
             base.clone().with_predictor(PredictorChoice::Btfn),
             base.clone().with_fetch_bandwidth(8),
             base.clone().with_disambiguation_bytes(64),
+            base.clone().with_disambiguation(MemDisambiguation::Static),
+            base.clone().with_disambiguation(MemDisambiguation::None),
             base.clone().with_rename(false),
             base.clone().with_latency(Latencies::realistic()),
         ] {

@@ -444,15 +444,20 @@ impl MachineCursor {
                 state.reg_time[meta.def as usize] = done;
             }
             if is_store {
-                state.mem_time.set(event.mem_key, done);
+                let prev = state.mem_time.get(event.mem_key);
+                let accumulate = config.disambiguation.accumulates();
+                state.mem_time.set(event.mem_key, if accumulate { prev.max(done) } else { done });
+                // A store that did not advance the accumulated maximum
+                // does not own the table value, so it is never the
+                // binding writer for attribution.
+                if S::ENABLED && (!accumulate || done >= prev) {
+                    attr.as_mut().unwrap().mem_writer.set(event.mem_key, i + 1);
+                }
             }
             if S::ENABLED {
                 let a = attr.as_mut().unwrap();
                 if meta.def != NO_REG {
                     a.reg_writer[meta.def as usize] = i as u32;
-                }
-                if is_store {
-                    a.mem_writer.set(event.mem_key, i + 1);
                 }
             }
             if !config.rename {

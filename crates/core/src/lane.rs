@@ -227,6 +227,9 @@ struct GroupCursor<const L: usize, const CD: bool, const RENAME: bool, const FET
     m_ord_lb: [u64; L],
     m_ord_lm: [u64; L],
 
+    /// Stores fold into `mem_time` with `max` under coarse
+    /// disambiguation keys ([`crate::MemDisambiguation::accumulates`]).
+    mem_accumulate: bool,
     reg_time: [[u64; L]; 32],
     reg_read: [[u64; L]; 32],
     mem_time: LaneTable<L>,
@@ -274,6 +277,7 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
             m_b,
             m_ord_lb,
             m_ord_lm,
+            mem_accumulate: config.disambiguation.accumulates(),
             reg_time: [[0; L]; 32],
             reg_read: [[0; L]; 32],
             mem_time: LaneTable::with_capacity(mem_capacity),
@@ -454,8 +458,14 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
             }
             if is_store {
                 let mt = self.mem_time.entry(event.mem_key);
-                for l in 0..L {
-                    mt[l] = (done[l] & am[l]) | (mt[l] & !am[l]);
+                if self.mem_accumulate {
+                    for l in 0..L {
+                        mt[l] = (done[l].max(mt[l]) & am[l]) | (mt[l] & !am[l]);
+                    }
+                } else {
+                    for l in 0..L {
+                        mt[l] = (done[l] & am[l]) | (mt[l] & !am[l]);
+                    }
                 }
             }
             if !RENAME {

@@ -68,7 +68,7 @@ pub use analyzer::{Analyzer, CdSource, MachineResult, PreparedTrace, Report};
 pub use clfp_metrics::{
     CriticalPathAttribution, EdgeKind, FlowCounters, MachineMetrics, OccupancyHistogram,
 };
-pub use config::{AnalysisConfig, Latencies, PredictorChoice};
+pub use config::{AnalysisConfig, Latencies, MemDisambiguation, PredictorChoice};
 pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;
 pub use machine::MachineKind;

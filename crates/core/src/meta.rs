@@ -235,7 +235,9 @@ pub(crate) const CD_INHERIT: u32 = u32::MAX - 1;
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct EventMeta {
     pub pc: u32,
-    /// `mem_addr >> disambiguation_shift`, valid for loads/stores.
+    /// Last-write key, valid for loads/stores: `mem_addr >>
+    /// disambiguation_shift` under `Perfect` disambiguation, the static
+    /// alias scheduler class under `Static`, 0 under `None`.
     pub mem_key: u32,
     /// Controlling branch PC, [`CD_NONE`], or [`CD_INHERIT`].
     pub cd: u32,
@@ -319,6 +321,7 @@ pub(crate) struct MetaBuilder<'a> {
     info: &'a StaticInfo,
     inlining: bool,
     shift: u32,
+    disambiguation: crate::MemDisambiguation,
     predictor: Box<dyn clfp_predict::BranchPredictor>,
     branches: BranchReport,
     /// Running non-ignored event counts per unroll setting — the
@@ -352,6 +355,7 @@ impl<'a> MetaBuilder<'a> {
             info,
             inlining: config.inlining,
             shift: config.disambiguation_bytes.trailing_zeros(),
+            disambiguation: config.disambiguation,
             predictor: config.predictor.build(program, profile),
             branches: BranchReport::default(),
             not_ignored: [0; 2],
@@ -423,7 +427,17 @@ impl<'a> MetaBuilder<'a> {
             if meta.is(PC_BRANCH) {
                 flags |= EV_BRANCH;
             }
-            let mem_key = event.mem_addr >> self.shift;
+            // The disambiguation mode decides the last-write key here, and
+            // only here for the fused/lane/stream pipelines: everything
+            // downstream consumes `EventMeta::mem_key` opaquely, so all
+            // three agree bit-for-bit by construction.
+            let mem_key = match self.disambiguation {
+                crate::MemDisambiguation::Perfect => event.mem_addr >> self.shift,
+                crate::MemDisambiguation::Static => {
+                    self.info.alias.scheduler_class(event.pc)
+                }
+                crate::MemDisambiguation::None => 0,
+            };
             if meta.flags & (PC_LOAD | PC_STORE) != 0 {
                 let word = (mem_key >> 6) as usize;
                 if word >= self.mem_seen.len() {

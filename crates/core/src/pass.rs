@@ -50,6 +50,9 @@ pub(crate) struct PassConfig {
     /// log2 of the memory-disambiguation granularity in bytes (2 = word,
     /// the paper's perfect disambiguation).
     pub disambiguation_shift: u32,
+    /// How the last-write table is keyed (dynamic address, static alias
+    /// class, or a single location).
+    pub disambiguation: crate::MemDisambiguation,
     /// Whether renaming removes anti/output dependences (the paper: yes).
     pub rename: bool,
     /// Operation latencies (the paper: all 1).
@@ -61,6 +64,7 @@ impl Default for PassConfig {
         PassConfig {
             fetch_bandwidth: None,
             disambiguation_shift: 2,
+            disambiguation: crate::MemDisambiguation::Perfect,
             rename: true,
             latency: crate::Latencies::unit(),
         }
@@ -72,6 +76,7 @@ impl PassConfig {
         PassConfig {
             fetch_bandwidth: config.fetch_bandwidth,
             disambiguation_shift: config.disambiguation_bytes.trailing_zeros(),
+            disambiguation: config.disambiguation,
             rename: config.rename,
             latency: config.latency,
         }
@@ -227,7 +232,15 @@ pub(crate) fn run_pass_with_schedule(
             }
             let is_load = matches!(instr, Instr::Lw { .. });
             let is_store = matches!(instr, Instr::Sw { .. });
-            let mem_key = event.mem_addr >> shift;
+            // Mirrors the key choice in `MetaBuilder::push_chunk` — the
+            // reference oracle must agree with the prepared pipelines.
+            let mem_key = match config.disambiguation {
+                crate::MemDisambiguation::Perfect => event.mem_addr >> shift,
+                crate::MemDisambiguation::Static => {
+                    prepared.info.alias.scheduler_class(pc)
+                }
+                crate::MemDisambiguation::None => 0,
+            };
             if is_load {
                 data = data.max(mem_time.get(mem_key));
             }
@@ -249,7 +262,15 @@ pub(crate) fn run_pass_with_schedule(
                 reg_time[rd.index()] = done;
             }
             if is_store {
-                mem_time.set(mem_key, done);
+                // Coarse keys accumulate: without the oracle, a load
+                // must wait for *every* earlier may-aliasing store, not
+                // just the latest (`MemDisambiguation::accumulates`).
+                let t = if config.disambiguation.accumulates() {
+                    mem_time.get(mem_key).max(done)
+                } else {
+                    done
+                };
+                mem_time.set(mem_key, t);
             }
             if !config.rename {
                 for reg in instr.uses() {

@@ -95,11 +95,21 @@ pub enum DiagnosticKind {
     /// The analyzer's sequential instruction count disagrees with an
     /// independent recount of non-ignored trace events.
     SeqCountMismatch,
+    /// Two memory accesses dynamically touched the same word, but the
+    /// static alias analysis classified the pair no-alias — the `Static`
+    /// disambiguation schedule would miss a real dependence.
+    AliasSoundnessViolation,
+    /// A load's alias regions are never stored to by any instruction; the
+    /// value can only come from initialized or zeroed data.
+    NeverStoredRegionLoad,
+    /// A store's alias regions are never loaded from by any instruction;
+    /// at region granularity the stored value is provably unobserved.
+    RegionDeadStore,
 }
 
 impl DiagnosticKind {
     /// Every kind, in severity-then-declaration order.
-    pub const ALL: [DiagnosticKind; 9] = [
+    pub const ALL: [DiagnosticKind; 12] = [
         DiagnosticKind::BadBranchTarget,
         DiagnosticKind::CdInvariant,
         DiagnosticKind::UnreachableBlock,
@@ -109,6 +119,9 @@ impl DiagnosticKind {
         DiagnosticKind::CdResolutionViolation,
         DiagnosticKind::UnrollMaskViolation,
         DiagnosticKind::SeqCountMismatch,
+        DiagnosticKind::AliasSoundnessViolation,
+        DiagnosticKind::NeverStoredRegionLoad,
+        DiagnosticKind::RegionDeadStore,
     ];
 
     /// The fixed severity of this kind.
@@ -119,11 +132,18 @@ impl DiagnosticKind {
             | DiagnosticKind::EdgeViolation
             | DiagnosticKind::CdResolutionViolation
             | DiagnosticKind::UnrollMaskViolation
-            | DiagnosticKind::SeqCountMismatch => Severity::Error,
+            | DiagnosticKind::SeqCountMismatch
+            | DiagnosticKind::AliasSoundnessViolation => Severity::Error,
             DiagnosticKind::UnreachableBlock | DiagnosticKind::MaybeUninitRead => {
                 Severity::Warning
             }
-            DiagnosticKind::DeadStore => Severity::Info,
+            // Region-level findings are informational: globals may carry
+            // compile-time initial data (never-stored loads are legal),
+            // and MiniC has no I/O, so result arrays are naturally
+            // region-dead.
+            DiagnosticKind::DeadStore
+            | DiagnosticKind::NeverStoredRegionLoad
+            | DiagnosticKind::RegionDeadStore => Severity::Info,
         }
     }
 
@@ -139,6 +159,9 @@ impl DiagnosticKind {
             DiagnosticKind::CdResolutionViolation => "cd-resolution-violation",
             DiagnosticKind::UnrollMaskViolation => "unroll-mask-violation",
             DiagnosticKind::SeqCountMismatch => "seq-count-mismatch",
+            DiagnosticKind::AliasSoundnessViolation => "alias-soundness-violation",
+            DiagnosticKind::NeverStoredRegionLoad => "never-stored-region-load",
+            DiagnosticKind::RegionDeadStore => "region-dead-store",
         }
     }
 }
@@ -201,6 +224,7 @@ pub fn lint_program(program: &Program, info: &StaticInfo) -> Vec<Diagnostic> {
     lint_unreachable(program, &info.cfg, &mut out);
     lint_maybe_uninit(program, &info.cfg, &mut out);
     lint_dead_stores(program, &info.cfg, &mut out);
+    lint_regions(program, info, &mut out);
     out
 }
 
@@ -331,6 +355,70 @@ fn lint_dead_stores(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
                 program.text[pc as usize]
             ),
         ));
+    }
+}
+
+/// Region-level memory lints over the interprocedural alias analysis:
+/// loads whose every reachable region is never stored to (the value can
+/// only be initial data), and stores whose every reachable region is
+/// never loaded from (provably unobserved at region granularity).
+fn lint_regions(program: &Program, info: &StaticInfo, out: &mut Vec<Diagnostic>) {
+    let alias = &info.alias;
+    let stored = alias.stored_regions(program);
+    let loaded = alias.loaded_regions(program);
+    let describe = |pc: u32| {
+        let regions: Vec<String> = alias.accesses[pc as usize]
+            .as_ref()
+            .map(|access| {
+                access
+                    .regions
+                    .iter()
+                    .map(|r| alias.universe.describe(r as u32, &info.cfg))
+                    .collect()
+            })
+            .unwrap_or_default();
+        regions.join(", ")
+    };
+    for (pc, instr) in program.text.iter().enumerate() {
+        let pc = pc as u32;
+        let Some(access) = alias.accesses[pc as usize].as_ref() else {
+            continue;
+        };
+        match instr {
+            Instr::Lw { .. } => {
+                let mut probe = access.regions.clone();
+                probe.intersect_with(&stored);
+                if probe.is_empty() {
+                    out.push(Diagnostic::new(
+                        DiagnosticKind::NeverStoredRegionLoad,
+                        Some(pc),
+                        format!(
+                            "`{}` loads from {{{}}}, which no instruction stores to; the \
+                             value can only be initial data",
+                            program.text[pc as usize],
+                            describe(pc)
+                        ),
+                    ));
+                }
+            }
+            Instr::Sw { .. } => {
+                let mut probe = access.regions.clone();
+                probe.intersect_with(&loaded);
+                if probe.is_empty() {
+                    out.push(Diagnostic::new(
+                        DiagnosticKind::RegionDeadStore,
+                        Some(pc),
+                        format!(
+                            "`{}` stores to {{{}}}, which no instruction loads from; the \
+                             value is unobserved at region granularity",
+                            program.text[pc as usize],
+                            describe(pc)
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -697,9 +785,50 @@ impl<'a> TraceChecks<'a> {
         Ok(seq_count_diags(counted, reported_seq, unrolling))
     }
 
+    /// Asserts the static alias classification is sound against observed
+    /// behavior: every dynamic address conflict (two accesses touching
+    /// the same word, at least one a store) must involve a pair the
+    /// analysis classifies may- or must-alias. A no-alias verdict on a
+    /// conflicting pair means the `Static` disambiguation schedule missed
+    /// a real dependence — always an [`Severity::Error`].
+    ///
+    /// Conflicts are observed between each access and the *latest*
+    /// earlier access to the same word, matching the last-write semantics
+    /// the scheduler keys on; each offending static pair is reported
+    /// once.
+    pub fn check_alias_soundness(&self, trace: &Trace) -> Vec<Diagnostic> {
+        let mut walker = AliasWalker::new(self);
+        for event in trace.iter() {
+            walker.push(*event);
+        }
+        walker.finish()
+    }
+
+    /// [`TraceChecks::check_alias_soundness`] over a streamed
+    /// [`TraceSource`]: the per-word last-access maps and the reported-pair
+    /// dedup set carry across chunk boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from producing the stream.
+    pub fn check_alias_soundness_source(
+        &self,
+        source: &dyn TraceSource,
+        chunk_events: usize,
+    ) -> Result<Vec<Diagnostic>, VmError> {
+        let mut walker = AliasWalker::new(self);
+        source.stream(chunk_events, &mut |chunk| {
+            for event in chunk {
+                walker.push(*event);
+            }
+        })?;
+        Ok(walker.finish())
+    }
+
     /// Runs every dynamic cross-check against a prepared trace: CFG edges,
-    /// control-dependence resolution, unroll-mask iteration counts, and
-    /// the sequential instruction count for both unrolling settings.
+    /// control-dependence resolution, unroll-mask iteration counts,
+    /// alias-classification soundness, and the sequential instruction
+    /// count for both unrolling settings.
     ///
     /// Note this re-runs the configured machine passes once per unrolling
     /// setting to obtain the reported counts; callers that already hold
@@ -708,6 +837,7 @@ impl<'a> TraceChecks<'a> {
         let mut out = self.check_edges(trace);
         out.extend(self.check_cd_sources(trace, prepared.cd_sources()));
         out.extend(self.check_unroll_masks(trace));
+        out.extend(self.check_alias_soundness(trace));
         for unrolling in [false, true] {
             let report = prepared.report_with_unrolling(unrolling);
             out.extend(self.check_seq_count(trace, unrolling, report.seq_instrs));
@@ -863,6 +993,81 @@ impl<'c, 'a> UnrollWalker<'c, 'a> {
             _ => {}
         }
         self.prev = Some(pc);
+    }
+
+    fn finish(self) -> Vec<Diagnostic> {
+        self.out
+    }
+}
+
+/// Incremental alias-soundness checker:
+/// [`TraceChecks::check_alias_soundness`] fed one event at a time.
+/// Carries the per-word latest load/store pcs and the set of already
+/// reported static pairs.
+struct AliasWalker<'c, 'a> {
+    checks: &'c TraceChecks<'a>,
+    /// Latest store pc per accessed word address.
+    last_store: HashMap<u32, u32>,
+    /// Latest load pc per accessed word address.
+    last_load: HashMap<u32, u32>,
+    /// Static `(earlier pc, later pc)` pairs already reported.
+    reported: std::collections::HashSet<(u32, u32)>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'c, 'a> AliasWalker<'c, 'a> {
+    fn new(checks: &'c TraceChecks<'a>) -> AliasWalker<'c, 'a> {
+        AliasWalker {
+            checks,
+            last_store: HashMap::new(),
+            last_load: HashMap::new(),
+            reported: std::collections::HashSet::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        let (is_load, is_store) = match event.instr(self.checks.program) {
+            Instr::Lw { .. } => (true, false),
+            Instr::Sw { .. } => (false, true),
+            _ => return,
+        };
+        let addr = event.mem_addr;
+        if is_load {
+            if let Some(&store_pc) = self.last_store.get(&addr) {
+                self.check_pair(store_pc, event.pc, addr);
+            }
+            self.last_load.insert(addr, event.pc);
+        }
+        if is_store {
+            if let Some(&store_pc) = self.last_store.get(&addr) {
+                self.check_pair(store_pc, event.pc, addr);
+            }
+            if let Some(&load_pc) = self.last_load.get(&addr) {
+                self.check_pair(load_pc, event.pc, addr);
+            }
+            self.last_store.insert(addr, event.pc);
+        }
+    }
+
+    /// Reports the pair if the analysis claims the accesses cannot alias.
+    fn check_pair(&mut self, earlier_pc: u32, later_pc: u32, addr: u32) {
+        if !self.reported.insert((earlier_pc, later_pc)) {
+            return;
+        }
+        let alias = &self.checks.info.alias;
+        if alias.classify(earlier_pc, later_pc) == Some(clfp_cfg::AliasKind::No) {
+            let text = &self.checks.program.text;
+            self.out.push(Diagnostic::new(
+                DiagnosticKind::AliasSoundnessViolation,
+                Some(later_pc),
+                format!(
+                    "`{}` (pc {later_pc}) and `{}` (pc {earlier_pc}) both touched address \
+                     {addr:#x}, but the alias analysis classified the pair no-alias",
+                    text[later_pc as usize], text[earlier_pc as usize]
+                ),
+            ));
+        }
     }
 
     fn finish(self) -> Vec<Diagnostic> {
@@ -1147,6 +1352,11 @@ mod tests {
                     checks.check_unroll_masks(trace),
                     "unroll chunk={chunk}"
                 );
+                assert_eq!(
+                    checks.check_alias_soundness_source(trace, chunk).unwrap(),
+                    checks.check_alias_soundness(trace),
+                    "alias chunk={chunk}"
+                );
                 for unrolling in [false, true] {
                     for reported in [10u64, 11] {
                         assert_eq!(
@@ -1160,6 +1370,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Two distinct globals, one stored and one loaded: the ingredients
+    /// for both a forged soundness violation and the one-way region
+    /// lints.
+    const SPLIT_TRAFFIC: &str = r#"
+        .data
+        a: .space 64
+        b: .space 64
+        .text
+        main:
+            li r8, 1
+            sw r8, 0x1000(r0)
+            lw r9, 0x1040(r0)
+            halt
+        "#;
+
+    #[test]
+    fn alias_soundness_flags_forged_conflict() {
+        let (program, info) = setup(SPLIT_TRAFFIC);
+        let trace = trace_of(&program);
+        let checks = TraceChecks::new(&program, &info);
+        assert_eq!(checks.check_alias_soundness(&trace), Vec::new());
+
+        // Forge the load to hit `a` at run time: the analysis still
+        // claims the pair cannot alias, which the walker must flag.
+        let mut events: Vec<TraceEvent> = trace.events().to_vec();
+        let at = events
+            .iter()
+            .position(|e| matches!(e.instr(&program), Instr::Lw { .. }))
+            .unwrap();
+        events[at].mem_addr = 0x1000;
+        let forged = Trace::from_events(events);
+        let diags = checks.check_alias_soundness(&forged);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::AliasSoundnessViolation]);
+        assert!(has_errors(&diags));
+        assert!(diags[0].message.contains("no-alias"), "{}", diags[0].message);
+
+        // The streamed walker agrees chunk-for-chunk on both traces.
+        for trace in [&trace, &forged] {
+            for chunk in [1, 7, 4096] {
+                assert_eq!(
+                    checks.check_alias_soundness_source(trace, chunk).unwrap(),
+                    checks.check_alias_soundness(trace),
+                    "alias chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_lints_note_one_way_traffic() {
+        let (program, info) = setup(SPLIT_TRAFFIC);
+        let diags = lint_program(&program, &info);
+        let kinds = kinds(&diags);
+        assert!(kinds.contains(&DiagnosticKind::RegionDeadStore), "{diags:?}");
+        assert!(kinds.contains(&DiagnosticKind::NeverStoredRegionLoad), "{diags:?}");
+        assert!(!has_errors(&diags));
     }
 
     #[test]

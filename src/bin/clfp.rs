@@ -10,6 +10,8 @@
 //! clfp analyze --workload qsort --max-instrs 100000000 --stream
 //!                                 # stream in O(chunk) trace memory
 //! clfp analyze prog.s --no-unroll --predictor bimodal --fetch 8
+//! clfp lint prog.mc               # lint + static/dynamic cross-check
+//! clfp lint --workload qsort --json
 //! clfp workloads                  # list the benchmark suite
 //! ```
 //!
@@ -46,6 +48,7 @@ fn run() -> Result<(), String> {
         "run" => run_cmd(rest),
         "trace" => trace_cmd(rest),
         "analyze" => analyze_cmd(rest),
+        "lint" => lint_cmd(rest),
         "workloads" => {
             for w in clfp::workloads::suite() {
                 println!(
@@ -77,6 +80,9 @@ fn print_usage() {
          \u{20}         [--predictor profile|btfn|taken|bimodal|gshare|two-level]\n\
          \u{20}         [--fetch W] [--if-convert] [--trace file.trc]\n\
          \u{20}         [--stream [--chunk EVENTS]] analyze in O(chunk) trace memory\n\
+         \u{20} lint    <file | --workload NAME>   lint + cross-check one program\n\
+         \u{20}         [--max-instrs N] [--static-only] [--json]\n\
+         \u{20}         exits nonzero on any error-severity finding\n\
          \u{20} workloads                          list the benchmark suite\n\n\
          Files ending in .mc are MiniC; anything else is clfp assembly."
     );
@@ -193,6 +199,98 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
         .map_err(|err| format!("cannot write `{out}`: {err}"))?;
     println!("wrote {} events to {out}", trace.len());
     Ok(())
+}
+
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    use clfp::verify::{lint_program, Severity, TraceChecks};
+
+    let program = if let Some(name) = parse_flag_value(args, "--workload") {
+        let workload = clfp::workloads::by_name(name).map_err(|err| err.to_string())?;
+        workload
+            .compile_with(codegen_options(args))
+            .map_err(|err| err.to_string())?
+    } else {
+        let path = positional(args).ok_or("lint needs a file or --workload NAME")?;
+        load_program(path, codegen_options(args))?
+    };
+
+    // Only the machine-independent model is needed for the cross-checks;
+    // analyze the cheapest machine.
+    let mut config = AnalysisConfig {
+        machines: vec![MachineKind::Base],
+        ..AnalysisConfig::default()
+    };
+    if let Some(limit) = max_instrs_flag(args)? {
+        config.max_instrs = limit;
+    }
+    let max_instrs = config.max_instrs;
+    let analyzer = Analyzer::new(&program, config).map_err(|err| err.to_string())?;
+    let info = analyzer.static_info();
+    let mut diagnostics = lint_program(&program, info);
+
+    // Cross-check a measured trace against the static model: CFG edges,
+    // CD resolution, unroll masks, alias soundness, sequential counts.
+    if !has_flag(args, "--static-only") {
+        let mut vm = Vm::new(&program, VmOptions::default());
+        let trace = vm.trace(max_instrs).map_err(|err| err.to_string())?;
+        let prepared = analyzer.prepare(&trace);
+        let checks = TraceChecks::new(&program, info);
+        diagnostics.extend(checks.check_dynamic(&trace, &prepared));
+    }
+
+    let count_of = |severity: Severity| {
+        diagnostics
+            .iter()
+            .filter(|d| d.severity() == severity)
+            .count()
+    };
+    let errors = count_of(Severity::Error);
+    if has_flag(args, "--json") {
+        print!("{}", diagnostics_json(&diagnostics));
+    } else {
+        for diagnostic in &diagnostics {
+            println!("{diagnostic}");
+        }
+        println!(
+            "{} error(s), {} warning(s), {} info(s)",
+            errors,
+            count_of(Severity::Warning),
+            count_of(Severity::Info),
+        );
+    }
+    if errors > 0 {
+        return Err(format!(
+            "{errors} error-severity finding(s): the static model and the \
+             program disagree"
+        ));
+    }
+    Ok(())
+}
+
+fn diagnostics_json(diagnostics: &[clfp::verify::Diagnostic]) -> String {
+    let escape = |s: &str| {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<char>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c => vec![c],
+            })
+            .collect::<String>()
+    };
+    let mut out = String::from("[\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"kind\": \"{}\", \"severity\": \"{}\", \"pc\": {}, \"message\": \"{}\"}}{}\n",
+            d.kind,
+            d.severity(),
+            d.pc.map_or("null".to_string(), |pc| pc.to_string()),
+            escape(&d.message),
+            if i + 1 == diagnostics.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 fn analyze_cmd(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,75 @@
+//! Property test: the interprocedural alias analysis is dynamically
+//! sound on every program.
+//!
+//! For any randomly generated MiniC program, every address conflict
+//! observed in a measured trace (two accesses touching the same word, at
+//! least one a store) must fall on a pair the analysis classifies may- or
+//! must-alias — a no-alias verdict on a conflicting pair would mean the
+//! `static` disambiguation mode scheduled a real dependence away. Checked
+//! for both unroll settings, and the streamed soundness walker must
+//! reproduce the in-memory walker across chunk sizes that straddle every
+//! boundary shape (single-event, prime, production, whole-trace).
+
+// Requires the external `proptest` crate: gated off by default so the
+// workspace builds and tests fully offline. Enable with
+// `--features external-tests` after restoring the proptest dev-dependency.
+#![cfg(feature = "external-tests")]
+
+mod common;
+
+use clfp::lang::compile;
+use clfp::limits::{AnalysisConfig, Analyzer, MachineKind};
+use clfp::verify::TraceChecks;
+use clfp::vm::{Vm, VmOptions};
+use common::arb_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn dynamic_conflicts_stay_within_static_may_alias(source in arb_program()) {
+        let program = compile(&source)
+            .unwrap_or_else(|err| panic!("compile failed: {err}\n{source}"));
+        let mut vm = Vm::new(&program, VmOptions { mem_words: 1 << 20 });
+        let trace = vm
+            .trace(300_000)
+            .unwrap_or_else(|err| panic!("vm failed: {err}\n{source}"));
+        for unrolling in [false, true] {
+            let config = AnalysisConfig {
+                max_instrs: 300_000,
+                mem_words: 1 << 20,
+                unrolling,
+                machines: vec![MachineKind::Base],
+                ..AnalysisConfig::default()
+            };
+            let analyzer = Analyzer::new(&program, config)
+                .unwrap_or_else(|err| panic!("analyzer failed: {err}\n{source}"));
+            let checks = TraceChecks::new(&program, analyzer.static_info());
+            let slice = checks.check_alias_soundness(&trace);
+            prop_assert!(
+                slice.is_empty(),
+                "alias analysis unsound (unrolling={}): {:?}\n{}",
+                unrolling,
+                slice,
+                source
+            );
+            for chunk in [1usize, 7, 4096, trace.len().max(1)] {
+                let streamed = checks
+                    .check_alias_soundness_source(&trace, chunk)
+                    .unwrap_or_else(|err| panic!("stream failed: {err}\n{source}"));
+                prop_assert_eq!(
+                    &streamed,
+                    &slice,
+                    "streamed walker diverged at chunk {}\n{}",
+                    chunk,
+                    source
+                );
+            }
+        }
+    }
+}

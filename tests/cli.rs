@@ -31,9 +31,44 @@ fn help_lists_commands() {
     let output = clfp().arg("help").output().unwrap();
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).unwrap();
-    for command in ["compile", "disasm", "run", "trace", "analyze", "workloads"] {
+    for command in ["compile", "disasm", "run", "trace", "analyze", "lint", "workloads"] {
         assert!(text.contains(command), "help missing `{command}`");
     }
+}
+
+#[test]
+fn lint_reports_and_exits_by_severity() {
+    // The toy program is clean of errors but trips the MiniC codegen
+    // lints (unreachable fallback return): exit 0, findings printed.
+    let path = write_temp("lint.mc", PROGRAM);
+    let output = clfp()
+        .arg("lint")
+        .arg(&path)
+        .args(["--max-instr", "50000"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("0 error(s)"), "{text}");
+
+    // JSON mode emits one object per diagnostic.
+    let output = clfp()
+        .args(["lint", "--workload", "qsort", "--max-instr", "30000", "--json"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.trim_start().starts_with('['), "{text}");
+    assert!(text.contains("\"kind\""), "{text}");
+    assert!(text.contains("\"severity\""), "{text}");
+    assert!(!text.contains("\"severity\": \"error\""), "{text}");
+
+    // --static-only skips the trace cross-checks but still lints.
+    let output = clfp()
+        .args(["lint", "--workload", "scan", "--static-only"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
 }
 
 #[test]
