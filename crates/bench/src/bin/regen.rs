@@ -16,6 +16,10 @@
 //!                            # static vs none), write
 //!                            # results/disambiguation.md, fail if the
 //!                            # alias soundness gate trips
+//! regen --valuepred          # sweep value prediction (off / last-value /
+//!                            # stride / perfect), write
+//!                            # results/value_prediction.md, fail if the
+//!                            # monotonicity gate trips
 //! regen --metrics            # per-machine execution metrics, write
 //!                            # results/metrics_suite.json + attribution.md
 //! regen --force              # overwrite results from a different config
@@ -31,8 +35,8 @@ use std::process::ExitCode;
 
 use clfp_bench::{
     figure4, figure5, figure6, figure7, run_alias_suite, run_lint_suite, run_metrics_suite,
-    run_scaling_suite, run_suite, run_suite_timed, static_inventory, suite_manifest, table1,
-    table2, table3, table4,
+    run_scaling_suite, run_suite, run_suite_timed, run_valuepred_suite, static_inventory,
+    suite_manifest, table1, table2, table3, table4,
 };
 use clfp_limits::{AnalysisConfig, StreamOptions};
 use clfp_metrics::RunManifest;
@@ -46,6 +50,7 @@ struct Args {
     scaling: bool,
     lint: bool,
     alias: bool,
+    valuepred: bool,
     metrics: bool,
     force: bool,
 }
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         scaling: false,
         lint: false,
         alias: false,
+        valuepred: false,
         metrics: false,
         force: false,
     };
@@ -96,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
             "--alias" => {
                 args.alias = true;
             }
+            "--valuepred" => {
+                args.valuepred = true;
+            }
             "--metrics" => {
                 args.metrics = true;
             }
@@ -105,7 +114,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: regen [--table N] [--figure N] [--max-instrs M] [--out DIR]\n\
-                     \x20            [--timing] [--scaling] [--lint] [--alias] [--metrics]\n\
+                     \x20            [--timing] [--scaling] [--lint] [--alias] [--valuepred]\n\
+                     \x20            [--metrics]\n\
                      \x20            [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR, and\n\
@@ -127,7 +137,12 @@ fn parse_args() -> Result<Args, String> {
                      (perfect / static alias classes / none), writes\n\
                      disambiguation.md to DIR (default results/), and fails if\n\
                      any dynamic conflict lands on a statically no-alias pair or\n\
-                     the static-mode pipelines diverge. With --metrics, instead collects\n\
+                     the static-mode pipelines diverge. With --valuepred, instead\n\
+                     analyzes every workload under all four value-prediction modes\n\
+                     (off / last-value / stride / perfect oracle), writes\n\
+                     value_prediction.md to DIR (default results/), and fails if a\n\
+                     stronger mode lengthens any schedule or the stride-mode\n\
+                     pipelines diverge. With --metrics, instead collects\n\
                      per-machine execution metrics (cycle occupancy, critical-path\n\
                      attribution, binding-edge counters) and writes\n\
                      metrics_suite.json + attribution.md to DIR (default results/).\n\
@@ -326,6 +341,46 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("regen: alias soundness or pipeline-agreement gate failed");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.valuepred {
+        eprintln!(
+            "sweeping value prediction: 10 workloads x 7 machines x 4 modes \
+             (trace cap {})...",
+            args.max_instrs
+        );
+        let suite = match run_valuepred_suite(&config) {
+            Ok(suite) => suite,
+            Err(err) => {
+                eprintln!("regen: value-prediction suite failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", suite.value_prediction_md());
+        let dir = args
+            .out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("regen: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("value_prediction.md");
+        let stamped = format!(
+            "{}\n{}",
+            suite.manifest.to_markdown_header(),
+            suite.value_prediction_md()
+        );
+        if !write_guarded(&path, &stamped, &manifest.config_hash, args.force) {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return if suite.is_monotone() && suite.pipelines_agree() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("regen: value-prediction monotonicity or pipeline-agreement gate failed");
             ExitCode::FAILURE
         };
     }

@@ -23,7 +23,11 @@
 //! `regen --alias` sweeps the memory-disambiguation axis (perfect vs
 //! static alias classes vs none) across the suite and writes
 //! `results/disambiguation.md` gated on the dynamic alias-soundness
-//! check ([`run_alias_suite`]), and
+//! check ([`run_alias_suite`]),
+//! `regen --valuepred` sweeps the value-prediction axis (off vs
+//! last-value vs stride vs a perfect value oracle) and writes
+//! `results/value_prediction.md` gated on the `clfp-verify`
+//! monotonicity check ([`run_valuepred_suite`]), and
 //! `regen --metrics` re-runs it with the `clfp-metrics` recording sink
 //! ([`run_metrics_suite`]), writing cycle-occupancy histograms and
 //! critical-path attribution (`results/metrics_suite.json`,
@@ -40,12 +44,14 @@ use std::time::Instant;
 
 use clfp_limits::{
     harmonic_mean, AnalysisConfig, Analyzer, AnalyzeError, EdgeKind, MachineKind, MachineMetrics,
-    MemDisambiguation, MispredictionStats, Report, StreamOptions,
+    MemDisambiguation, MispredictionStats, Report, StreamOptions, ValuePrediction,
 };
 use clfp_metrics::RunManifest;
 use clfp_predict::BranchProfile;
 use clfp_vm::{ProgramSource, TraceSummary};
-use clfp_verify::{lint_program, Diagnostic, DiagnosticKind, Severity, TraceChecks};
+use clfp_verify::{
+    check_valuepred_monotonicity, lint_program, Diagnostic, DiagnosticKind, Severity, TraceChecks,
+};
 use clfp_workloads::{suite, Workload, WorkloadClass};
 
 /// Analysis results for one workload, with and without perfect unrolling.
@@ -292,6 +298,10 @@ pub struct SuiteTiming {
     /// bit under `Static` memory disambiguation (alias-class keys) on
     /// every workload, both unroll settings.
     pub alias_matches: bool,
+    /// Whether the lane kernel and the scalar cursor also agree bit for
+    /// bit under `Stride` value prediction (the strongest realistic
+    /// mode) on every workload, both unroll settings.
+    pub valuepred_matches: bool,
     /// Provenance of this run (config hash, git describe, timestamp).
     pub manifest: RunManifest,
     /// Per-workload, per-stage breakdown (measured sequentially).
@@ -349,6 +359,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
     let mut stream_matches = true;
     let mut lane_matches = true;
     let mut alias_matches = true;
+    let mut valuepred_matches = true;
     let mut workloads = Vec::new();
     for workload in suite() {
         let options = clfp_vm::VmOptions {
@@ -417,6 +428,24 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             &static_prepared.report_with_unrolling_scalar(false),
         );
 
+        // Value prediction flows through the EV_VALPRED flag set in the
+        // same preparation walk; the lane kernel's masked publish must
+        // agree with the scalar cursor's branch under the strongest
+        // realistic mode.
+        let vp_analyzer = Analyzer::new(
+            &program,
+            config.clone().with_value_prediction(ValuePrediction::Stride),
+        )?;
+        let vp_prepared = vp_analyzer.prepare(&trace);
+        let (vp_unrolled, vp_rolled) = vp_prepared.report_both();
+        valuepred_matches &= reports_equal(
+            &vp_unrolled,
+            &vp_prepared.report_with_unrolling_scalar(true),
+        ) && reports_equal(
+            &vp_rolled,
+            &vp_prepared.report_with_unrolling_scalar(false),
+        );
+
         // The streaming chunked pipeline over the same trace: two
         // re-streams (profile + machines) in O(chunk) working memory,
         // first sequential, then with the parallel machine broadcast.
@@ -469,6 +498,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         stream_matches,
         lane_matches,
         alias_matches,
+        valuepred_matches,
         manifest: suite_manifest(config),
         workloads,
     })
@@ -505,6 +535,10 @@ impl SuiteTiming {
         ));
         out.push_str(&format!("  \"lane_matches\": {},\n", self.lane_matches));
         out.push_str(&format!("  \"alias_matches\": {},\n", self.alias_matches));
+        out.push_str(&format!(
+            "  \"valuepred_matches\": {},\n",
+            self.valuepred_matches
+        ));
         out.push_str(&format!(
             "  \"manifest\": {},\n",
             self.manifest.to_json_object("  ")
@@ -568,7 +602,7 @@ impl SuiteTiming {
              lane-kernel suite {:.2}s; machine passes: scalar {:.0} ms vs lane {:.0} ms \
              -> {:.2}x\n\
              (tables identical: {}; streaming bit-identical: {}; lane bit-identical: {}; \
-             static-alias bit-identical: {}; {})\n",
+             static-alias bit-identical: {}; value-pred bit-identical: {}; {})\n",
             self.fused_wall_ms / 1e3,
             self.reference_wall_ms / 1e3,
             self.speedup,
@@ -580,6 +614,7 @@ impl SuiteTiming {
             self.stream_matches,
             self.lane_matches,
             self.alias_matches,
+            self.valuepred_matches,
             if self.chunk_events == 0 {
                 "adaptive chunks".to_string()
             } else {
@@ -1374,6 +1409,288 @@ impl AliasSuite {
 }
 
 // ---------------------------------------------------------------------------
+// Value-prediction suite
+// ---------------------------------------------------------------------------
+
+/// Results for one workload across the value-prediction axis: the same
+/// measured trace scheduled with value speculation off, under the
+/// realistic last-value and stride predictors, and with a perfect value
+/// oracle, plus the monotonicity and pipeline-agreement gates.
+#[derive(Clone, Debug)]
+pub struct ValuePredWorkloadReport {
+    /// The workload.
+    pub workload: Workload,
+    /// Raw dynamic instructions in the measured trace.
+    pub raw_instrs: u64,
+    /// Unrolled report per mode, in [`ValuePrediction::ALL`] order.
+    pub reports: Vec<(ValuePrediction, Report)>,
+    /// Whether the `clfp-verify` monotonicity check passed over both
+    /// unroll settings: a stronger mode never produced a longer critical
+    /// path on any machine.
+    pub monotone: bool,
+    /// Whether lane kernel, scalar fused cursor, and streaming pipeline
+    /// produced bit-identical reports under `Stride` value prediction,
+    /// with the reference pass agreeing on every machine's cycle count.
+    pub pipelines_agree: bool,
+}
+
+impl ValuePredWorkloadReport {
+    /// The unrolled report for `mode`.
+    pub fn report_for(&self, mode: ValuePrediction) -> &Report {
+        &self
+            .reports
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .expect("every mode was run")
+            .1
+    }
+
+    /// The predictor hit rate measured for `mode` during the
+    /// preparation walk, as a percentage of def-producing events
+    /// (100% for `Perfect`, 0% for `Off`).
+    pub fn hit_rate(&self, mode: ValuePrediction) -> f64 {
+        self.report_for(mode).branches.value_prediction_rate()
+    }
+}
+
+/// Results of [`run_valuepred_suite`] (`results/value_prediction.md`):
+/// every workload scheduled under all four value-prediction modes, with
+/// the monotonicity gate and the stride-mode pipeline-agreement gate.
+#[derive(Clone, Debug)]
+pub struct ValuePredSuite {
+    /// Trace cap used.
+    pub max_instrs: u64,
+    /// Chunk size (events) used by the streamed agreement gate.
+    pub chunk_events: usize,
+    /// Provenance of this run (config hash, git describe, timestamp).
+    pub manifest: RunManifest,
+    /// Per-workload results, in suite order.
+    pub reports: Vec<ValuePredWorkloadReport>,
+}
+
+/// Chunk size the streamed value-prediction agreement gate re-runs each
+/// trace with.
+const VALUEPRED_GATE_CHUNK_EVENTS: usize = 4096;
+
+/// Analyzes one workload under all four value-prediction modes from a
+/// single measured trace, and runs the monotonicity + pipeline gates.
+///
+/// # Errors
+///
+/// Propagates compile/VM/analyzer failures.
+pub fn valuepred_workload(
+    workload: Workload,
+    config: &AnalysisConfig,
+) -> Result<ValuePredWorkloadReport, AnalyzeError> {
+    let program = workload
+        .compile()
+        .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
+    let mut vm = clfp_vm::Vm::new(
+        &program,
+        clfp_vm::VmOptions {
+            mem_words: config.mem_words,
+        },
+    );
+    let trace = vm.trace(config.max_instrs)?;
+
+    let mut unrolled_reports = Vec::new();
+    let mut rolled_reports = Vec::new();
+    let mut pipelines_agree = true;
+    for mode in ValuePrediction::ALL {
+        let analyzer = Analyzer::new(&program, config.clone().with_value_prediction(mode))?;
+        let prepared = analyzer.prepare(&trace);
+        let (unrolled, rolled) = prepared.report_both();
+        if mode == ValuePrediction::Stride {
+            // All the prepared pipelines must read the EV_VALPRED flags
+            // identically, and the reference pass — which replays the
+            // predictor independently — must land on the same schedule.
+            let scalar_unrolled = prepared.report_with_unrolling_scalar(true);
+            let scalar_rolled = prepared.report_with_unrolling_scalar(false);
+            let streamed = analyzer.run_streamed_on(
+                &trace,
+                StreamOptions {
+                    chunk_events: VALUEPRED_GATE_CHUNK_EVENTS,
+                    machine_threads: 1,
+                },
+            )?;
+            let reference = analyzer.run_on_trace_reference(&trace);
+            let inmem = if config.unrolling { &unrolled } else { &rolled };
+            pipelines_agree = reports_equal(&unrolled, &scalar_unrolled)
+                && reports_equal(&rolled, &scalar_rolled)
+                && reports_equal(&streamed.unrolled, &unrolled)
+                && reports_equal(&streamed.rolled, &rolled)
+                && reference.seq_instrs == inmem.seq_instrs
+                && reference
+                    .results
+                    .iter()
+                    .zip(&inmem.results)
+                    .all(|(a, b)| a.kind == b.kind && a.cycles == b.cycles);
+        }
+        unrolled_reports.push((mode, unrolled));
+        rolled_reports.push(rolled);
+    }
+
+    let unrolled_refs: Vec<(ValuePrediction, &Report)> = unrolled_reports
+        .iter()
+        .map(|(mode, report)| (*mode, report))
+        .collect();
+    let rolled_refs: Vec<(ValuePrediction, &Report)> = ValuePrediction::ALL
+        .iter()
+        .copied()
+        .zip(rolled_reports.iter())
+        .collect();
+    let monotone = check_valuepred_monotonicity(&unrolled_refs).is_empty()
+        && check_valuepred_monotonicity(&rolled_refs).is_empty();
+
+    Ok(ValuePredWorkloadReport {
+        workload,
+        raw_instrs: trace.len() as u64,
+        reports: unrolled_reports,
+        monotone,
+        pipelines_agree,
+    })
+}
+
+/// Runs the whole suite across the value-prediction axis, fanning out
+/// over [`par_map_suite`].
+///
+/// # Errors
+///
+/// Propagates the first compile/VM/analyzer failure.
+pub fn run_valuepred_suite(config: &AnalysisConfig) -> Result<ValuePredSuite, AnalyzeError> {
+    Ok(ValuePredSuite {
+        max_instrs: config.max_instrs,
+        chunk_events: VALUEPRED_GATE_CHUNK_EVENTS,
+        manifest: suite_manifest(config),
+        reports: par_map_suite(|workload| valuepred_workload(workload, config))?,
+    })
+}
+
+impl ValuePredSuite {
+    /// Whether the monotonicity gate passed on every workload: a
+    /// stronger mode never lengthened any machine's critical path.
+    pub fn is_monotone(&self) -> bool {
+        self.reports.iter().all(|r| r.monotone)
+    }
+
+    /// Whether the stride-mode pipelines agreed bit for bit everywhere.
+    pub fn pipelines_agree(&self) -> bool {
+        self.reports.iter().all(|r| r.pipelines_agree)
+    }
+
+    fn mode_table(&self, mode: ValuePrediction) -> String {
+        let mut out = String::from(
+            "| program | BASE | CD | CD-MF | SP | SP-CD | SP-CD-MF | ORACLE |\n\
+             |---------|------|----|-------|----|-------|----------|--------|\n",
+        );
+        for r in &self.reports {
+            let report = r.report_for(mode);
+            let mut line = format!("| {} |", r.workload.name);
+            for kind in MachineKind::ALL {
+                line.push_str(&format!(" {} |", fmt_parallelism(report.parallelism(kind))));
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+        let mut line = String::from("| **harmonic mean** |");
+        for kind in MachineKind::ALL {
+            let hm = harmonic_mean(
+                self.reports
+                    .iter()
+                    .map(|r| r.report_for(mode).parallelism(kind)),
+            );
+            line.push_str(&format!(" {} |", fmt_parallelism(hm)));
+        }
+        line.push('\n');
+        out.push_str(&line);
+        out
+    }
+
+    /// The value-prediction-axis report (`results/value_prediction.md`):
+    /// parallelism per machine under each mode, per-workload retention
+    /// relative to the perfect value oracle, and the gate results.
+    pub fn value_prediction_md(&self) -> String {
+        let mut out = String::from(
+            "## Value Prediction: Off vs Last-Value vs Stride vs Perfect\n\n\
+             The paper's machines never speculate on *data*: a consumer\n\
+             always waits for its producer's result. This axis relaxes\n\
+             that. A correctly predicted register definition publishes\n\
+             availability 0 — consumers proceed as if the value were\n\
+             known at fetch — while a mispredicted one publishes its\n\
+             real completion time, charging verification at resolve time\n\
+             exactly like a mispredicted branch charges the sequential\n\
+             machines. `last-value` and `stride` are trained on the\n\
+             measured trace during the shared preparation walk;\n\
+             `perfect` is the oracle upper bound. Parallelism below is\n\
+             with perfect unrolling, harmonic mean over all programs.\n",
+        );
+        for (mode, blurb) in [
+            (
+                ValuePrediction::Off,
+                "no value speculation (the paper's model)",
+            ),
+            (
+                ValuePrediction::LastValue,
+                "per-pc last-value predictor, trained on the trace",
+            ),
+            (
+                ValuePrediction::Stride,
+                "hybrid last-value + stride predictor (its correct set \
+                 contains last-value's)",
+            ),
+            (ValuePrediction::Perfect, "oracle, every definition predicted"),
+        ] {
+            out.push_str(&format!("\n### `{}`: {}\n\n", mode.name(), blurb));
+            out.push_str(&self.mode_table(mode));
+        }
+
+        out.push_str(
+            "\n### Retention on SP-CD-MF\n\n\
+             How much of the perfect-value-oracle parallelism each mode\n\
+             reaches, on the machine where data dependences are the\n\
+             binding constraint. `hit` is the predictor's measured hit\n\
+             rate over the trace's register definitions. The modes'\n\
+             correct sets nest (off ⊆ last-value ⊆ stride ⊆ perfect),\n\
+             so every column is pointwise ordered.\n\n\
+             | program | off | off/perfect | last-value | hit | stride | hit | stride/perfect | perfect |\n\
+             |---------|-----|-------------|------------|-----|--------|-----|----------------|---------|\n",
+        );
+        for r in &self.reports {
+            let kind = MachineKind::SpCdMf;
+            let off = r.report_for(ValuePrediction::Off).parallelism(kind);
+            let last = r.report_for(ValuePrediction::LastValue).parallelism(kind);
+            let stride = r.report_for(ValuePrediction::Stride).parallelism(kind);
+            let perfect = r.report_for(ValuePrediction::Perfect).parallelism(kind);
+            out.push_str(&format!(
+                "| {} | {} | {:.0}% | {} | {:.0}% | {} | {:.0}% | {:.0}% | {} |\n",
+                r.workload.name,
+                fmt_parallelism(off),
+                100.0 * off / perfect,
+                fmt_parallelism(last),
+                r.hit_rate(ValuePrediction::LastValue),
+                fmt_parallelism(stride),
+                r.hit_rate(ValuePrediction::Stride),
+                100.0 * stride / perfect,
+                fmt_parallelism(perfect),
+            ));
+        }
+
+        out.push_str(&format!(
+            "\n### Gates\n\n\
+             - monotonicity (perfect >= stride >= last-value >= off, \
+             pointwise, both unroll settings): **{}**\n\
+             - stride-mode pipelines bit-identical (lane / scalar / \
+             streamed, chunk {} events) with the reference pass agreeing \
+             on every cycle count: **{}**\n",
+            if self.is_monotone() { "pass" } else { "FAIL" },
+            self.chunk_events,
+            if self.pipelines_agree() { "pass" } else { "FAIL" },
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Execution-metrics suite
 // ---------------------------------------------------------------------------
 
@@ -1902,6 +2219,7 @@ mod tests {
         assert!(timing.stream_matches, "streaming pipeline diverged");
         assert!(timing.lane_matches, "lane kernel diverged from scalar");
         assert!(timing.alias_matches, "static-alias pipelines diverged");
+        assert!(timing.valuepred_matches, "value-prediction pipelines diverged");
         assert!(timing.fused_wall_ms > 0.0);
         assert!(timing.lane_wall_ms > 0.0);
         assert!(timing.reference_wall_ms > 0.0);
@@ -1911,6 +2229,7 @@ mod tests {
         assert!(json.contains("\"stream_matches\": true"));
         assert!(json.contains("\"lane_matches\": true"));
         assert!(json.contains("\"alias_matches\": true"));
+        assert!(json.contains("\"valuepred_matches\": true"));
         assert!(json.contains("\"lane_wall_ms\""));
         assert!(json.contains("\"chunk_events\""));
         assert!(json.contains("\"manifest\""));
@@ -1927,6 +2246,7 @@ mod tests {
         assert!(summary.contains("streaming bit-identical: true"));
         assert!(summary.contains("lane bit-identical: true"));
         assert!(summary.contains("static-alias bit-identical: true"));
+        assert!(summary.contains("value-pred bit-identical: true"));
     }
 
     #[test]
@@ -1979,6 +2299,84 @@ mod tests {
         assert!(md.contains("- alias soundness, in-memory walker: **pass**"));
         assert!(md.contains("streamed walker (chunk 4096 events): **pass**"));
         assert!(md.contains("bit-identical (lane / scalar / streamed): **pass**"));
+        assert!(md.contains("scan"));
+    }
+
+    #[test]
+    fn valuepred_suite_sweeps_modes_and_passes_gates() {
+        let suite = run_valuepred_suite(&tiny_config()).unwrap();
+        assert_eq!(suite.reports.len(), 10);
+        assert!(suite.is_monotone(), "a stronger mode lengthened a schedule");
+        assert!(suite.pipelines_agree(), "stride-mode pipelines diverged");
+        let mut last_differs = false;
+        let mut stride_differs = false;
+        let mut perfect_differs = false;
+        for r in &suite.reports {
+            // Hit rates nest with the correct sets.
+            assert_eq!(r.hit_rate(ValuePrediction::Off), 0.0, "{}", r.workload.name);
+            assert_eq!(
+                r.hit_rate(ValuePrediction::Perfect),
+                100.0,
+                "{}",
+                r.workload.name
+            );
+            let lv_rate = r.hit_rate(ValuePrediction::LastValue);
+            let stride_rate = r.hit_rate(ValuePrediction::Stride);
+            assert!(
+                (0.0..=100.0).contains(&lv_rate) && lv_rate <= stride_rate + 1e-9,
+                "{}: last-value hit {lv_rate}% beat stride {stride_rate}%",
+                r.workload.name
+            );
+            for kind in MachineKind::ALL {
+                let off = r.report_for(ValuePrediction::Off).parallelism(kind);
+                let last = r.report_for(ValuePrediction::LastValue).parallelism(kind);
+                let stride = r.report_for(ValuePrediction::Stride).parallelism(kind);
+                let perfect = r.report_for(ValuePrediction::Perfect).parallelism(kind);
+                for p in [off, last, stride, perfect] {
+                    assert!(p.is_finite() && p >= 1.0, "{} {kind:?}: {p}", r.workload.name);
+                }
+                // Nested correct sets: strengthening the predictor never
+                // hurts — pointwise, every machine.
+                assert!(
+                    off <= last + 1e-9,
+                    "{} {kind:?}: off {off} beat last-value {last}",
+                    r.workload.name
+                );
+                assert!(
+                    last <= stride + 1e-9,
+                    "{} {kind:?}: last-value {last} beat stride {stride}",
+                    r.workload.name
+                );
+                assert!(
+                    stride <= perfect + 1e-9,
+                    "{} {kind:?}: stride {stride} beat perfect {perfect}",
+                    r.workload.name
+                );
+                last_differs |= last != off;
+                stride_differs |= stride != last;
+                perfect_differs |= perfect != stride;
+            }
+            // Every mode schedules the same instructions.
+            let seq = r.report_for(ValuePrediction::Off).seq_instrs;
+            for mode in ValuePrediction::ALL {
+                assert_eq!(r.report_for(mode).seq_instrs, seq, "{}", r.workload.name);
+            }
+        }
+        // And the axis is live: each strengthening changes some schedule.
+        assert!(last_differs, "last-value mode never changed a schedule");
+        assert!(stride_differs, "stride mode never changed a schedule");
+        assert!(perfect_differs, "perfect mode never changed a schedule");
+        let md = suite.value_prediction_md();
+        assert!(md.contains("## Value Prediction"));
+        assert!(md.contains("### `off`"));
+        assert!(md.contains("### `last-value`"));
+        assert!(md.contains("### `stride`"));
+        assert!(md.contains("### `perfect`"));
+        assert!(md.contains("### Retention on SP-CD-MF"));
+        assert!(md.contains("harmonic mean"));
+        assert!(md.contains("- monotonicity"));
+        assert!(md.contains("pointwise, both unroll settings): **pass**"));
+        assert!(md.contains("reference pass agreeing on every cycle count: **pass**"));
         assert!(md.contains("scan"));
     }
 

@@ -71,8 +71,8 @@ const MAX_GLOBAL_REGIONS: u32 = 64;
 ///
 /// Region ids are dense: `0` is the null-guard region (addresses below
 /// [`DATA_BASE`]), then one region per data symbol (capped at
-/// [`MAX_GLOBAL_REGIONS`], folding round-robin beyond), then
-/// [`HEAP_PARTS`] hashed heap partitions, then one stack-frame region per
+/// `MAX_GLOBAL_REGIONS` = 64, folding round-robin beyond), then
+/// `HEAP_PARTS` = 4 hashed heap partitions, then one stack-frame region per
 /// procedure.
 #[derive(Clone, Debug)]
 pub struct RegionUniverse {

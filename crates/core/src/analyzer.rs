@@ -284,7 +284,7 @@ impl PreparedTrace<'_, '_> {
     ///
     /// Runs the lane-parallel kernel: every configured machine is
     /// scheduled in one walk over the event stream (see
-    /// [`lane`](crate::lane)). Bit-identical to
+    /// the `lane` module). Bit-identical to
     /// [`PreparedTrace::report_with_unrolling_scalar`], which is kept as
     /// the oracle.
     pub fn report_with_unrolling(&self, unrolling: bool) -> Report {
@@ -697,6 +697,111 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn value_prediction_agrees_across_pipelines() {
+        use crate::ValuePrediction;
+        let program = compile(LOOPY).unwrap();
+        for mode in [
+            ValuePrediction::LastValue,
+            ValuePrediction::Stride,
+            ValuePrediction::Perfect,
+        ] {
+            let config = AnalysisConfig::quick().with_value_prediction(mode);
+            let analyzer = Analyzer::new(&program, config).unwrap();
+            let mut vm = clfp_vm::Vm::new(
+                &program,
+                VmOptions {
+                    mem_words: analyzer.config.mem_words,
+                },
+            );
+            let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+            let lane = analyzer.run_on_trace(&trace);
+            let scalar = analyzer
+                .prepare(&trace)
+                .report_with_unrolling_scalar(analyzer.config.unrolling);
+            let reference = analyzer.run_on_trace_reference(&trace);
+            let streamed = analyzer
+                .run_streamed(crate::StreamOptions {
+                    chunk_events: 4096,
+                    machine_threads: 0,
+                })
+                .unwrap();
+            for report in [&scalar, &reference, &streamed.unrolled] {
+                assert_eq!(lane.seq_instrs, report.seq_instrs, "{mode:?}");
+                for (a, b) in lane.results.iter().zip(&report.results) {
+                    assert_eq!(a.kind, b.kind, "{mode:?}");
+                    assert_eq!(a.cycles, b.cycles, "{mode:?} {:?}", a.kind);
+                }
+            }
+        }
+    }
+
+    // The value-prediction ordering is also a theorem: the correct sets
+    // nest (off = ∅ ⊆ last-value ⊆ stride-hybrid ⊆ perfect = all defs)
+    // and a correctly predicted producer only ever *lowers* the published
+    // availability time, so under monotone max-folds
+    // `perfect <= stride <= last-value <= off` in cycles, pointwise.
+    #[test]
+    fn weaker_value_prediction_never_helps() {
+        use crate::ValuePrediction;
+        let program = compile(LOOPY).unwrap();
+        let run = |mode: ValuePrediction| {
+            let config = AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Base, MachineKind::Sp, MachineKind::Oracle])
+                .with_value_prediction(mode);
+            Analyzer::new(&program, config).unwrap().run().unwrap()
+        };
+        let off = run(ValuePrediction::Off);
+        let last = run(ValuePrediction::LastValue);
+        let stride = run(ValuePrediction::Stride);
+        let perfect = run(ValuePrediction::Perfect);
+        for kind in [MachineKind::Base, MachineKind::Sp, MachineKind::Oracle] {
+            let o = off.result(kind).unwrap().cycles;
+            let l = last.result(kind).unwrap().cycles;
+            let s = stride.result(kind).unwrap().cycles;
+            let p = perfect.result(kind).unwrap().cycles;
+            assert!(l <= o, "{kind}: last-value lost to off ({l} vs {o})");
+            assert!(s <= l, "{kind}: stride lost to last-value ({s} vs {l})");
+            assert!(p <= s, "{kind}: perfect lost to stride ({p} vs {s})");
+        }
+        // Strict separation on a hand-built chain: an induction chain a
+        // stride predictor follows but last-value misses, behind a chain
+        // of irregular values only the oracle predicts.
+        let program = clfp_isa::assemble(
+            r#"
+            .text
+            main:
+                li r8, 0
+                li r9, 99
+            loop:
+                addi r8, r8, 1     # stride-predictable chain
+                mul r10, r8, r8    # irregular: only Perfect breaks it
+                add r11, r11, r10
+                bgt r9, r8, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let run = |mode: ValuePrediction| {
+            let config = AnalysisConfig::quick()
+                .with_machines(&[MachineKind::Base])
+                .with_unrolling(false)
+                .with_value_prediction(mode);
+            Analyzer::new(&program, config).unwrap().run().unwrap()
+        };
+        let o = run(ValuePrediction::Off).result(MachineKind::Base).unwrap().cycles;
+        let s = run(ValuePrediction::Stride)
+            .result(MachineKind::Base)
+            .unwrap()
+            .cycles;
+        let p = run(ValuePrediction::Perfect)
+            .result(MachineKind::Base)
+            .unwrap()
+            .cycles;
+        assert!(s < o, "stride should break the induction chain ({s} vs {o})");
+        assert!(p < s, "perfect should break the irregular chain ({p} vs {s})");
     }
 
     // Monotonicity is a theorem, not a trend: coarse modes fold stores

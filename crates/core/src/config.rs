@@ -1,7 +1,7 @@
 use clfp_isa::Program;
 use clfp_predict::{
-    AlwaysTaken, Bimodal, BranchPredictor, BranchProfile, Btfn, Gshare, ProfilePredictor,
-    TwoLevel,
+    AlwaysTaken, Bimodal, BranchPredictor, BranchProfile, Btfn, Gshare, LastValuePredictor,
+    ProfilePredictor, StridePredictor, TwoLevel, ValuePredictor,
 };
 
 use crate::MachineKind;
@@ -130,7 +130,92 @@ impl MemDisambiguation {
     }
 }
 
+/// The value-speculation axis: whether (and how well) result values are
+/// predicted at fetch, breaking true data dependences the way ORACLE
+/// breaks control dependences.
+///
+/// A correctly predicted producer releases its consumers immediately:
+/// its completion time is *not* published into the register last-write
+/// table (consumers see time 0), while the producer itself still
+/// executes on schedule — verification is charged at resolve time, like
+/// a mispredicted branch. `Off` is the paper's model (no value
+/// speculation) and is bit-identical to a build without this axis.
+///
+/// The realistic modes nest by construction: the correct set of
+/// [`Stride`](ValuePrediction::Stride) (a hybrid last-value + stride
+/// predictor, see `clfp_predict::StridePredictor`) contains that of
+/// [`LastValue`](ValuePrediction::LastValue), which contains the empty
+/// set (`Off`), and [`Perfect`](ValuePrediction::Perfect) predicts every
+/// produced value. Since every scheduling fold is a monotone `max`, the
+/// parallelism ordering `perfect >= stride >= last-value >= off` is a
+/// pointwise theorem — the same construction that makes the
+/// [`MemDisambiguation`] axis ordered.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ValuePrediction {
+    /// No value speculation (the paper's model).
+    #[default]
+    Off,
+    /// Per-pc last-value prediction.
+    LastValue,
+    /// Per-pc hybrid last-value + stride prediction.
+    Stride,
+    /// Oracle: every produced value known at fetch.
+    Perfect,
+}
+
+impl ValuePrediction {
+    /// All modes, weakest to strongest (report order).
+    pub const ALL: [ValuePrediction; 4] = [
+        ValuePrediction::Off,
+        ValuePrediction::LastValue,
+        ValuePrediction::Stride,
+        ValuePrediction::Perfect,
+    ];
+
+    /// Short name for reports and fingerprints.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValuePrediction::Off => "off",
+            ValuePrediction::LastValue => "last-value",
+            ValuePrediction::Stride => "stride",
+            ValuePrediction::Perfect => "perfect",
+        }
+    }
+
+    /// Instantiates the trained predictor for a program of `text_len`
+    /// static instructions. `Off` and `Perfect` need no table (nothing
+    /// or everything is predicted) and return `None`.
+    pub fn build(self, text_len: usize) -> Option<Box<dyn ValuePredictor>> {
+        match self {
+            ValuePrediction::Off | ValuePrediction::Perfect => None,
+            ValuePrediction::LastValue => Some(Box::new(LastValuePredictor::new(text_len))),
+            ValuePrediction::Stride => Some(Box::new(StridePredictor::new(text_len))),
+        }
+    }
+}
+
 /// Configuration for an [`Analyzer`](crate::Analyzer) run.
+///
+/// Every axis defaults to the paper's setting, so
+/// `AnalysisConfig::default()` reproduces the published tables; the
+/// builder methods compose to explore one idealization at a time:
+///
+/// ```
+/// use clfp_limits::{
+///     AnalysisConfig, Latencies, MachineKind, MemDisambiguation, ValuePrediction,
+/// };
+///
+/// let config = AnalysisConfig::default()
+///     .with_max_instrs(500_000)
+///     .with_unrolling(false)
+///     .with_machines(&[MachineKind::Sp, MachineKind::Oracle])
+///     .with_disambiguation(MemDisambiguation::Static)
+///     .with_value_prediction(ValuePrediction::Stride)
+///     .with_latency(Latencies::realistic());
+/// assert_eq!(config.machines.len(), 2);
+/// // Every axis is recorded in the provenance fingerprint.
+/// assert!(config.fingerprint().contains("value_prediction=stride"));
+/// ```
 #[derive(Clone, Debug)]
 pub struct AnalysisConfig {
     /// Maximum dynamic instructions to trace (the paper used 100M; our
@@ -163,6 +248,9 @@ pub struct AnalysisConfig {
     /// Orthogonal to `disambiguation_bytes`, which coarsens the *address*
     /// key and is ignored by the other two modes.
     pub disambiguation: MemDisambiguation,
+    /// The value-speculation axis: whether predicted result values break
+    /// true data dependences. `Off` is the paper's model.
+    pub value_prediction: ValuePrediction,
     /// Whether anti (write-after-read) and output (write-after-write)
     /// dependences are removed by renaming. The paper's setting is `true`
     /// ("we have eliminated all the anti-dependences and output
@@ -226,6 +314,7 @@ impl Default for AnalysisConfig {
             fetch_bandwidth: None,
             disambiguation_bytes: 4,
             disambiguation: MemDisambiguation::Perfect,
+            value_prediction: ValuePrediction::Off,
             rename: true,
             latency: Latencies::unit(),
         }
@@ -293,6 +382,12 @@ impl AnalysisConfig {
         self
     }
 
+    /// Builder-style: choose the value-prediction mode.
+    pub fn with_value_prediction(mut self, mode: ValuePrediction) -> AnalysisConfig {
+        self.value_prediction = mode;
+        self
+    }
+
     /// Builder-style: toggle register/memory renaming.
     pub fn with_rename(mut self, rename: bool) -> AnalysisConfig {
         self.rename = rename;
@@ -336,7 +431,7 @@ impl AnalysisConfig {
             Some(width) => width.to_string(),
         };
         format!(
-            "clfp-config-v2;max_instrs={};unrolling={};inlining={};machines={};mem_words={};predictor={};fetch={};disambiguation_bytes={};disambiguation={};rename={};latency={}/{}/{}",
+            "clfp-config-v3;max_instrs={};unrolling={};inlining={};machines={};mem_words={};predictor={};fetch={};disambiguation_bytes={};disambiguation={};value_prediction={};rename={};latency={}/{}/{}",
             self.max_instrs,
             self.unrolling,
             self.inlining,
@@ -346,6 +441,7 @@ impl AnalysisConfig {
             fetch,
             self.disambiguation_bytes,
             self.disambiguation.name(),
+            self.value_prediction.name(),
             self.rename,
             self.latency.load,
             self.latency.mul_div,
@@ -365,13 +461,26 @@ mod tests {
         assert!(config.unrolling);
         assert!(config.inlining);
         assert_eq!(config.predictor.name(), "profile");
+        assert_eq!(config.value_prediction, ValuePrediction::Off);
+    }
+
+    #[test]
+    fn value_prediction_modes_build_as_documented() {
+        assert_eq!(ValuePrediction::ALL.len(), 4);
+        assert!(ValuePrediction::Off.build(16).is_none());
+        assert!(ValuePrediction::Perfect.build(16).is_none());
+        assert_eq!(
+            ValuePrediction::LastValue.build(16).unwrap().name(),
+            "last-value"
+        );
+        assert_eq!(ValuePrediction::Stride.build(16).unwrap().name(), "stride");
     }
 
     #[test]
     fn fingerprint_separates_configs_and_is_stable() {
         let base = AnalysisConfig::default();
         assert_eq!(base.fingerprint(), AnalysisConfig::default().fingerprint());
-        assert!(base.fingerprint().starts_with("clfp-config-v2;"));
+        assert!(base.fingerprint().starts_with("clfp-config-v3;"));
         for changed in [
             base.clone().with_max_instrs(1),
             base.clone().with_unrolling(false),
@@ -381,6 +490,9 @@ mod tests {
             base.clone().with_disambiguation_bytes(64),
             base.clone().with_disambiguation(MemDisambiguation::Static),
             base.clone().with_disambiguation(MemDisambiguation::None),
+            base.clone().with_value_prediction(ValuePrediction::LastValue),
+            base.clone().with_value_prediction(ValuePrediction::Stride),
+            base.clone().with_value_prediction(ValuePrediction::Perfect),
             base.clone().with_rename(false),
             base.clone().with_latency(Latencies::realistic()),
         ] {

@@ -33,7 +33,8 @@ use clfp_metrics::{BindingEdge, EdgeKind, MetricsSink, NullSink, NO_PARENT};
 
 use crate::lastwrite::LastWriteTable;
 use crate::meta::{
-    EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, NO_REG,
+    EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, EV_VALPRED,
+    NO_REG,
     PC_CALL, PC_LOAD, PC_RET, PC_STORE,
 };
 use crate::pass::{PassConfig, PassResult};
@@ -441,7 +442,15 @@ impl MachineCursor {
             count += 1;
             cycles = cycles.max(done);
             if meta.def != NO_REG {
-                state.reg_time[meta.def as usize] = done;
+                // A correctly value-predicted producer (EV_VALPRED, decided
+                // once in the preparation walk) releases its consumers
+                // immediately; its own exec/done still count — verification
+                // is charged at resolve time like a mispredicted branch.
+                state.reg_time[meta.def as usize] = if event.flags & EV_VALPRED != 0 {
+                    0
+                } else {
+                    done
+                };
             }
             if is_store {
                 let prev = state.mem_time.get(event.mem_key);

@@ -49,7 +49,8 @@
 //! pass across machines, workloads, unroll settings, and chunk sizes.
 
 use crate::meta::{
-    EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, NO_REG,
+    EventClass, EventMeta, ProgramMeta, CD_INHERIT, CD_NONE, EV_BRANCH, EV_MISPRED, EV_VALPRED,
+    NO_REG,
     PC_CALL, PC_LOAD, PC_RET, PC_STORE,
 };
 use crate::pass::{PassConfig, PassResult};
@@ -451,9 +452,16 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
                 self.cycles[l] = self.cycles[l].max(done[l] & am[l]);
             }
             if meta.def != NO_REG {
+                // Value prediction as one more mask: a correctly predicted
+                // producer (EV_VALPRED) publishes availability 0 instead of
+                // `done`, releasing consumers immediately. The bit is the
+                // same for every lane (decided once in preparation), so a
+                // scalar mask keeps the kernel branch-free without another
+                // monomorphization axis.
+                let vpm = 0u64.wrapping_sub(u64::from(event.flags & EV_VALPRED != 0));
                 let rt = &mut self.reg_time[meta.def as usize];
                 for l in 0..L {
-                    rt[l] = (done[l] & am[l]) | (rt[l] & !am[l]);
+                    rt[l] = ((done[l] & !vpm) & am[l]) | (rt[l] & !am[l]);
                 }
             }
             if is_store {
@@ -685,7 +693,8 @@ impl LaneScheduler {
     }
 }
 
-/// Events per in-memory feed chunk: ~13 bytes of event data per entry
+/// Events per in-memory feed chunk: ~13 bytes of prepared event data per
+/// entry
 /// keeps a chunk L2-resident, so when the CD and non-CD groups walk it
 /// back to back the second walk reads warm cache — the whole request
 /// still makes a single pass over trace-sized memory.

@@ -52,6 +52,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod analyzer;
 mod config;
 mod error;
@@ -68,7 +70,7 @@ pub use analyzer::{Analyzer, CdSource, MachineResult, PreparedTrace, Report};
 pub use clfp_metrics::{
     CriticalPathAttribution, EdgeKind, FlowCounters, MachineMetrics, OccupancyHistogram,
 };
-pub use config::{AnalysisConfig, Latencies, MemDisambiguation, PredictorChoice};
+pub use config::{AnalysisConfig, Latencies, MemDisambiguation, PredictorChoice, ValuePrediction};
 pub use error::AnalyzeError;
 pub use lastwrite::LastWriteTable;
 pub use machine::MachineKind;

@@ -217,6 +217,10 @@ impl EventClass {
 // the unroll-dependent ignore bit lives in the per-setting [`EventClass`]).
 pub(crate) const EV_MISPRED: u8 = 1 << 0;
 pub(crate) const EV_BRANCH: u8 = 1 << 1;
+/// The event defines a register and its produced value was predicted
+/// correctly under the configured [`ValuePrediction`](crate::ValuePrediction)
+/// mode — a correctly speculated producer does not delay its consumers.
+pub(crate) const EV_VALPRED: u8 = 1 << 2;
 
 /// The control-dependence source of an event: no constraint (recursion
 /// cutoff, or no controlling branch outside any call).
@@ -323,6 +327,8 @@ pub(crate) struct MetaBuilder<'a> {
     shift: u32,
     disambiguation: crate::MemDisambiguation,
     predictor: Box<dyn clfp_predict::BranchPredictor>,
+    value_prediction: crate::ValuePrediction,
+    value_predictor: Option<Box<dyn clfp_predict::ValuePredictor>>,
     branches: BranchReport,
     /// Running non-ignored event counts per unroll setting — the
     /// streaming pipeline's `seq_instrs` fallback when no machines run
@@ -357,6 +363,8 @@ impl<'a> MetaBuilder<'a> {
             shift: config.disambiguation_bytes.trailing_zeros(),
             disambiguation: config.disambiguation,
             predictor: config.predictor.build(program, profile),
+            value_prediction: config.value_prediction,
+            value_predictor: config.value_prediction.build(program.text.len()),
             branches: BranchReport::default(),
             not_ignored: [0; 2],
             branch_seq: vec![0u64; pcs.pcs.len()],
@@ -426,6 +434,28 @@ impl<'a> MetaBuilder<'a> {
             }
             if meta.is(PC_BRANCH) {
                 flags |= EV_BRANCH;
+            }
+            // The value-prediction mode decides the predicted bit here,
+            // and only here for the fused/lane/stream pipelines (the same
+            // seam as the mem_key choice below). Every def-producing event
+            // trains the predictor — including ignored ones — so the
+            // training sequence is unroll-independent and the reference
+            // pass can replay it exactly.
+            if meta.def != NO_REG {
+                self.branches.value_pred_eligible += 1;
+                let hit = match self.value_prediction {
+                    crate::ValuePrediction::Off => false,
+                    crate::ValuePrediction::Perfect => true,
+                    _ => self
+                        .value_predictor
+                        .as_mut()
+                        .expect("realistic mode has a predictor")
+                        .predict_and_update(event.pc, event.value),
+                };
+                if hit {
+                    self.branches.value_pred_hits += 1;
+                    flags |= EV_VALPRED;
+                }
             }
             // The disambiguation mode decides the last-write key here, and
             // only here for the fused/lane/stream pipelines: everything

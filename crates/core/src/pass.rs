@@ -53,6 +53,9 @@ pub(crate) struct PassConfig {
     /// How the last-write table is keyed (dynamic address, static alias
     /// class, or a single location).
     pub disambiguation: crate::MemDisambiguation,
+    /// Whether predicted result values break true data dependences (the
+    /// paper: no value speculation).
+    pub value_prediction: crate::ValuePrediction,
     /// Whether renaming removes anti/output dependences (the paper: yes).
     pub rename: bool,
     /// Operation latencies (the paper: all 1).
@@ -65,6 +68,7 @@ impl Default for PassConfig {
             fetch_bandwidth: None,
             disambiguation_shift: 2,
             disambiguation: crate::MemDisambiguation::Perfect,
+            value_prediction: crate::ValuePrediction::Off,
             rename: true,
             latency: crate::Latencies::unit(),
         }
@@ -77,6 +81,7 @@ impl PassConfig {
             fetch_bandwidth: config.fetch_bandwidth,
             disambiguation_shift: config.disambiguation_bytes.trailing_zeros(),
             disambiguation: config.disambiguation,
+            value_prediction: config.value_prediction,
             rename: config.rename,
             latency: config.latency,
         }
@@ -158,6 +163,10 @@ pub(crate) fn run_pass_with_schedule(
 
     let config = prepared.pass_config;
     let shift = config.disambiguation_shift;
+    // Independent replay of the preparation walk's value predictor: the
+    // reference is the oracle the prepared pipelines are checked against,
+    // so it must not consume their EV_VALPRED bits.
+    let mut value_predictor = config.value_prediction.build(text.len());
     let mut reg_time = [0u64; 32];
     let mut mem_time = LastWriteTable::with_capacity(1 << 16);
     // False-dependence state, used only when renaming is off.
@@ -188,6 +197,20 @@ pub(crate) fn run_pass_with_schedule(
         let ignored = prepared.class.ignored(i);
         let is_branch = instr.is_cond_branch() || instr.is_computed_jump();
         let mispredicted = is_branch && prepared.class.mispred(i);
+
+        // Mirrors the value-prediction seam in `MetaBuilder::push_chunk`:
+        // every def-producing event trains the predictor — ignored or not,
+        // so the replayed hit sequence is unroll-independent and matches
+        // the prepared pipelines exactly.
+        let vp_hit = instr.def().is_some()
+            && match config.value_prediction {
+                crate::ValuePrediction::Off => false,
+                crate::ValuePrediction::Perfect => true,
+                _ => value_predictor
+                    .as_mut()
+                    .expect("realistic mode has a predictor")
+                    .predict_and_update(pc, event.value),
+            };
 
         // Resolve control dependence (needed for CD machines, and for the
         // stack inheritance at calls even on non-CD machines it is cheap to
@@ -259,7 +282,11 @@ pub(crate) fn run_pass_with_schedule(
             count += 1;
             cycles = cycles.max(done);
             if let Some(rd) = instr.def() {
-                reg_time[rd.index()] = done;
+                // A correctly value-predicted producer releases its
+                // consumers immediately (availability 0); the producer's
+                // own exec/done still count — verification is charged at
+                // resolve time like a mispredicted branch.
+                reg_time[rd.index()] = if vp_hit { 0 } else { done };
             }
             if is_store {
                 // Coarse keys accumulate: without the oracle, a load

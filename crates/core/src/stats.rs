@@ -16,6 +16,13 @@ pub struct BranchReport {
     pub computed_jumps: u64,
     /// Total raw dynamic instructions (before inlining/unrolling removal).
     pub raw_instrs: u64,
+    /// Register-defining instructions whose produced value was predicted
+    /// correctly under the configured value-prediction mode (0 when the
+    /// axis is `Off`).
+    pub value_pred_hits: u64,
+    /// Register-defining instructions seen by the value predictor (its
+    /// training set; counted even when the axis is `Off`).
+    pub value_pred_eligible: u64,
 }
 
 impl BranchReport {
@@ -35,6 +42,17 @@ impl BranchReport {
             self.raw_instrs as f64
         } else {
             self.raw_instrs as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Value-prediction hit rate in percent over register-defining
+    /// instructions (100.0 when none were eligible, e.g. under `Off`
+    /// nothing hits — the rate is then 0.0 unless the trace had no defs).
+    pub fn value_prediction_rate(&self) -> f64 {
+        if self.value_pred_eligible == 0 {
+            100.0
+        } else {
+            100.0 * self.value_pred_hits as f64 / self.value_pred_eligible as f64
         }
     }
 }
@@ -273,9 +291,13 @@ mod tests {
             predicted_correctly: 180,
             computed_jumps: 2,
             raw_instrs: 1200,
+            value_pred_hits: 300,
+            value_pred_eligible: 400,
         };
         assert!((report.prediction_rate() - 90.0).abs() < 1e-12);
         assert!((report.instrs_between_branches() - 6.0).abs() < 1e-12);
+        assert!((report.value_prediction_rate() - 75.0).abs() < 1e-12);
+        assert_eq!(BranchReport::default().value_prediction_rate(), 100.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Two-pass streaming analysis over a [`TraceSource`].
 //!
-//! The in-memory pipeline materializes the whole trace (12 bytes/event)
+//! The in-memory pipeline materializes the whole trace (16 bytes/event)
 //! plus per-event metadata (~14 bytes/event) before any machine runs — a
 //! quarter-gigabyte working set per 10M instructions, and the reason the
 //! committed suite stopped at 2M. The paper measured 100M-instruction
@@ -75,7 +75,8 @@ impl StreamOptions {
     /// otherwise the adaptive heuristic.
     ///
     /// The heuristic targets chunk-resident data (raw `TraceEvent`s,
-    /// decoded [`EventMeta`]s, classification bits — ~26 bytes/event) at
+    /// decoded per-event metadata rows, classification bits — ~30
+    /// bytes/event) at
     /// half a nominal 1 MiB L2, so the second lane group's walk over a
     /// chunk and the next chunk's fill read warm cache. The budget
     /// shrinks with the per-PC lane state the groups keep hot (the
@@ -88,7 +89,7 @@ impl StreamOptions {
             return self.chunk_events;
         }
         const CACHE_BUDGET: usize = 512 << 10;
-        const EVENT_BYTES: usize = 26;
+        const EVENT_BYTES: usize = 30;
         let state_bytes = text_len * 128;
         let budget = CACHE_BUDGET.saturating_sub(state_bytes).max(64 << 10);
         let buffers = if self.resolved_workers() > 1 { 2 } else { 1 };
@@ -173,6 +174,27 @@ impl<'a> Analyzer<'a> {
     /// unroll settings, with the machine passes fanned out over worker
     /// threads when cores are available. Bit-identical to the in-memory
     /// path for every machine and unroll setting.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use clfp_lang::compile;
+    /// use clfp_limits::{AnalysisConfig, Analyzer, MachineKind, StreamOptions};
+    ///
+    /// let program = compile(
+    ///     "fn main() -> int {
+    ///          var s: int = 0;
+    ///          for (var i: int = 0; i < 50; i = i + 1) { s = s + i; }
+    ///          return s;
+    ///      }",
+    /// )?;
+    /// let analyzer = Analyzer::new(&program, AnalysisConfig::quick())?;
+    /// let streamed = analyzer.run_streamed(StreamOptions::default())?;
+    /// // Both unroll settings come back from the same two streaming passes.
+    /// let oracle = streamed.unrolled.parallelism(MachineKind::Oracle);
+    /// assert!(oracle >= streamed.rolled.parallelism(MachineKind::Base));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///

@@ -13,6 +13,11 @@
 //! [`Bimodal`] (2-bit saturating counters), [`Gshare`], and [`TwoLevel`]
 //! (Yeh & Patt's PAg).
 //!
+//! The value-speculation axis has its own predictor family
+//! ([`ValuePredictor`]): [`LastValuePredictor`] and the hybrid
+//! [`StridePredictor`], trained on produced register values during the
+//! analyzer's preparation walk.
+//!
 //! ## Example
 //!
 //! ```
@@ -30,13 +35,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod dynamic;
 mod profile;
 mod statics;
+mod value;
 
 pub use dynamic::{Bimodal, Gshare, TwoLevel};
 pub use profile::BranchProfile;
 pub use statics::{AlwaysTaken, Btfn, ProfilePredictor};
+pub use value::{LastValuePredictor, StridePredictor, ValuePredictor};
 
 /// A branch-outcome predictor.
 ///

@@ -32,12 +32,14 @@
 //! stores) are warnings or notes about the *measured program*, not the
 //! analyzer, and may be waived by a reporting layer.
 
+#![deny(missing_docs)]
+
 use std::collections::HashMap;
 use std::fmt;
 
 use clfp_cfg::{BlockId, CdViolation, Cfg, Liveness, MaybeUninit, StaticInfo};
 use clfp_isa::{AluOp, Instr, Program, Reg};
-use clfp_limits::{CdSource, PreparedTrace};
+use clfp_limits::{CdSource, PreparedTrace, Report, ValuePrediction};
 use clfp_vm::{Trace, TraceEvent, TraceSource, VmError};
 
 /// How bad a diagnostic is.
@@ -105,11 +107,16 @@ pub enum DiagnosticKind {
     /// A store's alias regions are never loaded from by any instruction;
     /// at region granularity the stored value is provably unobserved.
     RegionDeadStore,
+    /// A stronger value-prediction mode produced a *longer* critical path
+    /// than a weaker one on the same machine — the nested-correct-set
+    /// theorem (`perfect >= stride >= last-value >= off`) was violated,
+    /// so a pipeline diverged from the publish rule.
+    ValuePredMonotonicityViolation,
 }
 
 impl DiagnosticKind {
     /// Every kind, in severity-then-declaration order.
-    pub const ALL: [DiagnosticKind; 12] = [
+    pub const ALL: [DiagnosticKind; 13] = [
         DiagnosticKind::BadBranchTarget,
         DiagnosticKind::CdInvariant,
         DiagnosticKind::UnreachableBlock,
@@ -120,6 +127,7 @@ impl DiagnosticKind {
         DiagnosticKind::UnrollMaskViolation,
         DiagnosticKind::SeqCountMismatch,
         DiagnosticKind::AliasSoundnessViolation,
+        DiagnosticKind::ValuePredMonotonicityViolation,
         DiagnosticKind::NeverStoredRegionLoad,
         DiagnosticKind::RegionDeadStore,
     ];
@@ -133,7 +141,8 @@ impl DiagnosticKind {
             | DiagnosticKind::CdResolutionViolation
             | DiagnosticKind::UnrollMaskViolation
             | DiagnosticKind::SeqCountMismatch
-            | DiagnosticKind::AliasSoundnessViolation => Severity::Error,
+            | DiagnosticKind::AliasSoundnessViolation
+            | DiagnosticKind::ValuePredMonotonicityViolation => Severity::Error,
             DiagnosticKind::UnreachableBlock | DiagnosticKind::MaybeUninitRead => {
                 Severity::Warning
             }
@@ -160,6 +169,7 @@ impl DiagnosticKind {
             DiagnosticKind::UnrollMaskViolation => "unroll-mask-violation",
             DiagnosticKind::SeqCountMismatch => "seq-count-mismatch",
             DiagnosticKind::AliasSoundnessViolation => "alias-soundness-violation",
+            DiagnosticKind::ValuePredMonotonicityViolation => "valuepred-monotonicity-violation",
             DiagnosticKind::NeverStoredRegionLoad => "never-stored-region-load",
             DiagnosticKind::RegionDeadStore => "region-dead-store",
         }
@@ -209,6 +219,82 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity() == Severity::Error)
 }
 
+/// Checks the value-prediction monotonicity theorem over one workload's
+/// per-mode reports: because the predictors' correct sets nest
+/// (off = ∅ ⊆ last-value ⊆ stride ⊆ perfect) and every scheduling fold is
+/// a monotone max, a stronger mode must never produce a *longer* critical
+/// path than a weaker one — pointwise, on every analyzed machine. A
+/// violation ([`DiagnosticKind::ValuePredMonotonicityViolation`], always
+/// [`Severity::Error`]) means a pipeline diverged from the publish rule.
+///
+/// `reports` pairs each mode with its report for the same workload and
+/// machine list; order is irrelevant (modes are ranked internally by
+/// their position in [`ValuePrediction::ALL`], weakest first). Sequential
+/// instruction counts must also agree across modes — value speculation
+/// changes timing, never instruction counts.
+pub fn check_valuepred_monotonicity(
+    reports: &[(ValuePrediction, &Report)],
+) -> Vec<Diagnostic> {
+    let rank = |mode: ValuePrediction| {
+        ValuePrediction::ALL
+            .iter()
+            .position(|&m| m == mode)
+            .expect("every mode is in ALL")
+    };
+    let mut ranked: Vec<&(ValuePrediction, &Report)> = reports.iter().collect();
+    ranked.sort_by_key(|(mode, _)| rank(*mode));
+    let mut out = Vec::new();
+    for pair in ranked.windows(2) {
+        let (weak_mode, weak) = *pair[0];
+        let (strong_mode, strong) = *pair[1];
+        if weak.seq_instrs != strong.seq_instrs {
+            out.push(Diagnostic::new(
+                DiagnosticKind::ValuePredMonotonicityViolation,
+                None,
+                format!(
+                    "sequential instruction count changed across value-prediction \
+                     modes: {} under {}, {} under {}",
+                    weak.seq_instrs,
+                    weak_mode.name(),
+                    strong.seq_instrs,
+                    strong_mode.name()
+                ),
+            ));
+        }
+        for (w, s) in weak.results.iter().zip(&strong.results) {
+            if w.kind != s.kind {
+                out.push(Diagnostic::new(
+                    DiagnosticKind::ValuePredMonotonicityViolation,
+                    None,
+                    format!(
+                        "machine lists disagree across value-prediction modes: \
+                         {} vs {}",
+                        w.kind, s.kind
+                    ),
+                ));
+                continue;
+            }
+            if s.cycles > w.cycles {
+                out.push(Diagnostic::new(
+                    DiagnosticKind::ValuePredMonotonicityViolation,
+                    None,
+                    format!(
+                        "{}: {} value prediction took {} cycles, beating the \
+                         stronger {} mode's {} — the nested-correct-set \
+                         theorem is violated",
+                        w.kind,
+                        weak_mode.name(),
+                        w.cycles,
+                        strong_mode.name(),
+                        s.cycles
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Static lint pass
 // ---------------------------------------------------------------------------
@@ -217,6 +303,33 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 ///
 /// Diagnostics come out grouped by kind in [`DiagnosticKind::ALL`] order,
 /// and by pc within a kind.
+///
+/// # Example
+///
+/// ```
+/// use clfp_cfg::StaticInfo;
+/// use clfp_isa::assemble;
+/// use clfp_verify::{has_errors, lint_program};
+///
+/// let program = assemble(
+///     "
+///     .text
+///     main:
+///         li r8, 1
+///         halt
+///     orphan:
+///         addi r8, r8, 1
+///         halt
+///     ",
+/// )
+/// .unwrap();
+/// let info = StaticInfo::analyze(&program);
+/// let diags = lint_program(&program, &info);
+/// // The orphaned block is flagged, but only as a warning: the measured
+/// // program is suspicious, the analysis is not invalidated.
+/// assert!(diags.iter().any(|d| d.kind.name() == "unreachable-block"));
+/// assert!(!has_errors(&diags));
+/// ```
 pub fn lint_program(program: &Program, info: &StaticInfo) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     lint_branch_targets(program, &mut out);
@@ -1452,5 +1565,71 @@ mod tests {
             !has_errors(&static_diags),
             "static errors: {static_diags:?}"
         );
+    }
+
+    /// A predictable induction chain (stride-friendly), an irregular
+    /// squaring chain, and a serial accumulator: enough structure to
+    /// strictly separate the value-prediction modes on the base machine.
+    const VALUE_CHAINS: &str = r#"
+        .text
+        main:
+            li r8, 0
+            li r9, 40
+            li r11, 0
+        loop:
+            addi r8, r8, 1     # stride-predictable induction
+            mul r10, r8, r8    # irregular: only perfect predicts squares
+            add r11, r11, r10  # serial accumulator on the mul output
+            blt r8, r9, loop
+            halt
+    "#;
+
+    #[test]
+    fn valuepred_monotonicity_check_accepts_real_reports_and_flags_forgeries() {
+        let (program, _) = setup(VALUE_CHAINS);
+        let trace = trace_of(&program);
+        let modes = ValuePrediction::ALL;
+        let reports: Vec<Report> = modes
+            .iter()
+            .map(|&mode| {
+                let config = AnalysisConfig {
+                    max_instrs: 10_000,
+                    machines: vec![MachineKind::Base],
+                    value_prediction: mode,
+                    ..AnalysisConfig::default()
+                };
+                let analyzer = Analyzer::new(&program, config).unwrap();
+                analyzer.prepare(&trace).report_with_unrolling(false)
+            })
+            .collect();
+
+        // The honest reports satisfy the theorem, in any input order.
+        let mut labelled: Vec<(ValuePrediction, &Report)> =
+            modes.iter().copied().zip(&reports).collect();
+        assert_eq!(check_valuepred_monotonicity(&labelled), Vec::new());
+        labelled.reverse();
+        assert_eq!(check_valuepred_monotonicity(&labelled), Vec::new());
+
+        // The workload strictly separates off from perfect, so swapping
+        // those two labels forges a theorem violation the check must flag.
+        let off = &reports[0];
+        let perfect = &reports[modes.len() - 1];
+        assert!(
+            perfect.results[0].cycles < off.results[0].cycles,
+            "workload fails to separate modes: perfect {} vs off {}",
+            perfect.results[0].cycles,
+            off.results[0].cycles
+        );
+        let forged = [
+            (ValuePrediction::Off, perfect),
+            (ValuePrediction::Perfect, off),
+        ];
+        let diags = check_valuepred_monotonicity(&forged);
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::ValuePredMonotonicityViolation]
+        );
+        assert!(has_errors(&diags));
+        assert!(diags[0].message.contains("perfect"), "{}", diags[0].message);
     }
 }

@@ -10,11 +10,15 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       8     magic "CLFPTRC1"
+//! 0       8     magic "CLFPTRC2"
 //! 8       8     program fingerprint (Program::fingerprint)
 //! 16      8     event count N
-//! 24      9*N   events: pc u32, mem_addr u32, taken u8
+//! 24      13*N  events: pc u32, mem_addr u32, value u32, taken u8
 //! ```
+//!
+//! `CLFPTRC1` files (9-byte records, no produced value) predate the
+//! value-prediction axis and are rejected as [`TraceFileError::BadMagic`];
+//! recapture the trace to upgrade.
 
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -24,7 +28,7 @@ use clfp_isa::Program;
 
 use crate::{Trace, TraceEvent};
 
-const MAGIC: &[u8; 8] = b"CLFPTRC1";
+const MAGIC: &[u8; 8] = b"CLFPTRC2";
 
 /// Error loading a trace file.
 #[derive(Debug)]
@@ -88,6 +92,7 @@ impl Trace {
         for event in self.iter() {
             out.write_all(&event.pc.to_le_bytes())?;
             out.write_all(&event.mem_addr.to_le_bytes())?;
+            out.write_all(&event.value.to_le_bytes())?;
             out.write_all(&[event.taken as u8])?;
         }
         out.flush()
@@ -116,7 +121,7 @@ impl Trace {
         input.read_exact(&mut word)?;
         let count = u64::from_le_bytes(word) as usize;
         let mut events = Vec::with_capacity(count.min(1 << 24));
-        let mut record = [0u8; 9];
+        let mut record = [0u8; 13];
         for _ in 0..count {
             input
                 .read_exact(&mut record)
@@ -124,7 +129,8 @@ impl Trace {
             events.push(TraceEvent {
                 pc: u32::from_le_bytes(record[0..4].try_into().expect("4 bytes")),
                 mem_addr: u32::from_le_bytes(record[4..8].try_into().expect("4 bytes")),
-                taken: record[8] != 0,
+                value: u32::from_le_bytes(record[8..12].try_into().expect("4 bytes")),
+                taken: record[12] != 0,
             });
         }
         Ok(Trace::from_events(events))

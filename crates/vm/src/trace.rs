@@ -4,14 +4,19 @@ use clfp_isa::{Instr, Program};
 ///
 /// An event identifies the static instruction by index (`pc`); the dynamic
 /// facts the limit analyzer needs are the actual memory address of a
-/// load/store and the actual outcome of a conditional branch. This is the
-/// same information `pixie` traces carried in the original study.
+/// load/store, the actual outcome of a conditional branch, and the value
+/// the instruction wrote to its destination register (the training input
+/// for the value-prediction axis). This is the same information `pixie`
+/// traces carried in the original study, plus produced values.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
     /// Static instruction index into the program's text segment.
     pub pc: u32,
     /// Byte address accessed, valid only for loads and stores.
     pub mem_addr: u32,
+    /// Architectural value of the destination register after execution,
+    /// valid only for instructions that define a register (0 otherwise).
+    pub value: u32,
     /// Branch outcome, valid only for conditional branches.
     pub taken: bool,
 }
@@ -251,11 +256,11 @@ mod tests {
         )
         .unwrap();
         let events = vec![
-            TraceEvent { pc: 0, mem_addr: 0, taken: false },
-            TraceEvent { pc: 1, mem_addr: 0, taken: false },
-            TraceEvent { pc: 2, mem_addr: 0x1000, taken: false },
-            TraceEvent { pc: 3, mem_addr: 0x1004, taken: false },
-            TraceEvent { pc: 4, mem_addr: 0, taken: false },
+            TraceEvent { pc: 0, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 1, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 2, mem_addr: 0x1000, value: 0, taken: false },
+            TraceEvent { pc: 3, mem_addr: 0x1004, value: 0, taken: false },
+            TraceEvent { pc: 4, mem_addr: 0, value: 0, taken: false },
         ];
         let trace = Trace::from_events(events);
         let summary = trace.summarize(&program);
@@ -287,7 +292,7 @@ mod tests {
         // main -> outer -> inner -> back out.
         let events: Trace = [0u32, 2, 4, 3, 1]
             .into_iter()
-            .map(|pc| TraceEvent { pc, mem_addr: 0, taken: false })
+            .map(|pc| TraceEvent { pc, mem_addr: 0, value: 0, taken: false })
             .collect();
         let summary = events.summarize(&program);
         assert_eq!(summary.calls, 2);
@@ -314,11 +319,11 @@ mod tests {
     #[test]
     fn edges_walk_consecutive_pairs() {
         let trace: Trace = (0..3)
-            .map(|pc| TraceEvent { pc, mem_addr: 0, taken: false })
+            .map(|pc| TraceEvent { pc, mem_addr: 0, value: 0, taken: false })
             .collect();
         let pairs: Vec<(u32, u32)> = trace.edges().map(|(a, b)| (a.pc, b.pc)).collect();
         assert_eq!(pairs, vec![(0, 1), (1, 2)]);
-        let single: Trace = std::iter::once(TraceEvent { pc: 0, mem_addr: 0, taken: false })
+        let single: Trace = std::iter::once(TraceEvent { pc: 0, mem_addr: 0, value: 0, taken: false })
             .collect();
         assert_eq!(single.edges().count(), 0);
     }
@@ -343,14 +348,14 @@ mod tests {
         )
         .unwrap();
         let events: Vec<TraceEvent> = vec![
-            TraceEvent { pc: 0, mem_addr: 0, taken: false },
-            TraceEvent { pc: 1, mem_addr: 0, taken: false },
-            TraceEvent { pc: 2, mem_addr: 0x1000, taken: false },
-            TraceEvent { pc: 3, mem_addr: 0x1004, taken: false },
-            TraceEvent { pc: 4, mem_addr: 0, taken: false },
-            TraceEvent { pc: 6, mem_addr: 0x1000, taken: false },
-            TraceEvent { pc: 7, mem_addr: 0, taken: false },
-            TraceEvent { pc: 5, mem_addr: 0, taken: false },
+            TraceEvent { pc: 0, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 1, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 2, mem_addr: 0x1000, value: 0, taken: false },
+            TraceEvent { pc: 3, mem_addr: 0x1004, value: 0, taken: false },
+            TraceEvent { pc: 4, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 6, mem_addr: 0x1000, value: 0, taken: false },
+            TraceEvent { pc: 7, mem_addr: 0, value: 0, taken: false },
+            TraceEvent { pc: 5, mem_addr: 0, value: 0, taken: false },
         ];
         let whole = Trace::from_events(events.clone()).summarize(&program);
         // Every chunking — including sizes that straddle the call and the
@@ -378,7 +383,7 @@ mod tests {
     #[test]
     fn trace_collects_from_iterator() {
         let trace: Trace = (0..3)
-            .map(|pc| TraceEvent { pc, mem_addr: 0, taken: false })
+            .map(|pc| TraceEvent { pc, mem_addr: 0, value: 0, taken: false })
             .collect();
         assert_eq!(trace.len(), 3);
         assert!(!trace.is_empty());

@@ -119,6 +119,7 @@ impl<'a> Vm<'a> {
         let mut event = TraceEvent {
             pc,
             mem_addr: 0,
+            value: 0,
             taken: false,
         };
         let mut next_pc = pc + 1;
@@ -189,6 +190,14 @@ impl<'a> Vm<'a> {
                 next_pc = pc;
             }
             Instr::Nop => {}
+        }
+
+        // Record the produced value for value-prediction training: the
+        // architectural state of the destination register after this
+        // instruction (a cmov that kept the old value "produces" it too;
+        // r0 defs read back 0).
+        if let Some(rd) = instr.def() {
+            event.value = self.reg(rd) as u32;
         }
 
         self.pc = next_pc;

@@ -10,6 +10,8 @@
 //! clfp analyze --workload qsort --max-instrs 100000000 --stream
 //!                                 # stream in O(chunk) trace memory
 //! clfp analyze prog.s --no-unroll --predictor bimodal --fetch 8
+//! clfp analyze --workload qsort --valuepred stride
+//!                                 # schedule with value speculation
 //! clfp lint prog.mc               # lint + static/dynamic cross-check
 //! clfp lint --workload qsort --json
 //! clfp workloads                  # list the benchmark suite
@@ -22,7 +24,9 @@ use std::process::ExitCode;
 
 use clfp::isa::{Program, Reg};
 use clfp::lang::CodegenOptions;
-use clfp::limits::{AnalysisConfig, Analyzer, MachineKind, PredictorChoice, StreamOptions};
+use clfp::limits::{
+    AnalysisConfig, Analyzer, MachineKind, PredictorChoice, StreamOptions, ValuePrediction,
+};
 use clfp::vm::{Vm, VmOptions};
 
 fn main() -> ExitCode {
@@ -78,6 +82,7 @@ fn print_usage() {
          \u{20} analyze <file | --workload NAME>   parallelism limits (all machines)\n\
          \u{20}         [--max-instrs N] [--no-unroll] [--no-inline]\n\
          \u{20}         [--predictor profile|btfn|taken|bimodal|gshare|two-level]\n\
+         \u{20}         [--valuepred off|last-value|stride|perfect]\n\
          \u{20}         [--fetch W] [--if-convert] [--trace file.trc]\n\
          \u{20}         [--stream [--chunk EVENTS]] analyze in O(chunk) trace memory\n\
          \u{20} lint    <file | --workload NAME>   lint + cross-check one program\n\
@@ -127,7 +132,14 @@ fn positional(args: &[String]) -> Option<&str> {
         if let Some(flag) = arg.strip_prefix("--") {
             skip_next = matches!(
                 flag,
-                "max-instr" | "max-instrs" | "predictor" | "fetch" | "workload" | "trace" | "chunk"
+                "max-instr"
+                    | "max-instrs"
+                    | "predictor"
+                    | "fetch"
+                    | "workload"
+                    | "trace"
+                    | "chunk"
+                    | "valuepred"
             );
             continue;
         }
@@ -335,8 +347,18 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown predictor `{other}`")),
         };
     }
+    if let Some(v) = parse_flag_value(args, "--valuepred") {
+        config.value_prediction = match v {
+            "off" => ValuePrediction::Off,
+            "last-value" | "lastvalue" => ValuePrediction::LastValue,
+            "stride" => ValuePrediction::Stride,
+            "perfect" => ValuePrediction::Perfect,
+            other => return Err(format!("unknown value-prediction mode `{other}`")),
+        };
+    }
 
     let unrolling = config.unrolling;
+    let value_prediction = config.value_prediction;
     let analyzer = Analyzer::new(&program, config).map_err(|err| err.to_string())?;
     let report = if has_flag(args, "--stream") {
         // Streaming chunked pipeline: never materializes the trace, so
@@ -367,11 +389,19 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
         report.raw_instrs, report.seq_instrs
     );
     println!(
-        "branches: {} conditional ({:.2}% predicted), {} computed jumps\n",
+        "branches: {} conditional ({:.2}% predicted), {} computed jumps",
         report.branches.cond_branches,
         report.branches.prediction_rate(),
         report.branches.computed_jumps
     );
+    if value_prediction != ValuePrediction::Off {
+        println!(
+            "value prediction ({}): {:.2}% of register definitions predicted",
+            value_prediction.name(),
+            report.branches.value_prediction_rate()
+        );
+    }
+    println!();
     println!("{:10} {:>12} {:>12}", "machine", "cycles", "parallelism");
     for kind in MachineKind::ALL {
         if let Some(result) = report.result(kind) {
