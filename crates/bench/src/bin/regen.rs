@@ -22,8 +22,21 @@
 //!                            # monotonicity gate trips
 //! regen --metrics            # per-machine execution metrics, write
 //!                            # results/metrics_suite.json + attribution.md
+//! regen --no-cache           # skip the on-disk trace cache, always re-execute
 //! regen --force              # overwrite results from a different config
 //! ```
+//!
+//! By default regen installs the on-disk trace cache
+//! (`$CLFP_CACHE_DIR` or `target/clfp-cache`): the first run of a
+//! workload at a given trace cap executes the VM and stores the raw
+//! trace; later runs — including every suite in the same invocation and
+//! every future invocation — load it back from disk, skipping VM
+//! execution and branch profiling entirely. Cache files are keyed by
+//! program fingerprint, trace cap, and trace-format version, and are
+//! re-validated on every read, so a stale or corrupt file is rebuilt
+//! rather than trusted. `--no-cache` restores the always-re-execute
+//! behaviour (the reference cost baseline never reads the cache either
+//! way).
 //!
 //! Every artifact regen writes is stamped with a [`RunManifest`] recording
 //! the exact configuration, git revision, and host that produced it.
@@ -40,6 +53,7 @@ use clfp_bench::{
 };
 use clfp_limits::{AnalysisConfig, StreamOptions};
 use clfp_metrics::RunManifest;
+use clfp_vm::TraceCache;
 
 struct Args {
     table: Option<u32>,
@@ -52,6 +66,7 @@ struct Args {
     alias: bool,
     valuepred: bool,
     metrics: bool,
+    no_cache: bool,
     force: bool,
 }
 
@@ -67,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         alias: false,
         valuepred: false,
         metrics: false,
+        no_cache: false,
         force: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -108,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => {
                 args.metrics = true;
             }
+            "--no-cache" => {
+                args.no_cache = true;
+            }
             "--force" => {
                 args.force = true;
             }
@@ -116,7 +135,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: regen [--table N] [--figure N] [--max-instrs M] [--out DIR]\n\
                      \x20            [--timing] [--scaling] [--lint] [--alias] [--valuepred]\n\
                      \x20            [--metrics]\n\
-                     \x20            [--force]\n\
+                     \x20            [--no-cache] [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR, and\n\
                      --max-instrs M caps every measured trace at M dynamic\n\
@@ -146,6 +165,11 @@ fn parse_args() -> Result<Args, String> {
                      per-machine execution metrics (cycle occupancy, critical-path\n\
                      attribution, binding-edge counters) and writes\n\
                      metrics_suite.json + attribution.md to DIR (default results/).\n\
+                     Raw traces are cached on disk under $CLFP_CACHE_DIR (default\n\
+                     target/clfp-cache) keyed by program, trace cap, and format\n\
+                     version, so reruns skip VM execution and branch profiling;\n\
+                     --no-cache always re-executes instead (manage the cache with\n\
+                     `clfp cache`).\n\
                      Every artifact carries a run manifest; regen refuses to\n\
                      overwrite a result produced under a different configuration\n\
                      unless --force is given."
@@ -223,6 +247,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    clfp_bench::set_trace_cache(if args.no_cache {
+        None
+    } else {
+        Some(TraceCache::new(TraceCache::default_dir()))
+    });
 
     let config = AnalysisConfig {
         max_instrs: args.max_instrs,

@@ -3,8 +3,8 @@ use clfp_isa::Program;
 use clfp_vm::{Trace, Vm, VmOptions};
 
 use crate::fused::run_fused;
-use crate::lane::run_lanes;
-use crate::meta::{EventClass, ProgramMeta, TraceMeta, CD_INHERIT, CD_NONE};
+use crate::lane::{run_lanes, run_scheduler, GroupMode, KeyMode, LaneScheduler, LaneSlot};
+use crate::meta::{vp_flag, EventClass, ProgramMeta, TraceMeta, CD_INHERIT, CD_NONE};
 use crate::pass::{run_pass, PassConfig, PassResult, Prepared};
 use crate::stats::MispredictionStats;
 use crate::{AnalysisConfig, AnalyzeError, MachineKind};
@@ -100,6 +100,10 @@ pub struct Analyzer<'a> {
 #[derive(Debug)]
 pub struct PreparedTrace<'a, 'b> {
     analyzer: &'b Analyzer<'a>,
+    /// The configuration this preparation is valid for — the analyzer's
+    /// own for [`Analyzer::prepare`], a mode-adjusted copy for
+    /// [`PreparedTrace::slice_modes`].
+    config: AnalysisConfig,
     meta: TraceMeta,
 }
 
@@ -158,7 +162,23 @@ impl<'a> Analyzer<'a> {
     pub fn prepare<'b>(&'b self, trace: &Trace) -> PreparedTrace<'a, 'b> {
         PreparedTrace {
             analyzer: self,
-            meta: TraceMeta::build(self.program, &self.info, &self.meta, &self.config, trace),
+            config: self.config.clone(),
+            meta: TraceMeta::build(self.program, &self.info, &self.meta, &self.config, trace, false),
+        }
+    }
+
+    /// Like [`Analyzer::prepare`], but trains the realistic value
+    /// predictors regardless of the configured value-prediction mode, so
+    /// the result can be [sliced](PreparedTrace::slice_modes) or
+    /// [lane-walked](PreparedTrace::report_mode_matrix) across every
+    /// value-prediction mode. Identical to `prepare` when the configured
+    /// mode is `LastValue` or `Stride` (which already train); slightly
+    /// slower otherwise (two predictor-table updates per def event).
+    pub fn prepare_multimode<'b>(&'b self, trace: &Trace) -> PreparedTrace<'a, 'b> {
+        PreparedTrace {
+            analyzer: self,
+            config: self.config.clone(),
+            meta: TraceMeta::build(self.program, &self.info, &self.meta, &self.config, trace, true),
         }
     }
 
@@ -211,10 +231,50 @@ impl<'a> Analyzer<'a> {
     }
 }
 
-impl PreparedTrace<'_, '_> {
+impl<'a, 'b> PreparedTrace<'a, 'b> {
     /// Runs every configured machine model over the prepared trace.
     pub fn report(&self) -> Report {
-        self.report_with_unrolling(self.analyzer.config.unrolling)
+        self.report_with_unrolling(self.config.unrolling)
+    }
+
+    /// Derives the preparation a fresh [`Analyzer::prepare`] under
+    /// (`disambiguation`, `value_prediction`) would produce — without
+    /// re-walking the trace. The config-independent core (classification
+    /// bitmaps, control-dependence sources, branch profile) is shared;
+    /// only the per-event memory key and predicted-value bit are
+    /// rewritten, from facts the one preparation walk already recorded.
+    /// Bit-identical to the from-scratch preparation (asserted by the
+    /// `mode_slices_match_dedicated_preparation` test and the alias /
+    /// value-prediction suite gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this preparation used `Perfect` disambiguation (the
+    /// default) or `disambiguation` equals its mode — coarse memory keys
+    /// cannot be refined after the fact.
+    pub fn slice_modes(
+        &self,
+        disambiguation: crate::MemDisambiguation,
+        value_prediction: crate::ValuePrediction,
+    ) -> PreparedTrace<'a, 'b> {
+        let analyzer = self.analyzer;
+        let meta = self.meta.resliced(
+            &analyzer.info,
+            &analyzer.meta,
+            self.config.disambiguation,
+            disambiguation,
+            value_prediction,
+        );
+        let config = self
+            .config
+            .clone()
+            .with_disambiguation(disambiguation)
+            .with_value_prediction(value_prediction);
+        PreparedTrace {
+            analyzer,
+            config,
+            meta,
+        }
     }
 
     /// The resolved control-dependence source of every dynamic
@@ -237,7 +297,7 @@ impl PreparedTrace<'_, '_> {
     /// report's cycle and instruction counts exactly (asserted in the
     /// `recording_sink_does_not_perturb_results` test).
     pub fn machine_metrics(&self) -> Vec<(MachineKind, clfp_metrics::MachineMetrics)> {
-        self.machine_metrics_with_unrolling(self.analyzer.config.unrolling)
+        self.machine_metrics_with_unrolling(self.config.unrolling)
     }
 
     /// Like [`PreparedTrace::machine_metrics`], but overriding the
@@ -251,13 +311,12 @@ impl PreparedTrace<'_, '_> {
 
         let analyzer = self.analyzer;
         let class = self.meta.class(unrolling);
-        let pass_config = PassConfig::from_analysis(&analyzer.config);
+        let pass_config = PassConfig::from_analysis(&self.config);
         let mut state = crate::fused::MachineState::with_mem_capacity(
             analyzer.program.text.len(),
             self.mem_capacity(),
         );
-        analyzer
-            .config
+        self.config
             .machines
             .iter()
             .map(|&kind| {
@@ -290,7 +349,7 @@ impl PreparedTrace<'_, '_> {
     pub fn report_with_unrolling(&self, unrolling: bool) -> Report {
         let analyzer = self.analyzer;
         let class = self.meta.class(unrolling);
-        let slots: Vec<(MachineKind, bool)> = analyzer
+        let slots: Vec<(MachineKind, bool)> = self
             .config
             .machines
             .iter()
@@ -301,7 +360,7 @@ impl PreparedTrace<'_, '_> {
             &self.meta.events,
             self.meta.class(true),
             self.meta.class(false),
-            &PassConfig::from_analysis(&analyzer.config),
+            &PassConfig::from_analysis(&self.config),
             &slots,
             self.mem_capacity(),
         );
@@ -314,7 +373,7 @@ impl PreparedTrace<'_, '_> {
     /// Table 4 path.
     pub fn report_both(&self) -> (Report, Report) {
         let analyzer = self.analyzer;
-        let machines = &analyzer.config.machines;
+        let machines = &self.config.machines;
         let mut slots: Vec<(MachineKind, bool)> = Vec::with_capacity(machines.len() * 2);
         for unrolling in [true, false] {
             slots.extend(machines.iter().map(|&kind| (kind, unrolling)));
@@ -324,7 +383,7 @@ impl PreparedTrace<'_, '_> {
             &self.meta.events,
             self.meta.class(true),
             self.meta.class(false),
-            &PassConfig::from_analysis(&analyzer.config),
+            &PassConfig::from_analysis(&self.config),
             &slots,
             self.mem_capacity(),
         );
@@ -333,6 +392,126 @@ impl PreparedTrace<'_, '_> {
             self.assemble(self.meta.class(true), passes),
             self.assemble(self.meta.class(false), rolled_passes),
         )
+    }
+
+    /// The full mode × machine × unroll table from **one** walk over the
+    /// prepared events: every requested (disambiguation, value-prediction)
+    /// mode contributes its machine × unroll lanes to the same lane
+    /// scheduler, value-prediction modes as per-lane hit-bit
+    /// masks and disambiguation modes as per-group key remaps — the same
+    /// masking trick the kernel already uses for unroll settings, extended
+    /// to the speculation axes. Returns `(unrolled, rolled)` report pairs
+    /// in `modes` order, each bit-identical to preparing and reporting
+    /// under that mode from scratch (asserted by the
+    /// `mode_matrix_matches_slices` test and the suite gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this preparation used `Perfect` disambiguation (the
+    /// default) or every requested mode matches its disambiguation mode.
+    pub fn report_mode_matrix(
+        &self,
+        modes: &[(crate::MemDisambiguation, crate::ValuePrediction)],
+    ) -> Vec<(Report, Report)> {
+        let analyzer = self.analyzer;
+        let machines = &self.config.machines;
+        let per_mode = machines.len() * 2;
+        let mut class_table: Option<Vec<u32>> = None;
+        let mut specs: Vec<(GroupMode, Vec<LaneSlot>)> = Vec::with_capacity(modes.len());
+        for (index, &(disambiguation, value_prediction)) in modes.iter().enumerate() {
+            assert!(
+                self.config.disambiguation == crate::MemDisambiguation::Perfect
+                    || disambiguation == self.config.disambiguation,
+                "mode matrix needs a perfect-disambiguation base (have {}, want {})",
+                self.config.disambiguation.name(),
+                disambiguation.name(),
+            );
+            assert!(
+                self.meta.vp_trained || !crate::meta::needs_vp_training(value_prediction),
+                "mode matrix lane for {} needs a base preparation that trained the value \
+                 predictors (use Analyzer::prepare_multimode)",
+                value_prediction.name(),
+            );
+            let key_mode = if disambiguation == self.config.disambiguation {
+                KeyMode::Event
+            } else {
+                match disambiguation {
+                    crate::MemDisambiguation::Perfect => KeyMode::Event,
+                    crate::MemDisambiguation::Static => KeyMode::Class(
+                        class_table
+                            .get_or_insert_with(|| {
+                                (0..analyzer.program.text.len())
+                                    .map(|pc| analyzer.info.alias.scheduler_class(pc as u32))
+                                    .collect()
+                            })
+                            .clone(),
+                    ),
+                    crate::MemDisambiguation::None => KeyMode::Single,
+                }
+            };
+            let hit_flag = vp_flag(value_prediction);
+            let mut lanes = Vec::with_capacity(per_mode);
+            for (setting, unrolling) in [true, false].into_iter().enumerate() {
+                for (k, &kind) in machines.iter().enumerate() {
+                    lanes.push(LaneSlot {
+                        slot: index * per_mode + setting * machines.len() + k,
+                        kind,
+                        unrolling,
+                        vp_flag: hit_flag,
+                    });
+                }
+            }
+            specs.push((
+                GroupMode {
+                    key_mode,
+                    accumulate: disambiguation.accumulates(),
+                },
+                lanes,
+            ));
+        }
+        let sched = LaneScheduler::with_groups(
+            specs,
+            modes.len() * per_mode,
+            analyzer.program.text.len(),
+            &PassConfig::from_analysis(&self.config),
+            self.mem_capacity(),
+        );
+        let mut passes = run_scheduler(
+            sched,
+            &analyzer.meta,
+            &self.meta.events,
+            self.meta.class(true),
+            self.meta.class(false),
+        )
+        .into_iter();
+        modes
+            .iter()
+            .map(|&(_, value_prediction)| {
+                let mode_index = crate::ValuePrediction::ALL
+                    .iter()
+                    .position(|&m| m == value_prediction)
+                    .expect("mode is in ALL");
+                let mut branches = self.meta.branches;
+                branches.value_pred_hits = self.meta.vp_hits[mode_index];
+                let unrolled_passes: Vec<PassResult> =
+                    passes.by_ref().take(machines.len()).collect();
+                let rolled_passes: Vec<PassResult> =
+                    passes.by_ref().take(machines.len()).collect();
+                let report_for = |class: &EventClass, mode_passes: Vec<PassResult>| {
+                    assemble_report(
+                        machines,
+                        mode_passes,
+                        class.not_ignored(),
+                        class.len() as u64,
+                        branches,
+                    )
+                };
+                (
+                    report_for(self.meta.class(true), unrolled_passes),
+                    report_for(self.meta.class(false), rolled_passes),
+                )
+            })
+            .collect()
     }
 
     /// The scalar machine-major fused path — one cursor per machine, N
@@ -346,8 +525,8 @@ impl PreparedTrace<'_, '_> {
             &analyzer.meta,
             &self.meta.events,
             class,
-            &PassConfig::from_analysis(&analyzer.config),
-            &analyzer.config.machines,
+            &PassConfig::from_analysis(&self.config),
+            &self.config.machines,
             self.mem_capacity(),
         );
         self.assemble(class, passes)
@@ -362,7 +541,7 @@ impl PreparedTrace<'_, '_> {
     /// Folds per-machine pass results into a [`Report`].
     fn assemble(&self, class: &EventClass, passes: Vec<PassResult>) -> Report {
         assemble_report(
-            &self.analyzer.config.machines,
+            &self.config.machines,
             passes,
             class.not_ignored(),
             class.len() as u64,
@@ -687,6 +866,7 @@ mod tests {
                 .run_streamed(crate::StreamOptions {
                     chunk_events: 4096,
                     machine_threads: 0,
+                    par_threshold_events: 0,
                 })
                 .unwrap();
             for report in [&scalar, &reference, &streamed.unrolled] {
@@ -726,6 +906,7 @@ mod tests {
                 .run_streamed(crate::StreamOptions {
                     chunk_events: 4096,
                     machine_threads: 0,
+                    par_threshold_events: 0,
                 })
                 .unwrap();
             for report in [&scalar, &reference, &streamed.unrolled] {
@@ -870,6 +1051,133 @@ mod tests {
             .cycles;
         assert!(p < s, "static should serialize some oracle parallelism ({p} vs {s})");
         assert!(s < n, "static should beat a single-location memory ({s} vs {n})");
+    }
+
+    // Mode slicing is a refactoring of preparation, not an approximation:
+    // a slice of one shared (perfect-base) preparation must be
+    // indistinguishable from preparing from scratch under the mode —
+    // reports, branch statistics, and misprediction stats all included.
+    #[test]
+    fn mode_slices_match_dedicated_preparation() {
+        use crate::{MemDisambiguation, ValuePrediction};
+        let program = compile(LOOPY).unwrap();
+        let base_config = AnalysisConfig::quick();
+        let analyzer = Analyzer::new(&program, base_config.clone()).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let prepared = analyzer.prepare_multimode(&trace);
+        for dis in MemDisambiguation::ALL {
+            for vp in ValuePrediction::ALL {
+                let slice = prepared.slice_modes(dis, vp);
+                let (slice_unrolled, slice_rolled) = slice.report_both();
+                let config = base_config
+                    .clone()
+                    .with_disambiguation(dis)
+                    .with_value_prediction(vp);
+                let dedicated = Analyzer::new(&program, config).unwrap();
+                let dedicated_prep = dedicated.prepare(&trace);
+                let (full_unrolled, full_rolled) = dedicated_prep.report_both();
+                let scalar = dedicated_prep.report_with_unrolling_scalar(true);
+                for (got, want) in [
+                    (&slice_unrolled, &full_unrolled),
+                    (&slice_rolled, &full_rolled),
+                    (&slice_unrolled, &scalar),
+                ] {
+                    assert_eq!(got.seq_instrs, want.seq_instrs, "{dis:?}/{vp:?}");
+                    assert_eq!(got.raw_instrs, want.raw_instrs, "{dis:?}/{vp:?}");
+                    assert_eq!(got.branches, want.branches, "{dis:?}/{vp:?}");
+                    assert_eq!(got.mispred_stats, want.mispred_stats, "{dis:?}/{vp:?}");
+                    for (a, b) in got.results.iter().zip(&want.results) {
+                        assert_eq!(a.kind, b.kind, "{dis:?}/{vp:?}");
+                        assert_eq!(a.cycles, b.cycles, "{dis:?}/{vp:?} {:?}", a.kind);
+                    }
+                }
+            }
+        }
+    }
+
+    // The one-walk mode matrix is the same arithmetic as per-mode slices
+    // (and therefore as dedicated preparations — see
+    // `mode_slices_match_dedicated_preparation`), just scheduled in one
+    // pass: every (mode, machine, unroll) cell must agree exactly.
+    #[test]
+    fn mode_matrix_matches_slices() {
+        use crate::{MemDisambiguation, ValuePrediction};
+        let program = compile(LOOPY).unwrap();
+        let analyzer = Analyzer::new(&program, AnalysisConfig::quick()).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let prepared = analyzer.prepare_multimode(&trace);
+        let mut modes = Vec::new();
+        for dis in MemDisambiguation::ALL {
+            for vp in ValuePrediction::ALL {
+                modes.push((dis, vp));
+            }
+        }
+        let matrix = prepared.report_mode_matrix(&modes);
+        assert_eq!(matrix.len(), modes.len());
+        for (&(dis, vp), (mat_unrolled, mat_rolled)) in modes.iter().zip(&matrix) {
+            let slice = prepared.slice_modes(dis, vp);
+            let (slice_unrolled, slice_rolled) = slice.report_both();
+            for (got, want) in [(mat_unrolled, &slice_unrolled), (mat_rolled, &slice_rolled)] {
+                assert_eq!(got.seq_instrs, want.seq_instrs, "{dis:?}/{vp:?}");
+                assert_eq!(got.raw_instrs, want.raw_instrs, "{dis:?}/{vp:?}");
+                assert_eq!(got.branches, want.branches, "{dis:?}/{vp:?}");
+                assert_eq!(got.mispred_stats, want.mispred_stats, "{dis:?}/{vp:?}");
+                for (a, b) in got.results.iter().zip(&want.results) {
+                    assert_eq!(a.kind, b.kind, "{dis:?}/{vp:?}");
+                    assert_eq!(a.cycles, b.cycles, "{dis:?}/{vp:?} {:?}", a.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-disambiguation base")]
+    fn slicing_from_a_coarse_base_panics() {
+        use crate::{MemDisambiguation, ValuePrediction};
+        let program = compile(LOOPY).unwrap();
+        let config = AnalysisConfig::quick().with_disambiguation(MemDisambiguation::None);
+        let analyzer = Analyzer::new(&program, config).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let prepared = analyzer.prepare(&trace);
+        prepared.slice_modes(MemDisambiguation::Static, ValuePrediction::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "trained the value predictors")]
+    fn slicing_untrained_base_to_realistic_prediction_panics() {
+        use crate::{MemDisambiguation, ValuePrediction};
+        let program = compile(LOOPY).unwrap();
+        let analyzer = Analyzer::new(&program, AnalysisConfig::quick()).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        // `prepare` (not `prepare_multimode`) under the default Off mode
+        // skips predictor training; asking the slice for stride hit bits
+        // it never recorded must fail loudly rather than report zeros.
+        let prepared = analyzer.prepare(&trace);
+        prepared.slice_modes(MemDisambiguation::Perfect, ValuePrediction::Stride);
     }
 
     #[test]

@@ -718,7 +718,7 @@ mod tests {
                 },
             );
             let trace = vm.trace(config.max_instrs).unwrap();
-            let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace);
+            let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace, false);
             let class = tm.class(unrolling);
             let mut state = MachineState::new(program.text.len());
             for kind in MachineKind::ALL {
@@ -766,7 +766,7 @@ mod tests {
             },
         );
         let trace = vm.trace(config.max_instrs).unwrap();
-        let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace);
+        let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace, false);
         let class = tm.class(config.unrolling);
         let kinds = [MachineKind::Oracle, MachineKind::Base, MachineKind::Sp];
         let results = run_fused(
@@ -814,7 +814,7 @@ mod tests {
                 },
             );
             let trace = vm.trace(config.max_instrs).unwrap();
-            let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace);
+            let tm = TraceMeta::build(&program, &info, &pcs, &config, &trace, false);
             let class = tm.class(unrolling);
             let mut state = MachineState::new(program.text.len());
             for kind in MachineKind::ALL {

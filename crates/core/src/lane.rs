@@ -188,12 +188,63 @@ impl SegTracker {
 }
 
 /// One lane's request: which result slot it fills, which machine it
-/// models, and which unroll classification it reads.
+/// models, which unroll classification it reads, and which per-event flag
+/// bit marks a correctly predicted value for it.
+///
+/// `vp_flag` generalizes the old fixed [`EV_VALPRED`] read: the
+/// preparation walk records a hit bit per value predictor
+/// ([`EV_DEF`](crate::meta::EV_DEF), `EV_VP_LAST`, `EV_VP_STRIDE`) next
+/// to the configured mode's [`EV_VALPRED`], so lanes modeling *different*
+/// value-prediction modes can share one walk — each lane just masks a
+/// different bit. [`crate::meta::vp_flag`] maps a mode to its bit; 0
+/// (mode `Off`) never matches.
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct LaneSlot {
     pub slot: usize,
     pub kind: MachineKind,
     pub unrolling: bool,
+    pub vp_flag: u8,
+}
+
+/// How a lane group derives the last-write key from an event — the
+/// second half of the multi-config axis. Groups modeling the same
+/// disambiguation mode as the prepared events read them directly
+/// (`Event`); groups modeling a *coarser* mode over a perfect-keyed
+/// preparation remap per event (`Class` is the static alias partition
+/// indexed by PC, `Single` collapses memory to one location). The remap
+/// is exactly the expression `MetaBuilder` would have evaluated, so the
+/// probe sequence — and therefore the schedule — is bit-identical to a
+/// dedicated preparation.
+#[derive(Clone, Debug)]
+pub(crate) enum KeyMode {
+    /// Use `EventMeta::mem_key` as prepared.
+    Event,
+    /// Static alias-analysis class per PC (`MemDisambiguation::Static`).
+    Class(Vec<u32>),
+    /// All of memory is one location (`MemDisambiguation::None`).
+    Single,
+}
+
+/// Per-group scheduling mode: the key derivation plus whether stores
+/// fold into the last-write table with `max`
+/// ([`crate::MemDisambiguation::accumulates`]). Lanes within a group
+/// always share these — they are state-shape properties of the shared
+/// tables, unlike the per-lane masks.
+#[derive(Clone, Debug)]
+pub(crate) struct GroupMode {
+    pub key_mode: KeyMode,
+    pub accumulate: bool,
+}
+
+impl GroupMode {
+    /// The single-config mode: keys as prepared, accumulation per the
+    /// pass configuration.
+    pub fn from_config(config: &PassConfig) -> GroupMode {
+        GroupMode {
+            key_mode: KeyMode::Event,
+            accumulate: config.disambiguation.accumulates(),
+        }
+    }
 }
 
 #[inline]
@@ -227,7 +278,11 @@ struct GroupCursor<const L: usize, const CD: bool, const RENAME: bool, const FET
     /// `last_mispred`.
     m_ord_lb: [u64; L],
     m_ord_lm: [u64; L],
+    /// Per-lane value-prediction hit bit (see [`LaneSlot::vp_flag`]).
+    vp_flag: [u8; L],
 
+    /// How this group derives last-write keys (see [`KeyMode`]).
+    key_mode: KeyMode,
     /// Stores fold into `mem_time` with `max` under coarse
     /// disambiguation keys ([`crate::MemDisambiguation::accumulates`]).
     mem_accumulate: bool,
@@ -248,7 +303,13 @@ struct GroupCursor<const L: usize, const CD: bool, const RENAME: bool, const FET
 impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
     GroupCursor<L, CD, RENAME, FETCH>
 {
-    fn new(lanes: &[LaneSlot], text_len: usize, config: &PassConfig, mem_capacity: usize) -> Self {
+    fn new(
+        lanes: &[LaneSlot],
+        text_len: usize,
+        config: &PassConfig,
+        mem_capacity: usize,
+        mode: GroupMode,
+    ) -> Self {
         debug_assert!(!lanes.is_empty() && lanes.len() <= L);
         let spec = |l: usize| lanes[l.min(lanes.len() - 1)];
         let mut unroll_sel = [0; L];
@@ -256,10 +317,12 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
         let mut m_b = [0; L];
         let mut m_ord_lb = [0; L];
         let mut m_ord_lm = [0; L];
+        let mut vp_flag = [0u8; L];
         for l in 0..L {
             let lane = spec(l);
             debug_assert_eq!(lane.kind.uses_control_deps(), CD);
             unroll_sel[l] = lane_mask(lane.unrolling);
+            vp_flag[l] = lane.vp_flag;
             if CD {
                 m_a[l] = lane_mask(matches!(lane.kind, MachineKind::Cd | MachineKind::CdMf));
                 m_b[l] = lane_mask(matches!(lane.kind, MachineKind::SpCd | MachineKind::SpCdMf));
@@ -278,7 +341,9 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
             m_b,
             m_ord_lb,
             m_ord_lm,
-            mem_accumulate: config.disambiguation.accumulates(),
+            vp_flag,
+            key_mode: mode.key_mode,
+            mem_accumulate: mode.accumulate,
             reg_time: [[0; L]; 32],
             reg_read: [[0; L]; 32],
             mem_time: LaneTable::with_capacity(mem_capacity),
@@ -413,8 +478,20 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
             }
             let is_load = meta.is(PC_LOAD);
             let is_store = meta.is(PC_STORE);
+            // Resolve the group's last-write key (identical to the
+            // prepared key unless this group remaps modes; see
+            // [`KeyMode`]). Only memory events probe the tables.
+            let mem_key = if is_load || is_store {
+                match &self.key_mode {
+                    KeyMode::Event => event.mem_key,
+                    KeyMode::Class(classes) => classes[event.pc as usize],
+                    KeyMode::Single => 0,
+                }
+            } else {
+                0
+            };
             if is_load {
-                let mt = self.mem_time.get(event.mem_key);
+                let mt = self.mem_time.get(mem_key);
                 for l in 0..L {
                     data[l] = data[l].max(mt[l]);
                 }
@@ -428,8 +505,8 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
                     }
                 }
                 if is_store {
-                    let mr = self.mem_read.get(event.mem_key);
-                    let mt = self.mem_time.get(event.mem_key);
+                    let mr = self.mem_read.get(mem_key);
+                    let mt = self.mem_time.get(mem_key);
                     for l in 0..L {
                         data[l] = data[l].max(mr[l]).max(mt[l]);
                     }
@@ -453,19 +530,20 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
             }
             if meta.def != NO_REG {
                 // Value prediction as one more mask: a correctly predicted
-                // producer (EV_VALPRED) publishes availability 0 instead of
-                // `done`, releasing consumers immediately. The bit is the
-                // same for every lane (decided once in preparation), so a
-                // scalar mask keeps the kernel branch-free without another
+                // producer publishes availability 0 instead of `done`,
+                // releasing consumers immediately. Each lane masks its own
+                // hit bit (`vp_flag`, the configured mode's EV_VALPRED in
+                // single-config walks, a per-predictor bit in multi-config
+                // walks), keeping the kernel branch-free without another
                 // monomorphization axis.
-                let vpm = 0u64.wrapping_sub(u64::from(event.flags & EV_VALPRED != 0));
                 let rt = &mut self.reg_time[meta.def as usize];
                 for l in 0..L {
+                    let vpm = 0u64.wrapping_sub(u64::from(event.flags & self.vp_flag[l] != 0));
                     rt[l] = ((done[l] & !vpm) & am[l]) | (rt[l] & !am[l]);
                 }
             }
             if is_store {
-                let mt = self.mem_time.entry(event.mem_key);
+                let mt = self.mem_time.entry(mem_key);
                 if self.mem_accumulate {
                     for l in 0..L {
                         mt[l] = (done[l].max(mt[l]) & am[l]) | (mt[l] & !am[l]);
@@ -487,7 +565,7 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
                     }
                 }
                 if is_load {
-                    let mr = self.mem_read.entry(event.mem_key);
+                    let mr = self.mem_read.entry(mem_key);
                     for l in 0..L {
                         mr[l] = mr[l].max(exec[l] & am[l]);
                     }
@@ -580,6 +658,7 @@ fn make_group<const CD: bool>(
     text_len: usize,
     config: &PassConfig,
     mem_capacity: usize,
+    mode: GroupMode,
 ) -> Box<dyn GroupFeed> {
     macro_rules! mono {
         ($l:literal) => {
@@ -589,24 +668,28 @@ fn make_group<const CD: bool>(
                     text_len,
                     config,
                     mem_capacity,
+                    mode,
                 )) as Box<dyn GroupFeed>,
                 (true, true) => Box::new(GroupCursor::<$l, CD, true, true>::new(
                     lanes,
                     text_len,
                     config,
                     mem_capacity,
+                    mode,
                 )),
                 (false, false) => Box::new(GroupCursor::<$l, CD, false, false>::new(
                     lanes,
                     text_len,
                     config,
                     mem_capacity,
+                    mode,
                 )),
                 (false, true) => Box::new(GroupCursor::<$l, CD, false, true>::new(
                     lanes,
                     text_len,
                     config,
                     mem_capacity,
+                    mode,
                 )),
             }
         };
@@ -638,31 +721,64 @@ impl LaneScheduler {
         config: &PassConfig,
         mem_capacity: usize,
     ) -> LaneScheduler {
-        let mut cd_lanes = Vec::new();
-        let mut plain_lanes = Vec::new();
-        for (slot, &(kind, unrolling)) in slots.iter().enumerate() {
-            let lane = LaneSlot {
+        let lanes = slots
+            .iter()
+            .enumerate()
+            .map(|(slot, &(kind, unrolling))| LaneSlot {
                 slot,
                 kind,
                 unrolling,
-            };
-            if kind.uses_control_deps() {
-                cd_lanes.push(lane);
-            } else {
-                plain_lanes.push(lane);
+                vp_flag: EV_VALPRED,
+            })
+            .collect();
+        LaneScheduler::with_groups(
+            vec![(GroupMode::from_config(config), lanes)],
+            slots.len(),
+            text_len,
+            config,
+            mem_capacity,
+        )
+    }
+
+    /// Builds a scheduler from explicit `(mode, lanes)` groupings — the
+    /// multi-config entry point. Each grouping shares one [`GroupMode`]
+    /// (its lanes must model the same disambiguation mode, since the
+    /// last-write tables are keyed per group), splits into CD and non-CD
+    /// cursor groups of up to 8 lanes, and every group walks the same
+    /// event stream. `total` is the number of result slots referenced by
+    /// the lanes.
+    pub fn with_groups(
+        specs: Vec<(GroupMode, Vec<LaneSlot>)>,
+        total: usize,
+        text_len: usize,
+        config: &PassConfig,
+        mem_capacity: usize,
+    ) -> LaneScheduler {
+        let mut groups: Vec<Box<dyn GroupFeed>> = Vec::new();
+        for (mode, lanes) in specs {
+            let (cd_lanes, plain_lanes): (Vec<LaneSlot>, Vec<LaneSlot>) = lanes
+                .into_iter()
+                .partition(|lane| lane.kind.uses_control_deps());
+            for lanes in cd_lanes.chunks(8) {
+                groups.push(make_group::<true>(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                    mode.clone(),
+                ));
+            }
+            for lanes in plain_lanes.chunks(8) {
+                groups.push(make_group::<false>(
+                    lanes,
+                    text_len,
+                    config,
+                    mem_capacity,
+                    mode.clone(),
+                ));
             }
         }
-        let mut groups: Vec<Box<dyn GroupFeed>> = Vec::new();
-        for lanes in cd_lanes.chunks(8) {
-            groups.push(make_group::<true>(lanes, text_len, config, mem_capacity));
-        }
-        for lanes in plain_lanes.chunks(8) {
-            groups.push(make_group::<false>(lanes, text_len, config, mem_capacity));
-        }
-        LaneScheduler {
-            groups,
-            total: slots.len(),
-        }
+        LaneScheduler { groups, total }
     }
 
     /// Feeds one chunk to every group.
@@ -715,7 +831,21 @@ pub(crate) fn run_lanes(
     slots: &[(MachineKind, bool)],
     mem_capacity: usize,
 ) -> Vec<PassResult> {
-    let mut sched = LaneScheduler::new(slots, pcs.pcs.len(), config, mem_capacity);
+    let sched = LaneScheduler::new(slots, pcs.pcs.len(), config, mem_capacity);
+    run_scheduler(sched, pcs, events, unrolled, rolled)
+}
+
+/// Drives a prebuilt scheduler over an in-memory event slice: groups fan
+/// out over scoped threads when cores allow, otherwise they interleave
+/// chunk by chunk so the stream is read from memory once. Shared by the
+/// single-config [`run_lanes`] and the multi-config matrix walk.
+pub(crate) fn run_scheduler(
+    mut sched: LaneScheduler,
+    pcs: &ProgramMeta,
+    events: &[EventMeta],
+    unrolled: &EventClass,
+    rolled: &EventClass,
+) -> Vec<PassResult> {
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(sched.groups.len());

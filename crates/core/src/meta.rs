@@ -221,6 +221,28 @@ pub(crate) const EV_BRANCH: u8 = 1 << 1;
 /// correctly under the configured [`ValuePrediction`](crate::ValuePrediction)
 /// mode — a correctly speculated producer does not delay its consumers.
 pub(crate) const EV_VALPRED: u8 = 1 << 2;
+/// The event defines a register (value-prediction eligible). Under
+/// `Perfect` value prediction this is exactly the predicted set.
+pub(crate) const EV_DEF: u8 = 1 << 3;
+/// The last-value predictor hit on this def.
+pub(crate) const EV_VP_LAST: u8 = 1 << 4;
+/// The hybrid stride predictor hit on this def.
+pub(crate) const EV_VP_STRIDE: u8 = 1 << 5;
+
+/// The flag bit that marks a hit under `mode` — the bridge between the
+/// always-recorded per-predictor bits and a concrete value-prediction
+/// mode. `Off` maps to no bit (`flags & 0` is never set), `Perfect` to
+/// [`EV_DEF`] (every def hits). Mode-sliced preparation and the
+/// multi-config lane walk both select hits through this mask instead of
+/// re-running a predictor.
+pub(crate) fn vp_flag(mode: crate::ValuePrediction) -> u8 {
+    match mode {
+        crate::ValuePrediction::Off => 0,
+        crate::ValuePrediction::LastValue => EV_VP_LAST,
+        crate::ValuePrediction::Stride => EV_VP_STRIDE,
+        crate::ValuePrediction::Perfect => EV_DEF,
+    }
+}
 
 /// The control-dependence source of an event: no constraint (recursion
 /// cutoff, or no controlling branch outside any call).
@@ -263,6 +285,29 @@ pub(crate) struct TraceMeta {
     /// sizes the machine walks' last-write tables to the trace's live
     /// footprint instead of a fixed guess.
     pub distinct_mem_keys: u64,
+    /// Hits each value-prediction mode would score on this trace, indexed
+    /// by [`ValuePrediction::ALL`](crate::ValuePrediction::ALL) — recorded
+    /// during the one preparation walk so per-mode slices can report their
+    /// hit counts without re-running a predictor.
+    pub vp_hits: [u64; 4],
+    /// Whether the realistic value predictors were trained during the
+    /// preparation walk. Slicing or lane-walking a `LastValue`/`Stride`
+    /// mode requires a trained base (see
+    /// [`Analyzer::prepare_multimode`](crate::Analyzer::prepare_multimode));
+    /// single-mode preparations skip the training cost unless their own
+    /// mode needs it.
+    pub vp_trained: bool,
+}
+
+/// Whether scheduling under `mode` consumes the realistic value
+/// predictors' per-event hit bits (`EV_VP_LAST` / `EV_VP_STRIDE`).
+/// `Off` reads no bit and `Perfect` reads [`EV_DEF`], which is always
+/// recorded.
+pub(crate) fn needs_vp_training(mode: crate::ValuePrediction) -> bool {
+    matches!(
+        mode,
+        crate::ValuePrediction::LastValue | crate::ValuePrediction::Stride
+    )
 }
 
 impl TraceMeta {
@@ -287,6 +332,7 @@ impl TraceMeta {
         pcs: &ProgramMeta,
         config: &AnalysisConfig,
         trace: &Trace,
+        train_all_predictors: bool,
     ) -> TraceMeta {
         // The paper's profile-static predictor is trained on the measured
         // run's own inputs; deriving it from the measured trace itself is
@@ -296,6 +342,9 @@ impl TraceMeta {
             _ => BranchProfile::new(),
         };
         let mut builder = MetaBuilder::new(program, info, pcs, config, &profile);
+        if train_all_predictors {
+            builder.force_value_predictor_training();
+        }
         let mut class_unrolled = EventClass::with_capacity(trace.len());
         let mut class_rolled = EventClass::with_capacity(trace.len());
         let mut events = Vec::with_capacity(trace.len());
@@ -306,6 +355,110 @@ impl TraceMeta {
             class_rolled,
             branches: builder.branches(),
             distinct_mem_keys: builder.distinct_mem_keys(),
+            vp_hits: builder.vp_hits(),
+            vp_trained: builder.vp_trained(),
+        }
+    }
+
+    /// Derives the metadata a full preparation under (`disambiguation`,
+    /// `value_prediction`) would produce, without re-walking the trace:
+    /// memory keys are remapped (`Static` is a per-PC table lookup,
+    /// `None` collapses to one key) and the [`EV_VALPRED`] bit is
+    /// rewritten from the per-predictor bits recorded by the base walk.
+    /// Classification bitmaps, control-dependence sources, and the branch
+    /// profile are mode-independent and copied as-is.
+    ///
+    /// Bit-identity with a from-scratch preparation holds because the base
+    /// walk trains every predictor on every def in trace order — exactly
+    /// the sequence a dedicated builder would see — and `Static`/`None`
+    /// keys are pure functions of the PC.
+    ///
+    /// # Panics
+    ///
+    /// The base must have been prepared under `Perfect` disambiguation
+    /// (the default) unless the requested mode equals the base mode:
+    /// coarser keys cannot be refined.
+    pub fn resliced(
+        &self,
+        info: &StaticInfo,
+        pcs: &ProgramMeta,
+        base_disambiguation: crate::MemDisambiguation,
+        disambiguation: crate::MemDisambiguation,
+        value_prediction: crate::ValuePrediction,
+    ) -> TraceMeta {
+        assert!(
+            base_disambiguation == crate::MemDisambiguation::Perfect
+                || disambiguation == base_disambiguation,
+            "mode slicing needs a perfect-disambiguation base (have {}, want {})",
+            base_disambiguation.name(),
+            disambiguation.name(),
+        );
+        assert!(
+            self.vp_trained || !needs_vp_training(value_prediction),
+            "slicing to {} needs a base preparation that trained the value \
+             predictors (use Analyzer::prepare_multimode)",
+            value_prediction.name(),
+        );
+        let hit_flag = vp_flag(value_prediction);
+        let remap = disambiguation != base_disambiguation;
+        let mut mem_seen: Vec<u64> = Vec::new();
+        let mut distinct_mem_keys = 0u64;
+        let events = self
+            .events
+            .iter()
+            .map(|event| {
+                let mem_key = if !remap {
+                    event.mem_key
+                } else {
+                    match disambiguation {
+                        crate::MemDisambiguation::Perfect => event.mem_key,
+                        crate::MemDisambiguation::Static => {
+                            info.alias.scheduler_class(event.pc)
+                        }
+                        crate::MemDisambiguation::None => 0,
+                    }
+                };
+                if remap && pcs.pcs[event.pc as usize].flags & (PC_LOAD | PC_STORE) != 0 {
+                    let word = (mem_key >> 6) as usize;
+                    if word >= mem_seen.len() {
+                        mem_seen.resize(word + 1, 0);
+                    }
+                    let bit = 1u64 << (mem_key & 63);
+                    if mem_seen[word] & bit == 0 {
+                        mem_seen[word] |= bit;
+                        distinct_mem_keys += 1;
+                    }
+                }
+                let mut flags = event.flags & !EV_VALPRED;
+                if flags & hit_flag != 0 {
+                    flags |= EV_VALPRED;
+                }
+                EventMeta {
+                    pc: event.pc,
+                    mem_key,
+                    cd: event.cd,
+                    flags,
+                }
+            })
+            .collect();
+        let mode_index = crate::ValuePrediction::ALL
+            .iter()
+            .position(|&m| m == value_prediction)
+            .expect("mode is in ALL");
+        let mut branches = self.branches;
+        branches.value_pred_hits = self.vp_hits[mode_index];
+        TraceMeta {
+            events,
+            class_unrolled: self.class_unrolled.clone(),
+            class_rolled: self.class_rolled.clone(),
+            branches,
+            distinct_mem_keys: if remap {
+                distinct_mem_keys
+            } else {
+                self.distinct_mem_keys
+            },
+            vp_hits: self.vp_hits,
+            vp_trained: self.vp_trained,
         }
     }
 }
@@ -328,7 +481,17 @@ pub(crate) struct MetaBuilder<'a> {
     disambiguation: crate::MemDisambiguation,
     predictor: Box<dyn clfp_predict::BranchPredictor>,
     value_prediction: crate::ValuePrediction,
-    value_predictor: Option<Box<dyn clfp_predict::ValuePredictor>>,
+    /// When set, both realistic value predictors are trained on every def
+    /// regardless of the configured mode, so the per-predictor hit bits
+    /// (and the [`TraceMeta::vp_hits`] totals) are available to mode
+    /// slicing and the multi-config lane walk from a single preparation.
+    /// Off by default unless the configured mode itself consumes a hit
+    /// bit — single-mode pipelines skip the training cost. The configured
+    /// mode only selects which bit becomes [`EV_VALPRED`].
+    train_predictors: bool,
+    last_predictor: clfp_predict::LastValuePredictor,
+    stride_predictor: clfp_predict::StridePredictor,
+    vp_hits: [u64; 4],
     branches: BranchReport,
     /// Running non-ignored event counts per unroll setting — the
     /// streaming pipeline's `seq_instrs` fallback when no machines run
@@ -364,7 +527,10 @@ impl<'a> MetaBuilder<'a> {
             disambiguation: config.disambiguation,
             predictor: config.predictor.build(program, profile),
             value_prediction: config.value_prediction,
-            value_predictor: config.value_prediction.build(program.text.len()),
+            train_predictors: needs_vp_training(config.value_prediction),
+            last_predictor: clfp_predict::LastValuePredictor::new(program.text.len()),
+            stride_predictor: clfp_predict::StridePredictor::new(program.text.len()),
+            vp_hits: [0; 4],
             branches: BranchReport::default(),
             not_ignored: [0; 2],
             branch_seq: vec![0u64; pcs.pcs.len()],
@@ -437,22 +603,28 @@ impl<'a> MetaBuilder<'a> {
             }
             // The value-prediction mode decides the predicted bit here,
             // and only here for the fused/lane/stream pipelines (the same
-            // seam as the mem_key choice below). Every def-producing event
-            // trains the predictor — including ignored ones — so the
-            // training sequence is unroll-independent and the reference
-            // pass can replay it exactly.
+            // seam as the mem_key choice below). When training is on,
+            // every def-producing event trains every predictor —
+            // including ignored events — so the training sequence is
+            // unroll-independent, mode-independent, and exactly what the
+            // reference pass and a dedicated single-mode builder would
+            // replay.
             if meta.def != NO_REG {
+                use clfp_predict::ValuePredictor as _;
                 self.branches.value_pred_eligible += 1;
-                let hit = match self.value_prediction {
-                    crate::ValuePrediction::Off => false,
-                    crate::ValuePrediction::Perfect => true,
-                    _ => self
-                        .value_predictor
-                        .as_mut()
-                        .expect("realistic mode has a predictor")
-                        .predict_and_update(event.pc, event.value),
-                };
-                if hit {
+                flags |= EV_DEF;
+                if self.train_predictors {
+                    if self.last_predictor.predict_and_update(event.pc, event.value) {
+                        flags |= EV_VP_LAST;
+                        self.vp_hits[1] += 1;
+                    }
+                    if self.stride_predictor.predict_and_update(event.pc, event.value) {
+                        flags |= EV_VP_STRIDE;
+                        self.vp_hits[2] += 1;
+                    }
+                }
+                self.vp_hits[3] += 1;
+                if flags & vp_flag(self.value_prediction) != 0 {
                     self.branches.value_pred_hits += 1;
                     flags |= EV_VALPRED;
                 }
@@ -517,6 +689,25 @@ impl<'a> MetaBuilder<'a> {
     /// far — the live footprint a last-write table must cover.
     pub fn distinct_mem_keys(&self) -> u64 {
         self.distinct_mem_keys
+    }
+
+    /// Hits each value-prediction mode would score on the events pushed
+    /// so far, indexed by [`ValuePrediction::ALL`](crate::ValuePrediction::ALL).
+    pub fn vp_hits(&self) -> [u64; 4] {
+        self.vp_hits
+    }
+
+    /// Trains the realistic value predictors on every def even though the
+    /// configured mode does not consume their hit bits — required before
+    /// the first [`MetaBuilder::push_chunk`] when the resulting metadata
+    /// will be mode-sliced or lane-walked across value-prediction modes.
+    pub fn force_value_predictor_training(&mut self) {
+        self.train_predictors = true;
+    }
+
+    /// Whether the realistic value predictors are being trained.
+    pub fn vp_trained(&self) -> bool {
+        self.train_predictors
     }
 }
 

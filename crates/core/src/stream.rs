@@ -58,9 +58,30 @@ pub struct StreamOptions {
     /// core, capped at the number of lane groups. `1` forces the
     /// sequential in-line path.
     pub machine_threads: usize,
+    /// Minimum trace length (events, measured exactly by pass 1) before
+    /// the auto worker count (`machine_threads = 0`) fans the machine
+    /// passes out to the threaded broadcast; shorter streams run inline,
+    /// where the broadcast's wake/publish handshakes cost more than the
+    /// machine work they overlap. `0` picks the default
+    /// ([`StreamOptions::DEFAULT_PAR_THRESHOLD`]); an explicit
+    /// `machine_threads >= 2` bypasses the fallback entirely.
+    pub par_threshold_events: u64,
 }
 
 impl StreamOptions {
+    /// Default [`par_threshold_events`](StreamOptions::par_threshold_events):
+    /// below ~4M events the committed suite measures the sequential path
+    /// faster than the broadcast on every host tried.
+    pub const DEFAULT_PAR_THRESHOLD: u64 = 4 << 20;
+
+    /// The parallel-fallback threshold this configuration resolves to.
+    fn resolved_par_threshold(&self) -> u64 {
+        match self.par_threshold_events {
+            0 => Self::DEFAULT_PAR_THRESHOLD,
+            n => n,
+        }
+    }
+
     /// The worker count this configuration resolves to (before capping at
     /// the number of lane groups).
     fn resolved_workers(&self) -> usize {
@@ -262,7 +283,13 @@ impl<'a> Analyzer<'a> {
             slots.extend(machines.iter().map(|&kind| (kind, unrolling)));
         }
         let mut sched = LaneScheduler::new(&slots, text_len, &pass_config, mem_capacity);
-        let workers = options.resolved_workers().min(sched.groups.len());
+        let mut workers = options.resolved_workers().min(sched.groups.len());
+        // Pass 1 measured the exact stream length; below the threshold the
+        // broadcast's synchronization overhead exceeds the overlap it buys,
+        // so the auto setting falls back to the inline path.
+        if options.machine_threads == 0 && summary.total < options.resolved_par_threshold() {
+            workers = 1;
+        }
 
         let passes: Vec<PassResult> = if workers <= 1 {
             let mut buf = ChunkBuf::new(chunk_events);

@@ -126,6 +126,7 @@ fn streamed_lane_kernel_matches_scalar_across_chunk_sizes() {
                     StreamOptions {
                         chunk_events: chunk,
                         machine_threads: 1,
+                        par_threshold_events: 0,
                     },
                 )
                 .unwrap();

@@ -98,6 +98,7 @@ fn streamed_matches_in_memory_across_chunk_sizes() {
                     StreamOptions {
                         chunk_events: chunk,
                         machine_threads: 1,
+                        par_threshold_events: 0,
                     },
                 )
                 .unwrap();
@@ -127,6 +128,7 @@ fn parallel_broadcast_matches_sequential() {
                 StreamOptions {
                     chunk_events: 512,
                     machine_threads: 1,
+                    par_threshold_events: 0,
                 },
             )
             .unwrap();
@@ -138,6 +140,7 @@ fn parallel_broadcast_matches_sequential() {
                     StreamOptions {
                         chunk_events: 512,
                         machine_threads: threads,
+                        par_threshold_events: 0,
                     },
                 )
                 .unwrap();
@@ -191,6 +194,7 @@ fn repeated_source_streams_to_exact_limit() {
             StreamOptions {
                 chunk_events: 64,
                 machine_threads: 1,
+                par_threshold_events: 0,
             },
         )
         .unwrap();

@@ -121,6 +121,7 @@ fn pipelines_agree_across_modes_chunks_and_unrolling() {
                             StreamOptions {
                                 chunk_events: chunk,
                                 machine_threads: 1,
+                                par_threshold_events: 0,
                             },
                         )
                         .unwrap();

@@ -476,6 +476,13 @@ pub struct RunManifest {
     pub unix_secs: u64,
     /// `std::thread::available_parallelism` on the generating host.
     pub host_threads: usize,
+    /// Worker-pool size the suite actually fanned out over (the host
+    /// parallelism capped at the workload count), when the generator
+    /// recorded it ([`RunManifest::with_pool_threads`]).
+    pub pool_threads: Option<usize>,
+    /// Trace-cache state of the run — `"off"`, `"cold"`, or `"warm"` —
+    /// when the generator recorded it ([`RunManifest::with_cache`]).
+    pub cache: Option<String>,
 }
 
 impl RunManifest {
@@ -497,14 +504,38 @@ impl RunManifest {
             host_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            pool_threads: None,
+            cache: None,
         }
+    }
+
+    /// Records the worker-pool size the suite actually used.
+    #[must_use]
+    pub fn with_pool_threads(mut self, pool_threads: usize) -> Self {
+        self.pool_threads = Some(pool_threads);
+        self
+    }
+
+    /// Records the trace-cache state of the run (`"off"`, `"cold"`, or
+    /// `"warm"`).
+    #[must_use]
+    pub fn with_cache(mut self, cache: &str) -> Self {
+        self.cache = Some(cache.to_string());
+        self
     }
 
     /// The HTML-comment header prepended to every `results/*.md` artifact.
     /// Invisible in rendered markdown; greppable in the raw file.
     pub fn to_markdown_header(&self) -> String {
+        let mut extra = String::new();
+        if let Some(pool) = self.pool_threads {
+            extra.push_str(&format!("  pool_threads: {pool}\n"));
+        }
+        if let Some(cache) = &self.cache {
+            extra.push_str(&format!("  cache: {cache}\n"));
+        }
         format!(
-            "<!-- clfp-manifest v1\n  generator: clfp {} (git {})\n  config_hash: {}\n  max_instrs: {}  unrolling: {}\n  generated: {} (unix {})\n  host_threads: {}\n-->\n",
+            "<!-- clfp-manifest v1\n  generator: clfp {} (git {})\n  config_hash: {}\n  max_instrs: {}  unrolling: {}\n  generated: {} (unix {})\n  host_threads: {}\n{extra}-->\n",
             self.version,
             self.git,
             self.config_hash,
@@ -520,7 +551,7 @@ impl RunManifest {
     /// prefixed with `indent` except the first.
     pub fn to_json_object(&self, indent: &str) -> String {
         let field = |key: &str, value: String| format!("{indent}  \"{key}\": {value}");
-        let lines = [
+        let mut lines = vec![
             field("version", format!("\"{}\"", escape_json(&self.version))),
             field("git", format!("\"{}\"", escape_json(&self.git))),
             field("config_hash", format!("\"{}\"", self.config_hash)),
@@ -530,6 +561,12 @@ impl RunManifest {
             field("unix_secs", self.unix_secs.to_string()),
             field("host_threads", self.host_threads.to_string()),
         ];
+        if let Some(pool) = self.pool_threads {
+            lines.push(field("pool_threads", pool.to_string()));
+        }
+        if let Some(cache) = &self.cache {
+            lines.push(field("cache", format!("\"{}\"", escape_json(cache))));
+        }
         format!("{{\n{}\n{indent}}}", lines.join(",\n"))
     }
 
@@ -732,6 +769,8 @@ mod tests {
             generated_utc: format_utc(1_754_438_400),
             unix_secs: 1_754_438_400,
             host_threads: 1,
+            pool_threads: None,
+            cache: None,
         };
         let header = manifest.to_markdown_header();
         assert!(header.starts_with("<!-- clfp-manifest v1\n"));
@@ -747,6 +786,19 @@ mod tests {
         );
         assert!(json.contains("\"max_instrs\": 2000000"));
         assert_eq!(RunManifest::config_hash_of("# plain results file"), None);
+
+        let stamped = manifest.with_pool_threads(8).with_cache("warm");
+        let header = stamped.to_markdown_header();
+        assert!(header.contains("pool_threads: 8"));
+        assert!(header.contains("cache: warm"));
+        assert!(header.ends_with("-->\n"));
+        let json = stamped.to_json_object("  ");
+        assert!(json.contains("\"pool_threads\": 8"));
+        assert!(json.contains("\"cache\": \"warm\""));
+        assert_eq!(
+            RunManifest::config_hash_of(&json).as_deref(),
+            Some(stamped.config_hash.as_str())
+        );
     }
 
     #[test]

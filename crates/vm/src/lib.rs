@@ -26,6 +26,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod cache;
 mod error;
 mod io;
 mod memory;
@@ -34,6 +35,7 @@ mod trace;
 #[allow(clippy::module_inception)]
 mod vm;
 
+pub use cache::{CacheEntry, CacheFileError, FileTraceSource, TraceCache, TRACE_FORMAT_VERSION};
 pub use error::VmError;
 pub use io::TraceFileError;
 pub use memory::Memory;

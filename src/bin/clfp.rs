@@ -15,6 +15,8 @@
 //! clfp lint prog.mc               # lint + static/dynamic cross-check
 //! clfp lint --workload qsort --json
 //! clfp workloads                  # list the benchmark suite
+//! clfp cache                      # list the on-disk trace cache
+//! clfp cache clear                # delete every cached trace
 //! ```
 //!
 //! Files ending in `.mc` are treated as MiniC; anything else is assembled
@@ -53,6 +55,7 @@ fn run() -> Result<(), String> {
         "trace" => trace_cmd(rest),
         "analyze" => analyze_cmd(rest),
         "lint" => lint_cmd(rest),
+        "cache" => cache_cmd(rest),
         "workloads" => {
             for w in clfp::workloads::suite() {
                 println!(
@@ -88,7 +91,10 @@ fn print_usage() {
          \u{20} lint    <file | --workload NAME>   lint + cross-check one program\n\
          \u{20}         [--max-instrs N] [--static-only] [--json]\n\
          \u{20}         exits nonzero on any error-severity finding\n\
-         \u{20} workloads                          list the benchmark suite\n\n\
+         \u{20} workloads                          list the benchmark suite\n\
+         \u{20} cache [clear] [--dir DIR]          list (or wipe) the on-disk trace\n\
+         \u{20}         cache used by regen; default $CLFP_CACHE_DIR or\n\
+         \u{20}         target/clfp-cache\n\n\
          Files ending in .mc are MiniC; anything else is clfp assembly."
     );
 }
@@ -140,6 +146,7 @@ fn positional(args: &[String]) -> Option<&str> {
                     | "trace"
                     | "chunk"
                     | "valuepred"
+                    | "dir"
             );
             continue;
         }
@@ -277,6 +284,61 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `clfp cache [clear] [--dir DIR]`: inspect or wipe the on-disk trace
+/// cache that `regen` populates (see [`clfp::vm::TraceCache`]).
+fn cache_cmd(args: &[String]) -> Result<(), String> {
+    use clfp::vm::TraceCache;
+
+    let cache = match parse_flag_value(args, "--dir") {
+        Some(dir) => TraceCache::new(dir),
+        None => TraceCache::new(TraceCache::default_dir()),
+    };
+    match positional(args) {
+        None => {
+            let entries = cache
+                .entries()
+                .map_err(|err| format!("cannot read {}: {err}", cache.dir().display()))?;
+            if entries.is_empty() {
+                println!("trace cache {} is empty", cache.dir().display());
+                return Ok(());
+            }
+            println!("trace cache {}:", cache.dir().display());
+            println!(
+                "{:16} {:>12} {:>12} {:>12}  file",
+                "fingerprint", "max_instrs", "events", "bytes"
+            );
+            let mut total_bytes = 0u64;
+            for entry in &entries {
+                total_bytes += entry.bytes;
+                println!(
+                    "{:016x} {:>12} {:>12} {:>12}  {}",
+                    entry.fingerprint,
+                    entry.max_instrs,
+                    entry.events,
+                    entry.bytes,
+                    entry
+                        .path
+                        .file_name()
+                        .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                );
+            }
+            println!("{} trace(s), {} bytes total", entries.len(), total_bytes);
+            Ok(())
+        }
+        Some("clear") => {
+            let removed = cache
+                .clear()
+                .map_err(|err| format!("cannot clear {}: {err}", cache.dir().display()))?;
+            println!(
+                "removed {removed} cached trace(s) from {}",
+                cache.dir().display()
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown cache action `{other}`; try `clfp cache` or `clfp cache clear`")),
+    }
 }
 
 fn diagnostics_json(diagnostics: &[clfp::verify::Diagnostic]) -> String {
