@@ -22,6 +22,13 @@
 //!                            # monotonicity gate trips
 //! regen --metrics            # per-machine execution metrics, write
 //!                            # results/metrics_suite.json + attribution.md
+//! regen --trace trace.json   # run the timed suite with span tracing on,
+//!                            # write a Perfetto/chrome://tracing JSON plus
+//!                            # results/pipeline_profile.md
+//! regen --check-perf         # run the timed suite and gate its walls
+//!                            # against the committed BENCH_suite.json
+//!                            # (--perf-tolerance PCT, default 50); exit 4
+//!                            # on regression
 //! regen --no-cache           # skip the on-disk trace cache, always re-execute
 //! regen --force              # overwrite results from a different config
 //! ```
@@ -47,9 +54,9 @@
 use std::process::ExitCode;
 
 use clfp_bench::{
-    figure4, figure5, figure6, figure7, run_alias_suite, run_lint_suite, run_metrics_suite,
-    run_scaling_suite, run_suite, run_suite_timed, run_valuepred_suite, static_inventory,
-    suite_manifest, table1, table2, table3, table4,
+    check_perf, figure4, figure5, figure6, figure7, pipeline_profile_md, run_alias_suite,
+    run_lint_suite, run_metrics_suite, run_scaling_suite, run_suite, run_suite_timed,
+    run_valuepred_suite, static_inventory, suite_manifest, table1, table2, table3, table4,
 };
 use clfp_limits::{AnalysisConfig, StreamOptions};
 use clfp_metrics::RunManifest;
@@ -68,6 +75,9 @@ struct Args {
     metrics: bool,
     no_cache: bool,
     force: bool,
+    trace: Option<std::path::PathBuf>,
+    check_perf: bool,
+    perf_tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +94,9 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         no_cache: false,
         force: false,
+        trace: None,
+        check_perf: false,
+        perf_tolerance: 50.0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -130,12 +143,28 @@ fn parse_args() -> Result<Args, String> {
             "--force" => {
                 args.force = true;
             }
+            "--trace" => {
+                let value = iter.next().ok_or("--trace needs an output file")?;
+                args.trace = Some(value.into());
+            }
+            "--check-perf" => {
+                args.check_perf = true;
+            }
+            "--perf-tolerance" => {
+                let value = iter.next().ok_or("--perf-tolerance needs a percentage")?;
+                args.perf_tolerance = value
+                    .parse()
+                    .map_err(|_| format!("bad tolerance `{value}`"))?;
+                if args.perf_tolerance < 0.0 || args.perf_tolerance.is_nan() {
+                    return Err(format!("bad tolerance `{value}`"));
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: regen [--table N] [--figure N] [--max-instrs M] [--out DIR]\n\
                      \x20            [--timing] [--scaling] [--lint] [--alias] [--valuepred]\n\
-                     \x20            [--metrics]\n\
-                     \x20            [--no-cache] [--force]\n\
+                     \x20            [--metrics] [--trace FILE] [--check-perf]\n\
+                     \x20            [--perf-tolerance PCT] [--no-cache] [--force]\n\
                      Regenerates the paper's tables (1-4) and figures (4-7); with\n\
                      --out, also writes each as a markdown file under DIR, and\n\
                      --max-instrs M caps every measured trace at M dynamic\n\
@@ -165,6 +194,15 @@ fn parse_args() -> Result<Args, String> {
                      per-machine execution metrics (cycle occupancy, critical-path\n\
                      attribution, binding-edge counters) and writes\n\
                      metrics_suite.json + attribution.md to DIR (default results/).\n\
+                     With --trace FILE, runs the timed suite with span tracing on\n\
+                     and writes FILE as Chrome trace-event JSON (load it in\n\
+                     ui.perfetto.dev) plus pipeline_profile.md to DIR (default\n\
+                     results/): per-stage and per-lane-group wall-time attribution.\n\
+                     With --check-perf, runs the timed suite and compares its\n\
+                     pipeline walls against the BENCH_suite.json in DIR (default\n\
+                     the current directory); a wall more than --perf-tolerance\n\
+                     percent (default 50) over the baseline, or any failed\n\
+                     bit-identity gate, exits with status 4.\n\
                      Raw traces are cached on disk under $CLFP_CACHE_DIR (default\n\
                      target/clfp-cache) keyed by program, trace cap, and format\n\
                      version, so reruns skip VM execution and branch profiling;\n\
@@ -458,35 +496,126 @@ fn main() -> ExitCode {
         };
     }
 
-    if args.timing {
+    if args.timing || args.trace.is_some() || args.check_perf {
         eprintln!(
             "timing full-suite regen, lane vs scalar fused vs reference pipeline (trace cap {})...",
             args.max_instrs
         );
+        // --trace turns the span recorder on for exactly the suite run it
+        // exports; the drained log feeds both the Perfetto JSON and the
+        // pipeline-profile attribution table.
+        if args.trace.is_some() {
+            clfp_metrics::trace::set_tracing(true);
+        }
         let timing = match run_suite_timed(&config) {
             Ok(timing) => timing,
             Err(err) => {
+                clfp_metrics::trace::set_tracing(false);
                 eprintln!("regen: timing suite failed: {err}");
                 return ExitCode::FAILURE;
             }
         };
+        let log = args.trace.is_some().then(|| {
+            clfp_metrics::trace::set_tracing(false);
+            clfp_metrics::trace::drain()
+        });
         println!("{}", timing.summary());
-        let path = args
-            .out
-            .as_deref()
-            .unwrap_or(std::path::Path::new("."))
-            .join("BENCH_suite.json");
-        if let Some(dir) = args.out.as_deref() {
-            if let Err(err) = std::fs::create_dir_all(dir) {
+        let mut ok = true;
+
+        if let (Some(trace_path), Some(log)) = (args.trace.as_deref(), log.as_ref()) {
+            if let Err(err) =
+                std::fs::write(trace_path, clfp_metrics::trace::chrome_trace_json(log))
+            {
+                eprintln!("regen: cannot write {}: {err}", trace_path.display());
+                ok = false;
+            } else {
+                eprintln!(
+                    "wrote {} ({} spans; open in ui.perfetto.dev or chrome://tracing)",
+                    trace_path.display(),
+                    log.spans().count()
+                );
+            }
+            let dir = args
+                .out
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("results"));
+            if let Err(err) = std::fs::create_dir_all(&dir) {
                 eprintln!("regen: cannot create {}: {err}", dir.display());
                 return ExitCode::FAILURE;
             }
+            let profile_path = dir.join("pipeline_profile.md");
+            let stamped = format!(
+                "{}\n{}",
+                timing.manifest.to_markdown_header(),
+                pipeline_profile_md(&timing, log)
+            );
+            if write_guarded(&profile_path, &stamped, &manifest.config_hash, args.force) {
+                eprintln!("wrote {}", profile_path.display());
+            } else {
+                ok = false;
+            }
         }
-        if !write_guarded(&path, &timing.to_json(), &manifest.config_hash, args.force) {
-            return ExitCode::FAILURE;
+
+        // Gate before any baseline write: a regressed run must never
+        // replace the baseline it just failed against.
+        if args.check_perf {
+            let baseline_path = args
+                .out
+                .as_deref()
+                .unwrap_or(std::path::Path::new("."))
+                .join("BENCH_suite.json");
+            let baseline = match std::fs::read_to_string(&baseline_path) {
+                Ok(contents) => contents,
+                Err(err) => {
+                    eprintln!(
+                        "regen: cannot read baseline {}: {err}",
+                        baseline_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            match check_perf(&timing, &baseline, args.perf_tolerance) {
+                Ok(check) => {
+                    for line in &check.lines {
+                        eprintln!("perf: {line}");
+                    }
+                    if !check.passed() {
+                        for regression in &check.regressions {
+                            eprintln!("regen: perf regression: {regression}");
+                        }
+                        return ExitCode::from(4);
+                    }
+                    eprintln!(
+                        "perf gate passed against {} (tolerance +{:.0}%)",
+                        baseline_path.display(),
+                        args.perf_tolerance
+                    );
+                }
+                Err(message) => {
+                    eprintln!("regen: perf baseline unusable: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-        eprintln!("wrote {}", path.display());
-        return ExitCode::SUCCESS;
+
+        if args.timing {
+            let path = args
+                .out
+                .as_deref()
+                .unwrap_or(std::path::Path::new("."))
+                .join("BENCH_suite.json");
+            if let Some(dir) = args.out.as_deref() {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!("regen: cannot create {}: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !write_guarded(&path, &timing.to_json(), &manifest.config_hash, args.force) {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     let wants = |kind: &str, n: u32| -> bool {

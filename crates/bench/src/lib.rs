@@ -373,6 +373,34 @@ fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Start timestamp for a synthesized `suite.*` stage span. Returns 0 when
+/// tracing is off, which makes the matching [`stage_span`] a no-op — the
+/// untraced timed suite pays one relaxed load per stage and nothing else.
+fn stage_start() -> u64 {
+    if clfp_metrics::trace::tracing_enabled() {
+        clfp_metrics::trace::now_monotonic_us().max(1)
+    } else {
+        0
+    }
+}
+
+/// Close a synthesized suite-stage span opened by [`stage_start`]. The
+/// stage timings double as the span durations, so the pipeline profile's
+/// attribution sums the exact numbers `--timing` reports.
+fn stage_span(name: &'static str, workload: &'static str, start_us: u64) {
+    if start_us == 0 {
+        return;
+    }
+    let dur_us = clfp_metrics::trace::now_monotonic_us().saturating_sub(start_us);
+    clfp_metrics::trace::record_span(
+        name,
+        "suite",
+        start_us,
+        dur_us,
+        vec![("workload", workload.into())],
+    );
+}
+
 /// Exact (bit-for-bit) equality of two analysis reports: counts, branch
 /// statistics, misprediction histograms, and every machine's cycle count
 /// and parallelism. Used to gate the streaming pipeline against the
@@ -405,6 +433,9 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
     // Classify the run before anything executes: warm only if every
     // workload's trace is already cached. The probe is a header
     // validation per workload, not a trace read.
+    let _suite_span = clfp_metrics::trace::span("suite.total", "suite")
+        .arg("max_instrs", config.max_instrs);
+    let probe_t0 = stage_start();
     let cache_state = match trace_cache() {
         None => "off",
         Some(cache) => {
@@ -422,6 +453,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             }
         }
     };
+    stage_span("suite.cache_probe", "suite", probe_t0);
     // The cache-roundtrip gate needs a directory to write through: the
     // installed cache's when one is on, a scratch directory otherwise
     // (removed at the end — a cache-off run must leave nothing behind).
@@ -454,17 +486,20 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         let options = clfp_vm::VmOptions {
             mem_words: config.mem_words,
         };
+        let t0 = stage_start();
         let start = Instant::now();
         let program = workload
             .compile()
             .map_err(|err| AnalyzeError::BadProgram(format!("{}: {err}", workload.name)))?;
         let compile_ms = ms(start);
+        stage_span("suite.compile", workload.name, t0);
 
         // On a warm run the front end collapses: the trace stage is a
         // cache-file load and the seed's profiling executions — which
         // only exist to re-execute the program — are skipped outright.
         // A cold run keeps the honest VM costs even though the earlier
         // suite walls already populated the cache.
+        let t0 = stage_start();
         let start = Instant::now();
         let (trace, cache_hit) = if cache_state == "warm" {
             measured_trace(&program, config)?
@@ -473,14 +508,18 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             (vm.trace(config.max_instrs)?, false)
         };
         let trace_ms = ms(start);
+        stage_span("suite.trace", workload.name, t0);
 
         let profiling_ms = if cache_hit {
             0.0
         } else {
+            let t0 = stage_start();
             let start = Instant::now();
             let _p1 = BranchProfile::collect_with(&program, config.max_instrs, options)?;
             let _p2 = BranchProfile::collect_with(&program, config.max_instrs, options)?;
-            ms(start)
+            let elapsed = ms(start);
+            stage_span("suite.profiling", workload.name, t0);
+            elapsed
         };
 
         let unrolled_config = AnalysisConfig {
@@ -491,37 +530,48 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             unrolling: false,
             ..config.clone()
         };
+        let t0 = stage_start();
         let unrolled = Analyzer::new(&program, unrolled_config)?;
         let rolled = Analyzer::new(&program, rolled_config)?;
+        stage_span("suite.analyzers", workload.name, t0);
 
         // Multimode: trains the realistic value predictors alongside the
         // normal walk so the Static / Stride gates below can run as cheap
         // slices of this one preparation instead of full re-preparations.
+        let t0 = stage_start();
         let start = Instant::now();
         let prepared = unrolled.prepare_multimode(&trace);
         let prepare_ms = ms(start);
+        stage_span("suite.prepare", workload.name, t0);
+        let t0 = stage_start();
         let start = Instant::now();
         let inmem_unrolled = prepared.report_with_unrolling_scalar(true);
         let inmem_rolled = prepared.report_with_unrolling_scalar(false);
         let machines_ms = ms(start);
+        stage_span("suite.machines.scalar", workload.name, t0);
         let fused_analysis_ms = prepare_ms + machines_ms;
 
+        let t0 = stage_start();
         let start = Instant::now();
         let (lane_unrolled, lane_rolled) = prepared.report_both();
         let lane_machines_ms = ms(start);
+        stage_span("suite.machines.lane", workload.name, t0);
         lane_matches &= reports_equal(&lane_unrolled, &inmem_unrolled)
             && reports_equal(&lane_rolled, &inmem_rolled);
 
+        let t0 = stage_start();
         let start = Instant::now();
         let reference_unrolled = unrolled.run_on_trace_reference(&trace);
         let reference_rolled = rolled.run_on_trace_reference(&trace);
         let reference_analysis_ms = ms(start);
+        stage_span("suite.reference", workload.name, t0);
 
         // Static memory disambiguation flows through the same mem_key
         // seam in every pipeline; lane and scalar must still agree.
         // Sliced, not re-prepared: `slice_modes` is itself pinned
         // bit-identical to a dedicated preparation by
         // `mode_slices_match_dedicated_preparation` and the alias suite.
+        let t0 = stage_start();
         let static_sliced =
             prepared.slice_modes(MemDisambiguation::Static, config.value_prediction);
         let (static_unrolled, static_rolled) = static_sliced.report_both();
@@ -532,10 +582,12 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             &static_rolled,
             &static_sliced.report_with_unrolling_scalar(false),
         );
+        stage_span("suite.gate.static", workload.name, t0);
 
         // Value prediction flows through the EV_VALPRED flag in the event
         // metadata; the lane kernel's masked publish must agree with the
         // scalar cursor's branch under the strongest realistic mode.
+        let t0 = stage_start();
         let vp_sliced = prepared.slice_modes(config.disambiguation, ValuePrediction::Stride);
         let (vp_unrolled, vp_rolled) = vp_sliced.report_both();
         valuepred_matches &= reports_equal(
@@ -545,10 +597,12 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             &vp_rolled,
             &vp_sliced.report_with_unrolling_scalar(false),
         );
+        stage_span("suite.gate.valuepred", workload.name, t0);
 
         // The streaming chunked pipeline over the same trace: two
         // re-streams (profile + machines) in O(chunk) working memory,
         // first sequential, then with the parallel machine broadcast.
+        let t0 = stage_start();
         let start = Instant::now();
         let streamed = unrolled.run_streamed_on(
             &trace,
@@ -559,6 +613,8 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             },
         )?;
         let stream_ms = ms(start);
+        stage_span("suite.stream", workload.name, t0);
+        let t0 = stage_start();
         let start = Instant::now();
         let _ = unrolled.run_streamed_on(
             &trace,
@@ -569,6 +625,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             },
         )?;
         let stream_par_ms = ms(start);
+        stage_span("suite.stream_par", workload.name, t0);
         stream_matches &= reports_equal(&streamed.unrolled, &inmem_unrolled)
             && reports_equal(&streamed.rolled, &inmem_rolled);
 
@@ -579,6 +636,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
         // reports) runs on the first workload only: it re-prices an
         // entire streaming pass, and the event-equality check already
         // covers the serialization seam on the other nine.
+        let t0 = stage_start();
         cache_matches &= match verify_cache.store(&program, config.max_instrs, &trace) {
             Ok(file) => {
                 let reloaded = file
@@ -603,6 +661,7 @@ pub fn run_suite_timed(config: &AnalysisConfig) -> Result<SuiteTiming, AnalyzeEr
             }
             Err(_) => false,
         };
+        stage_span("suite.gate.cache", workload.name, t0);
 
         workloads.push(WorkloadTiming {
             name: workload.name,
@@ -814,6 +873,260 @@ impl SuiteTiming {
         ));
         out
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline profile and perf-regression gate
+// ---------------------------------------------------------------------------
+
+/// Renders `results/pipeline_profile.md` from one traced
+/// [`run_suite_timed`] walk: the drained span log attributed to named
+/// pipeline stages, the per-lane-group machine-walk table, and the cache
+/// counter totals. The stage table's denominator is the `suite.total`
+/// span, so the quoted coverage is of the instrumented suite wall itself,
+/// not of whatever the caller did around it.
+pub fn pipeline_profile_md(timing: &SuiteTiming, log: &clfp_metrics::trace::TraceLog) -> String {
+    use clfp_metrics::trace::{aggregate_spans, ArgValue};
+
+    let total_us = log.span_total_us("suite.total").max(1);
+    let stages: Vec<_> = aggregate_spans(log)
+        .into_iter()
+        .filter(|s| s.name.starts_with("suite.") && s.name != "suite.total")
+        .collect();
+    let attributed_us: u64 = stages.iter().map(|s| s.total_us).sum();
+
+    let mut out = String::from("# Pipeline profile\n\n");
+    out.push_str(&format!(
+        "One instrumented `run_suite_timed` walk over the {}-workload suite \
+         (trace cap {}, cache {}), recorded by the span tracer and exported \
+         by `regen --trace`. Stage spans are synthesized from the same \
+         timings `--timing` reports, so the two artifacts agree by \
+         construction.\n\n",
+        timing.workloads.len(),
+        timing.max_instrs,
+        timing.cache,
+    ));
+
+    out.push_str("## Stage attribution\n\n");
+    out.push_str("| stage | spans | total ms | share of suite wall |\n");
+    out.push_str("|-------|------:|---------:|--------------------:|\n");
+    for s in &stages {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1}% |\n",
+            s.name,
+            s.count,
+            s.total_us as f64 / 1e3,
+            s.total_us as f64 * 100.0 / total_us as f64,
+        ));
+    }
+    out.push_str(&format!(
+        "\nAttributed {:.1} ms of the {:.1} ms instrumented suite wall \
+         (`suite.total`) to named stages: **{:.1}% coverage**.\n\n",
+        attributed_us as f64 / 1e3,
+        total_us as f64 / 1e3,
+        attributed_us as f64 * 100.0 / total_us as f64,
+    ));
+
+    // Per-machine lane attribution: every `lane.group` span is one
+    // scheduler group's walk; identical slot signatures (same machines,
+    // same width, same key mode) aggregate across workloads and calls.
+    struct GroupRow {
+        cd: bool,
+        width: u64,
+        key_mode: String,
+        slots: String,
+        walks: u64,
+        events: u64,
+        chunks: u64,
+        busy_us: u64,
+    }
+    let arg_u64 = |span: &clfp_metrics::trace::SpanEvent, key: &str| match span.arg(key) {
+        Some(ArgValue::U64(v)) => *v,
+        _ => 0,
+    };
+    let arg_str = |span: &clfp_metrics::trace::SpanEvent, key: &str| match span.arg(key) {
+        Some(ArgValue::Str(v)) => v.clone(),
+        _ => String::new(),
+    };
+    let mut groups: Vec<GroupRow> = Vec::new();
+    for span in log.spans().filter(|s| s.name == "lane.group") {
+        let cd = matches!(span.arg("cd"), Some(ArgValue::Bool(true)));
+        let width = arg_u64(span, "width");
+        let key_mode = arg_str(span, "key_mode");
+        let slots = arg_str(span, "slots");
+        let row = groups.iter_mut().find(|g| {
+            g.cd == cd && g.width == width && g.key_mode == key_mode && g.slots == slots
+        });
+        let row = match row {
+            Some(row) => row,
+            None => {
+                groups.push(GroupRow {
+                    cd,
+                    width,
+                    key_mode,
+                    slots,
+                    walks: 0,
+                    events: 0,
+                    chunks: 0,
+                    busy_us: 0,
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        row.walks += 1;
+        row.events += arg_u64(span, "events");
+        row.chunks += arg_u64(span, "chunks");
+        row.busy_us += span.dur_us;
+    }
+    groups.sort_by_key(|g| std::cmp::Reverse(g.busy_us));
+
+    out.push_str("## Lane-group machine walks\n\n");
+    out.push_str(
+        "One row per distinct scheduler group (machine slots sharing one \
+         kernel walk); `slot` is `index:machine{+u|-u}[*vp]`. Busy time is \
+         the group's accumulated feed time, so interleaved groups do not \
+         double-count each other.\n\n",
+    );
+    out.push_str("| slots | cd | width | key mode | walks | events fed | chunks | busy ms |\n");
+    out.push_str("|-------|----|------:|----------|------:|-----------:|-------:|--------:|\n");
+    for g in &groups {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} | {:.1} |\n",
+            g.slots,
+            if g.cd { "yes" } else { "no" },
+            g.width,
+            g.key_mode,
+            g.walks,
+            g.events,
+            g.chunks,
+            g.busy_us as f64 / 1e3,
+        ));
+    }
+
+    // Counter samples carry the running total at sample time, so the
+    // per-name maximum is the total for the traced run.
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for record in &log.records {
+        if let clfp_metrics::trace::TraceRecord::Counter(c) = record {
+            match counters.iter_mut().find(|(name, _)| *name == c.name) {
+                Some((_, v)) => *v = (*v).max(c.value),
+                None => counters.push((c.name.clone(), c.value)),
+            }
+        }
+    }
+    counters.sort();
+    if !counters.is_empty() {
+        out.push_str("\n## Counters\n\n| counter | total |\n|---------|------:|\n");
+        for (name, value) in &counters {
+            out.push_str(&format!("| {name} | {value} |\n"));
+        }
+    }
+    out
+}
+
+/// Outcome of [`check_perf`]: the per-wall comparison lines (always
+/// populated) and the regressions found (empty when the gate passes).
+#[derive(Clone, Debug)]
+pub struct PerfCheck {
+    /// One human-readable line per compared quantity.
+    pub lines: Vec<String>,
+    /// One line per regression; empty means the gate passed.
+    pub regressions: Vec<String>,
+}
+
+impl PerfCheck {
+    /// Whether the current run is within tolerance of the baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The first JSON number following `"key":` in `json`, if any. Top-level
+/// wall keys appear exactly once in `BENCH_suite.json`, so a line scan is
+/// enough — no JSON parser, no dependency.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The first JSON string following `"key":` in `json`, if any.
+fn json_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The perf-regression gate behind `regen --check-perf`: compares a fresh
+/// [`run_suite_timed`] result against a committed `BENCH_suite.json`
+/// baseline. Each pipeline wall (fused, lane, reference) regresses when
+/// the current time exceeds baseline × (1 + `tolerance_pct`/100); the
+/// current run's bit-identity gates must also all hold. Wall times on a
+/// shared host are noisy, so the default tolerance is generous — the gate
+/// exists to catch order-of-magnitude pessimizations, not 5% jitter.
+///
+/// # Errors
+///
+/// Returns a message (not a regression) when the baseline is unusable:
+/// missing wall keys, or produced under a different config hash than the
+/// current run — cross-config wall times are not comparable.
+pub fn check_perf(
+    current: &SuiteTiming,
+    baseline_json: &str,
+    tolerance_pct: f64,
+) -> Result<PerfCheck, String> {
+    let baseline_hash = json_string(baseline_json, "config_hash")
+        .ok_or("baseline has no \"config_hash\" — not a BENCH_suite.json?")?;
+    if baseline_hash != current.manifest.config_hash {
+        return Err(format!(
+            "baseline config hash {baseline_hash} != current {} — \
+             regenerate the baseline (or match --max-instrs) before gating",
+            current.manifest.config_hash
+        ));
+    }
+    let mut check = PerfCheck {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for (key, now) in [
+        ("fused_wall_ms", current.fused_wall_ms),
+        ("lane_wall_ms", current.lane_wall_ms),
+        ("reference_wall_ms", current.reference_wall_ms),
+    ] {
+        let base = json_number(baseline_json, key)
+            .ok_or_else(|| format!("baseline has no \"{key}\""))?;
+        let limit = base * (1.0 + tolerance_pct / 100.0);
+        let verdict = if now <= limit { "ok" } else { "REGRESSED" };
+        check.lines.push(format!(
+            "{key}: {now:.1} ms vs baseline {base:.1} ms (limit {limit:.1} ms at \
+             +{tolerance_pct:.0}%) -- {verdict}"
+        ));
+        if now > limit {
+            check
+                .regressions
+                .push(format!("{key} {now:.1} ms > limit {limit:.1} ms"));
+        }
+    }
+    for (name, ok) in [
+        ("reports_match", current.reports_match),
+        ("stream_matches", current.stream_matches),
+        ("lane_matches", current.lane_matches),
+        ("alias_matches", current.alias_matches),
+        ("valuepred_matches", current.valuepred_matches),
+        ("cache_matches", current.cache_matches),
+    ] {
+        if !ok {
+            check
+                .regressions
+                .push(format!("bit-identity gate {name} failed in the current run"));
+        }
+    }
+    Ok(check)
 }
 
 // ---------------------------------------------------------------------------
@@ -2534,6 +2847,138 @@ mod tests {
         assert!(summary.contains("value-pred bit-identical: true"));
         assert!(summary.contains("cache roundtrip bit-identical: true"));
         assert!(summary.contains("cache off"));
+    }
+
+    /// A hand-built [`SuiteTiming`] with known walls, for exercising the
+    /// perf gate without paying for a suite run.
+    fn synthetic_timing() -> SuiteTiming {
+        let config = tiny_config();
+        SuiteTiming {
+            max_instrs: config.max_instrs,
+            threads: 1,
+            pool_threads: 1,
+            cache: "off",
+            fused_wall_ms: 100.0,
+            lane_wall_ms: 80.0,
+            reference_wall_ms: 300.0,
+            speedup: 3.0,
+            reports_match: true,
+            chunk_events: 0,
+            stream_matches: true,
+            lane_matches: true,
+            alias_matches: true,
+            valuepred_matches: true,
+            cache_matches: true,
+            manifest: suite_manifest(&config),
+            workloads: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn perf_gate_passes_against_own_baseline() {
+        let timing = synthetic_timing();
+        let check = check_perf(&timing, &timing.to_json(), 50.0).unwrap();
+        assert!(check.passed(), "regressions: {:?}", check.regressions);
+        assert_eq!(check.lines.len(), 3);
+        assert!(check.lines.iter().all(|l| l.contains("-- ok")));
+    }
+
+    #[test]
+    fn perf_gate_fails_on_injected_slowdown() {
+        // Shrink every baseline wall 10x: the unchanged current run now
+        // reads as a 10x slowdown, far beyond any sane tolerance.
+        let timing = synthetic_timing();
+        let mut baseline = timing.to_json();
+        for (key, shrunk) in [
+            ("\"fused_wall_ms\": 100.0", "\"fused_wall_ms\": 10.0"),
+            ("\"lane_wall_ms\": 80.0", "\"lane_wall_ms\": 8.0"),
+            ("\"reference_wall_ms\": 300.0", "\"reference_wall_ms\": 30.0"),
+        ] {
+            assert!(baseline.contains(key), "fixture drifted: {key}");
+            baseline = baseline.replace(key, shrunk);
+        }
+        let check = check_perf(&timing, &baseline, 50.0).unwrap();
+        assert_eq!(check.regressions.len(), 3, "all three walls regressed");
+        assert!(!check.passed());
+        // A huge tolerance waives the walls again.
+        assert!(check_perf(&timing, &baseline, 2000.0).unwrap().passed());
+    }
+
+    #[test]
+    fn perf_gate_flags_failed_identity_gates() {
+        let mut timing = synthetic_timing();
+        let baseline = timing.to_json();
+        timing.lane_matches = false;
+        let check = check_perf(&timing, &baseline, 50.0).unwrap();
+        assert!(!check.passed());
+        assert!(check.regressions.iter().any(|r| r.contains("lane_matches")));
+    }
+
+    #[test]
+    fn perf_gate_rejects_cross_config_baselines() {
+        let timing = synthetic_timing();
+        let other = AnalysisConfig {
+            max_instrs: timing.max_instrs + 1,
+            ..tiny_config()
+        };
+        let mut mismatched = synthetic_timing();
+        mismatched.manifest = suite_manifest(&other);
+        let err = check_perf(&timing, &mismatched.to_json(), 50.0).unwrap_err();
+        assert!(err.contains("config hash"), "{err}");
+        assert!(check_perf(&timing, "{}", 50.0).is_err(), "no hash at all");
+    }
+
+    #[test]
+    fn pipeline_profile_renders_stages_groups_and_counters() {
+        use clfp_metrics::trace::{ArgValue, CounterEvent, SpanEvent, TraceLog, TraceRecord};
+        let span = |name: &str, ts_us: u64, dur_us: u64, args: Vec<(&'static str, ArgValue)>| {
+            TraceRecord::Span(SpanEvent {
+                name: name.to_string(),
+                cat: "suite",
+                ts_us,
+                dur_us,
+                tid: 0,
+                args,
+            })
+        };
+        let log = TraceLog {
+            records: vec![
+                span("suite.total", 0, 1000, vec![]),
+                span("suite.compile", 0, 100, vec![("workload", "scan".into())]),
+                span("suite.machines.lane", 100, 860, vec![("workload", "scan".into())]),
+                span(
+                    "lane.group",
+                    120,
+                    700,
+                    vec![
+                        ("group", ArgValue::U64(0)),
+                        ("cd", ArgValue::Bool(true)),
+                        ("lanes", ArgValue::U64(2)),
+                        ("width", ArgValue::U64(2)),
+                        ("key_mode", ArgValue::Str("event".into())),
+                        ("slots", ArgValue::Str("0:CD+u,1:CD-MF+u".into())),
+                        ("events", ArgValue::U64(5000)),
+                        ("chunks", ArgValue::U64(3)),
+                    ],
+                ),
+                TraceRecord::Counter(CounterEvent {
+                    name: "cache.hit".to_string(),
+                    cat: "cache",
+                    ts_us: 10,
+                    tid: 0,
+                    value: 7,
+                }),
+            ],
+            thread_names: vec![(0, "main".to_string())],
+        };
+        let md = pipeline_profile_md(&synthetic_timing(), &log);
+        assert!(md.contains("## Stage attribution"));
+        assert!(md.contains("| suite.machines.lane | 1 | 0.9 | 86.0% |"));
+        assert!(md.contains("**96.0% coverage**"), "{md}");
+        assert!(md.contains("`0:CD+u,1:CD-MF+u`"));
+        assert!(md.contains("| 5000 | 3 |"));
+        assert!(md.contains("| cache.hit | 7 |"));
+        assert!(!md.contains("| suite.total |"), "total is the denominator");
     }
 
     /// End-to-end warm-cache equivalence without touching the process

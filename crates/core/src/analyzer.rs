@@ -257,6 +257,10 @@ impl<'a, 'b> PreparedTrace<'a, 'b> {
         disambiguation: crate::MemDisambiguation,
         value_prediction: crate::ValuePrediction,
     ) -> PreparedTrace<'a, 'b> {
+        let _span = clfp_metrics::trace::span("prepare.slice_modes", "prepare")
+            .arg("disambiguation", disambiguation.name())
+            .arg("value_prediction", value_prediction.name())
+            .arg("events", self.meta.events.len());
         let analyzer = self.analyzer;
         let meta = self.meta.resliced(
             &analyzer.info,
@@ -332,6 +336,36 @@ impl<'a, 'b> PreparedTrace<'a, 'b> {
                     &mut collector,
                 );
                 (kind, collector.finish())
+            })
+            .collect()
+    }
+
+    /// Per-machine execution metrics for every requested (disambiguation,
+    /// value-prediction) mode at one unroll setting — the diagnostic
+    /// companion of [`PreparedTrace::report_mode_matrix`], which runs the
+    /// lane kernel with the null sink and so cannot attribute anything.
+    /// Each mode runs the scalar recording path over its
+    /// [`PreparedTrace::slice_modes`] slice: metrics collection stays
+    /// machine-major (one collector live at a time), and the re-derived
+    /// cycle counts are pinned bit-identical to the matrix walk's by the
+    /// `mode_matrix_metrics_match_matrix_cycles` test, so the attribution
+    /// describes exactly the schedules the matrix reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`PreparedTrace::report_mode_matrix`]: a coarse-disambiguation base,
+    /// or a realistic value-prediction mode on an untrained preparation.
+    pub fn mode_matrix_metrics(
+        &self,
+        modes: &[(crate::MemDisambiguation, crate::ValuePrediction)],
+        unrolling: bool,
+    ) -> Vec<Vec<(MachineKind, clfp_metrics::MachineMetrics)>> {
+        modes
+            .iter()
+            .map(|&(disambiguation, value_prediction)| {
+                self.slice_modes(disambiguation, value_prediction)
+                    .machine_metrics_with_unrolling(unrolling)
             })
             .collect()
     }
@@ -1137,6 +1171,47 @@ mod tests {
                 for (a, b) in got.results.iter().zip(&want.results) {
                     assert_eq!(a.kind, b.kind, "{dis:?}/{vp:?}");
                     assert_eq!(a.cycles, b.cycles, "{dis:?}/{vp:?} {:?}", a.kind);
+                }
+            }
+        }
+    }
+
+    // The matrix metrics path (scalar recording sink over per-mode
+    // slices) must describe exactly the schedules the one-walk lane
+    // matrix reports: same machines, same cycle and instruction counts,
+    // for every mode cell — otherwise the attribution tables would
+    // diagnose a schedule nobody ran.
+    #[test]
+    fn mode_matrix_metrics_match_matrix_cycles() {
+        use crate::{MemDisambiguation, ValuePrediction};
+        let program = compile(LOOPY).unwrap();
+        let analyzer = Analyzer::new(&program, AnalysisConfig::quick()).unwrap();
+        let mut vm = clfp_vm::Vm::new(
+            &program,
+            VmOptions {
+                mem_words: analyzer.config.mem_words,
+            },
+        );
+        let trace = vm.trace(analyzer.config.max_instrs).unwrap();
+        let prepared = analyzer.prepare_multimode(&trace);
+        let modes = [
+            (MemDisambiguation::Perfect, ValuePrediction::Off),
+            (MemDisambiguation::Static, ValuePrediction::Stride),
+            (MemDisambiguation::None, ValuePrediction::Perfect),
+        ];
+        let matrix = prepared.report_mode_matrix(&modes);
+        for unrolling in [true, false] {
+            let metrics = prepared.mode_matrix_metrics(&modes, unrolling);
+            assert_eq!(metrics.len(), modes.len());
+            for ((&(dis, vp), (mat_unrolled, mat_rolled)), mode_metrics) in
+                modes.iter().zip(&matrix).zip(&metrics)
+            {
+                let report = if unrolling { mat_unrolled } else { mat_rolled };
+                assert_eq!(mode_metrics.len(), report.results.len());
+                for ((kind, m), r) in mode_metrics.iter().zip(&report.results) {
+                    assert_eq!(*kind, r.kind, "{dis:?}/{vp:?}");
+                    assert_eq!(m.cycles, r.cycles, "{dis:?}/{vp:?} {:?}", r.kind);
+                    assert!(m.instrs > 0, "{dis:?}/{vp:?} {:?}", r.kind);
                 }
             }
         }

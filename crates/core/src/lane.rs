@@ -247,6 +247,36 @@ impl GroupMode {
     }
 }
 
+/// Process-wide lane-group id sequence, so trace spans from concurrent
+/// walks (and the per-chunk `lane.feed` spans within one walk) can be
+/// correlated back to their group in the exported timeline.
+static NEXT_GROUP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl KeyMode {
+    /// Short name for trace spans and the pipeline profile.
+    fn trace_name(&self) -> &'static str {
+        match self {
+            KeyMode::Event => "event",
+            KeyMode::Class(_) => "class",
+            KeyMode::Single => "single",
+        }
+    }
+}
+
+impl LaneSlot {
+    /// Compact `slot:MACHINE±u[*vp]` description for trace spans, e.g.
+    /// `3:SP-CD-MF+u` or `17:BASE-u*vp`.
+    fn describe(&self) -> String {
+        format!(
+            "{}:{}{}{}",
+            self.slot,
+            self.kind.name(),
+            if self.unrolling { "+u" } else { "-u" },
+            if self.vp_flag != 0 { "*vp" } else { "" },
+        )
+    }
+}
+
 #[inline]
 fn lane_mask(on: bool) -> u64 {
     if on {
@@ -298,6 +328,15 @@ struct GroupCursor<const L: usize, const CD: bool, const RENAME: bool, const FET
     cycles: [u64; L],
     count: [u64; L],
     seg: Vec<SegTracker>,
+
+    /// Trace/profile attribution, maintained only while tracing is on
+    /// (`clfp_metrics::trace`): process-wide group id, walk start
+    /// timestamp, accumulated busy time, and feed counters.
+    group_id: u64,
+    walk_start_us: u64,
+    busy_ns: u64,
+    fed_events: u64,
+    fed_chunks: u64,
 }
 
 impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
@@ -361,6 +400,11 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool>
                 .filter(|(_, lane)| lane.kind == MachineKind::Sp)
                 .map(|(l, _)| SegTracker::new(l))
                 .collect(),
+            group_id: NEXT_GROUP_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            walk_start_us: 0,
+            busy_ns: 0,
+            fed_events: 0,
+            fed_chunks: 0,
         }
     }
 
@@ -412,6 +456,18 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
         unrolled: &EventClass,
         rolled: &EventClass,
     ) {
+        // Attribution is tracing-gated so the untraced hot path pays one
+        // relaxed load per ~16K-event chunk and nothing else.
+        let feed_start = if clfp_metrics::trace::tracing_enabled() {
+            if self.walk_start_us == 0 {
+                self.walk_start_us = clfp_metrics::trace::now_monotonic_us().max(1);
+            }
+            self.fed_chunks += 1;
+            self.fed_events += events.len() as u64;
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         for (j, event) in events.iter().enumerate() {
             let meta = &pcs.pcs[event.pc as usize];
             let is_branch = event.flags & EV_BRANCH != 0;
@@ -628,9 +684,42 @@ impl<const L: usize, const CD: bool, const RENAME: bool, const FETCH: bool> Grou
                 }
             }
         }
+        if let Some(t0) = feed_start {
+            self.busy_ns += t0.elapsed().as_nanos() as u64;
+        }
     }
 
     fn finish(self: Box<Self>) -> Vec<(usize, PassResult)> {
+        // One synthesized summary span per group walk: start = first
+        // feed, duration = accumulated busy time (the group may have
+        // interleaved with others on one thread, so a plain RAII guard
+        // would overcount). This is the per-machine lane attribution the
+        // pipeline profile reads back out of the trace log.
+        if self.walk_start_us != 0 {
+            use clfp_metrics::trace::ArgValue;
+            let slots = self
+                .lanes
+                .iter()
+                .map(LaneSlot::describe)
+                .collect::<Vec<_>>()
+                .join(",");
+            clfp_metrics::trace::record_span(
+                "lane.group",
+                "lane",
+                self.walk_start_us,
+                self.busy_ns / 1_000,
+                vec![
+                    ("group", ArgValue::U64(self.group_id)),
+                    ("cd", ArgValue::Bool(CD)),
+                    ("lanes", ArgValue::U64(self.lanes.len() as u64)),
+                    ("width", ArgValue::U64(L as u64)),
+                    ("key_mode", ArgValue::Str(self.key_mode.trace_name().to_string())),
+                    ("slots", ArgValue::Str(slots)),
+                    ("events", ArgValue::U64(self.fed_events)),
+                    ("chunks", ArgValue::U64(self.fed_chunks)),
+                ],
+            );
+        }
         let mut stats: Vec<Option<MispredictionStats>> = (0..L).map(|_| None).collect();
         for t in self.seg {
             let lane = t.lane;

@@ -334,6 +334,9 @@ impl TraceMeta {
         trace: &Trace,
         train_all_predictors: bool,
     ) -> TraceMeta {
+        let _span = clfp_metrics::trace::span("prepare.build", "prepare")
+            .arg("events", trace.len())
+            .arg("multimode", train_all_predictors);
         // The paper's profile-static predictor is trained on the measured
         // run's own inputs; deriving it from the measured trace itself is
         // exactly that semantics without a second VM execution.
@@ -553,6 +556,7 @@ impl<'a> MetaBuilder<'a> {
         class_unrolled: &mut EventClass,
         class_rolled: &mut EventClass,
     ) {
+        let _span = clfp_metrics::trace::span("prepare.chunk", "prepare").arg("events", chunk.len());
         self.branches.raw_instrs += chunk.len() as u64;
         events.reserve(chunk.len());
         for event in chunk {

@@ -256,6 +256,9 @@ impl<'a> Analyzer<'a> {
         let mut profile = BranchProfile::new();
         let want_profile = matches!(self.config.predictor, PredictorChoice::Profile);
         let mut summary = SummaryBuilder::new(self.program);
+        let pass1_span = clfp_metrics::trace::span("stream.pass1", "stream")
+            .arg("chunk_events", chunk_events as u64)
+            .arg("profile", want_profile);
         source.stream(chunk_events, &mut |chunk| {
             summary.push_chunk(chunk);
             if want_profile {
@@ -271,6 +274,7 @@ impl<'a> Analyzer<'a> {
         // last-write tables from the measured distinct-word count instead
         // of a fixed default.
         let summary = summary.finish();
+        drop(pass1_span.arg("events", summary.total));
         let mem_capacity = summary.distinct_mem_words.min(1 << 28) as usize;
 
         // Pass 2: preparation walk feeding every machine × unroll slot
@@ -291,6 +295,10 @@ impl<'a> Analyzer<'a> {
             workers = 1;
         }
 
+        let pass2_span = clfp_metrics::trace::span("stream.pass2", "stream")
+            .arg("workers", workers as u64)
+            .arg("slots", slots.len() as u64)
+            .arg("events", summary.total);
         let passes: Vec<PassResult> = if workers <= 1 {
             let mut buf = ChunkBuf::new(chunk_events);
             source.stream(chunk_events, &mut |chunk| {
@@ -309,6 +317,7 @@ impl<'a> Analyzer<'a> {
                 workers,
             )?
         };
+        drop(pass2_span);
 
         let (unrolled_passes, rolled_passes) = {
             let mut it = passes.into_iter();
@@ -447,6 +456,11 @@ fn run_broadcast(
             .enumerate()
             .map(|(w, mut my_groups)| {
                 scope.spawn(move || {
+                    // Worker-lifetime span: the gap between this and the
+                    // worker's lane.group busy time is broadcast wait.
+                    let _worker_span = clfp_metrics::trace::span("stream.worker", "stream")
+                        .arg("worker", w as u64)
+                        .arg("groups", my_groups.len() as u64);
                     let mut next: i64 = 0;
                     loop {
                         let upto = {

@@ -24,9 +24,15 @@
 //! constraint, or the single-flow merge ordering that only exists on
 //! non-MF machines. See `docs/OBSERVABILITY.md` for the full semantics
 //! and a worked read-through of an attribution table.
+//!
+//! The [`trace`] module adds the wall-clock counterpart: span/counter
+//! recording over the whole pipeline with Chrome trace-event / Perfetto
+//! export (`regen --trace`), off by default and zero-cost when off.
 
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+pub mod trace;
 
 /// Sentinel parent index: the binding edge has no recorded producer event
 /// (e.g. an anti-dependence on an untracked reader when renaming is off).
@@ -605,7 +611,7 @@ fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -284,11 +284,16 @@ impl TraceCache {
     pub fn lookup(&self, program: &Program, max_instrs: u64) -> Option<FileTraceSource> {
         let path = self.entry_path(program.fingerprint(), max_instrs);
         if !path.exists() {
+            clfp_metrics::trace::tally("cache.miss", "cache", 1);
             return None;
         }
         match FileTraceSource::open_checked(&path, program.fingerprint(), max_instrs) {
-            Ok(Ok((_, events))) => Some(FileTraceSource { path, events }),
+            Ok(Ok((_, events))) => {
+                clfp_metrics::trace::tally("cache.hit", "cache", 1);
+                Some(FileTraceSource { path, events })
+            }
             Ok(Err(why)) => {
+                clfp_metrics::trace::tally("cache.miss", "cache", 1);
                 eprintln!(
                     "warning: discarding invalid trace cache file {} ({why}); re-executing",
                     path.display()
@@ -297,6 +302,7 @@ impl TraceCache {
                 None
             }
             Err(err) => {
+                clfp_metrics::trace::tally("cache.miss", "cache", 1);
                 eprintln!(
                     "warning: cannot read trace cache file {} ({err}); re-executing",
                     path.display()
@@ -319,6 +325,9 @@ impl TraceCache {
         max_instrs: u64,
         trace: &Trace,
     ) -> io::Result<FileTraceSource> {
+        let _span = clfp_metrics::trace::span("cache.store", "cache")
+            .arg("fingerprint", format!("{:016x}", program.fingerprint()))
+            .arg("events", trace.len());
         fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(program.fingerprint(), max_instrs);
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
@@ -358,9 +367,13 @@ impl TraceCache {
         max_instrs: u64,
     ) -> Result<(Trace, bool), VmError> {
         if let Some(source) = self.lookup(program, max_instrs) {
+            let span = clfp_metrics::trace::span("cache.load", "cache")
+                .arg("fingerprint", format!("{:016x}", program.fingerprint()))
+                .arg("events", source.events());
             match source.load_trace() {
                 Ok(trace) => return Ok((trace, true)),
                 Err(err) => {
+                    drop(span);
                     eprintln!(
                         "warning: cache file {} vanished mid-read ({err}); re-executing",
                         source.path.display()

@@ -252,8 +252,10 @@ impl<'a> Vm<'a> {
     ///
     /// Propagates the first [`VmError`].
     pub fn trace(&mut self, limit: u64) -> Result<Trace, VmError> {
+        let span = clfp_metrics::trace::span("vm.trace", "vm").arg("limit", limit);
         let mut events = Vec::new();
         self.run_with(limit, |event| events.push(event))?;
+        drop(span.arg("events", events.len()));
         Ok(Trace::from_events(events))
     }
 

@@ -15,8 +15,12 @@
 //! clfp lint prog.mc               # lint + static/dynamic cross-check
 //! clfp lint --workload qsort --json
 //! clfp workloads                  # list the benchmark suite
-//! clfp cache                      # list the on-disk trace cache
+//! clfp cache                      # list the on-disk trace cache + suite
+//!                                 # hit/miss probe (cache list --json for
+//!                                 # machine-readable output)
 //! clfp cache clear                # delete every cached trace
+//! clfp analyze --workload qsort --trace-json spans.json
+//!                                 # export pipeline spans for Perfetto
 //! ```
 //!
 //! Files ending in `.mc` are treated as MiniC; anything else is assembled
@@ -88,13 +92,17 @@ fn print_usage() {
          \u{20}         [--valuepred off|last-value|stride|perfect]\n\
          \u{20}         [--fetch W] [--if-convert] [--trace file.trc]\n\
          \u{20}         [--stream [--chunk EVENTS]] analyze in O(chunk) trace memory\n\
+         \u{20}         [--trace-json out.json]    record pipeline spans and export\n\
+         \u{20}         Chrome trace-event JSON (load in ui.perfetto.dev)\n\
          \u{20} lint    <file | --workload NAME>   lint + cross-check one program\n\
          \u{20}         [--max-instrs N] [--static-only] [--json]\n\
          \u{20}         exits nonzero on any error-severity finding\n\
          \u{20} workloads                          list the benchmark suite\n\
-         \u{20} cache [clear] [--dir DIR]          list (or wipe) the on-disk trace\n\
+         \u{20} cache [list] [clear] [--dir DIR]   list (or wipe) the on-disk trace\n\
          \u{20}         cache used by regen; default $CLFP_CACHE_DIR or\n\
-         \u{20}         target/clfp-cache\n\n\
+         \u{20}         target/clfp-cache; list probes the suite at\n\
+         \u{20}         [--max-instrs N] and reports cache hits/misses,\n\
+         \u{20}         with --json as machine-readable JSON\n\n\
          Files ending in .mc are MiniC; anything else is clfp assembly."
     );
 }
@@ -144,6 +152,7 @@ fn positional(args: &[String]) -> Option<&str> {
                     | "fetch"
                     | "workload"
                     | "trace"
+                    | "trace-json"
                     | "chunk"
                     | "valuepred"
                     | "dir"
@@ -286,8 +295,11 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `clfp cache [clear] [--dir DIR]`: inspect or wipe the on-disk trace
-/// cache that `regen` populates (see [`clfp::vm::TraceCache`]).
+/// `clfp cache [list [--json]] [clear] [--dir DIR]`: inspect or wipe the
+/// on-disk trace cache that `regen` populates (see
+/// [`clfp::vm::TraceCache`]). Listing also probes the benchmark suite at
+/// `--max-instrs` (default 2000000) through the real lookup path, so the
+/// hit/miss line reports exactly what a `regen` at that cap would find.
 fn cache_cmd(args: &[String]) -> Result<(), String> {
     use clfp::vm::TraceCache;
 
@@ -296,35 +308,52 @@ fn cache_cmd(args: &[String]) -> Result<(), String> {
         None => TraceCache::new(TraceCache::default_dir()),
     };
     match positional(args) {
-        None => {
+        None | Some("list") => {
             let entries = cache
                 .entries()
                 .map_err(|err| format!("cannot read {}: {err}", cache.dir().display()))?;
-            if entries.is_empty() {
-                println!("trace cache {} is empty", cache.dir().display());
+            // The lookup path tallies the `cache.hit` / `cache.miss` trace
+            // counters whether or not a trace session is active; read the
+            // totals back instead of re-deriving the classification here.
+            let max_instrs = max_instrs_flag(args)?.unwrap_or(2_000_000);
+            for workload in clfp::workloads::suite() {
+                let program = workload.compile().map_err(|err| err.to_string())?;
+                let _ = cache.lookup(&program, max_instrs);
+            }
+            let hits = clfp::metrics::trace::counter_total("cache.hit");
+            let misses = clfp::metrics::trace::counter_total("cache.miss");
+            if has_flag(args, "--json") {
+                print!("{}", cache_json(&cache, &entries, max_instrs, hits, misses));
                 return Ok(());
             }
-            println!("trace cache {}:", cache.dir().display());
-            println!(
-                "{:16} {:>12} {:>12} {:>12}  file",
-                "fingerprint", "max_instrs", "events", "bytes"
-            );
-            let mut total_bytes = 0u64;
-            for entry in &entries {
-                total_bytes += entry.bytes;
+            if entries.is_empty() {
+                println!("trace cache {} is empty", cache.dir().display());
+            } else {
+                println!("trace cache {}:", cache.dir().display());
                 println!(
-                    "{:016x} {:>12} {:>12} {:>12}  {}",
-                    entry.fingerprint,
-                    entry.max_instrs,
-                    entry.events,
-                    entry.bytes,
-                    entry
-                        .path
-                        .file_name()
-                        .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                    "{:16} {:>12} {:>12} {:>12}  file",
+                    "fingerprint", "max_instrs", "events", "bytes"
                 );
+                let mut total_bytes = 0u64;
+                for entry in &entries {
+                    total_bytes += entry.bytes;
+                    println!(
+                        "{:016x} {:>12} {:>12} {:>12}  {}",
+                        entry.fingerprint,
+                        entry.max_instrs,
+                        entry.events,
+                        entry.bytes,
+                        entry
+                            .path
+                            .file_name()
+                            .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                    );
+                }
+                println!("{} trace(s), {} bytes total", entries.len(), total_bytes);
             }
-            println!("{} trace(s), {} bytes total", entries.len(), total_bytes);
+            println!(
+                "suite probe at cap {max_instrs}: {hits} hit(s), {misses} miss(es)"
+            );
             Ok(())
         }
         Some("clear") => {
@@ -339,6 +368,45 @@ fn cache_cmd(args: &[String]) -> Result<(), String> {
         }
         Some(other) => Err(format!("unknown cache action `{other}`; try `clfp cache` or `clfp cache clear`")),
     }
+}
+
+fn cache_json(
+    cache: &clfp::vm::TraceCache,
+    entries: &[clfp::vm::CacheEntry],
+    max_instrs: u64,
+    hits: u64,
+    misses: u64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"dir\": \"{}\",\n",
+        cache.dir().display().to_string().replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+    out.push_str("  \"entries\": [\n");
+    let mut total_bytes = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        total_bytes += entry.bytes;
+        out.push_str(&format!(
+            "    {{\"fingerprint\": \"{:016x}\", \"max_instrs\": {}, \"events\": {}, \
+             \"bytes\": {}, \"file\": \"{}\"}}{}\n",
+            entry.fingerprint,
+            entry.max_instrs,
+            entry.events,
+            entry.bytes,
+            entry
+                .path
+                .file_name()
+                .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+            if i + 1 == entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_bytes\": {total_bytes},\n"));
+    out.push_str(&format!(
+        "  \"probe\": {{\"max_instrs\": {max_instrs}, \"hits\": {hits}, \"misses\": {misses}}}\n"
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn diagnostics_json(diagnostics: &[clfp::verify::Diagnostic]) -> String {
@@ -368,6 +436,28 @@ fn diagnostics_json(diagnostics: &[clfp::verify::Diagnostic]) -> String {
 }
 
 fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    // `--trace-json OUT` records pipeline spans for exactly this analysis
+    // and exports them as Chrome trace-event JSON (distinct from `--trace
+    // file.trc`, which *loads* a captured execution trace as input).
+    let trace_json = parse_flag_value(args, "--trace-json").map(str::to_string);
+    if trace_json.is_some() {
+        clfp::metrics::trace::set_tracing(true);
+    }
+    let result = analyze_inner(args);
+    if let Some(out) = trace_json {
+        clfp::metrics::trace::set_tracing(false);
+        let log = clfp::metrics::trace::drain();
+        std::fs::write(&out, clfp::metrics::trace::chrome_trace_json(&log))
+            .map_err(|err| format!("cannot write `{out}`: {err}"))?;
+        println!(
+            "wrote {} spans to {out} (open in ui.perfetto.dev or chrome://tracing)",
+            log.spans().count()
+        );
+    }
+    result
+}
+
+fn analyze_inner(args: &[String]) -> Result<(), String> {
     let program = if let Some(name) = parse_flag_value(args, "--workload") {
         let workload = clfp::workloads::by_name(name).map_err(|err| err.to_string())?;
         workload
